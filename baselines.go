@@ -1,0 +1,116 @@
+package bstc
+
+import (
+	"bstc/internal/carminer"
+	"bstc/internal/cba"
+	"bstc/internal/ep"
+	"bstc/internal/forest"
+	"bstc/internal/rcbt"
+	"bstc/internal/svm"
+)
+
+// The paper evaluates BSTC against the CAR-mining pipeline (Top-k covering
+// rule groups + RCBT) and several machine-learning baselines; all of them
+// are part of this library and surfaced here.
+
+// MiningBudget bounds a CAR-mining run; the zero value is unlimited. Runs
+// that hit the deadline return ErrMiningBudgetExceeded — the DNF outcomes
+// of the paper's Tables 4 and 6.
+type MiningBudget = carminer.Budget
+
+// ErrMiningBudgetExceeded reports that mining hit its deadline.
+var ErrMiningBudgetExceeded = carminer.ErrBudgetExceeded
+
+// RuleGroup is a mined rule group upper bound (Top-k covering rule groups,
+// Cong et al. SIGMOD'05).
+type RuleGroup = carminer.RuleGroup
+
+// TopKConfig carries the Top-k miner's parameters (the paper uses minimum
+// support 0.7 and k = 10).
+type TopKConfig = carminer.TopKConfig
+
+// TopKResult is the per-class output of the Top-k miner.
+type TopKResult = carminer.TopKResult
+
+// MineTopKRuleGroups mines the top-k covering rule groups of one class via
+// pruned row enumeration — exponential in the class's training rows in the
+// worst case.
+func MineTopKRuleGroups(d *Dataset, class int, cfg TopKConfig) (*TopKResult, error) {
+	return carminer.TopKCoveringRuleGroups(d, class, cfg)
+}
+
+// RCBTConfig carries RCBT's parameters (the paper uses support 0.7, k=10,
+// nl=20).
+type RCBTConfig = rcbt.Config
+
+// DefaultRCBTConfig returns the paper's author-suggested values.
+func DefaultRCBTConfig() RCBTConfig { return rcbt.DefaultConfig() }
+
+// RCBTClassifier is the trained RCBT ensemble (main + standby classifiers
+// built from top-k rule groups and their lower bounds).
+type RCBTClassifier = rcbt.Classifier
+
+// TrainRCBT runs the full RCBT pipeline: Top-k mining per class, lower
+// bound mining per group, classifier assembly. Set cfg.Budget to bound the
+// exponential phases.
+func TrainRCBT(d *Dataset, cfg RCBTConfig) (*RCBTClassifier, error) {
+	return rcbt.Train(d, cfg)
+}
+
+// CBAConfig carries the CBA baseline's apriori and coverage parameters.
+type CBAConfig = cba.Config
+
+// CBAClassifier is the trained CBA rule list.
+type CBAClassifier = cba.Classifier
+
+// TrainCBA mines class association rules with apriori and builds the
+// database-coverage classifier (Liu, Hsu & Ma, KDD'98).
+func TrainCBA(d *Dataset, cfg CBAConfig) (*CBAClassifier, error) {
+	return cba.Train(d, cfg)
+}
+
+// SVMConfig tunes the SMO-trained SVM baseline (defaults mirror R e1071:
+// RBF kernel with gamma = 1/#features, C = 1).
+type SVMConfig = svm.Config
+
+// SVMClassifier is a trained SVM (binary, or one-vs-rest for multi-class).
+type SVMClassifier = svm.Classifier
+
+// TrainSVM fits the SVM baseline on continuous data.
+func TrainSVM(d *ContinuousDataset, cfg SVMConfig) (*SVMClassifier, error) {
+	return svm.Train(d, cfg)
+}
+
+// JEP is one minimal jumping emerging pattern: an itemset occurring in its
+// home class and nowhere else — the antecedent of a minimal 100%-confident
+// CAR, the rule family the §7 TOP-RULES discussion concerns.
+type JEP = ep.JEP
+
+// MineJEPs computes the minimal JEPs of one class via Dong & Li's
+// MBD-LLBORDER border difference — worst-case exponential, hence the
+// budget.
+func MineJEPs(d *Dataset, class int, budget MiningBudget) ([]JEP, error) {
+	return ep.MineJEPs(d, class, budget)
+}
+
+// JEPClassifier aggregates per-class JEP supports (the JEP-Classifier
+// scheme).
+type JEPClassifier = ep.Classifier
+
+// TrainJEP mines every class's minimal JEPs and builds the aggregate
+// classifier.
+func TrainJEP(d *Dataset, budget MiningBudget) (*JEPClassifier, error) {
+	return ep.Train(d, budget)
+}
+
+// ForestConfig tunes the random-forest baseline (defaults mirror
+// randomForest 4.5: 500 trees, mtry = sqrt(#features)).
+type ForestConfig = forest.Config
+
+// ForestClassifier is a trained random forest.
+type ForestClassifier = forest.Classifier
+
+// TrainForest fits the random-forest baseline on continuous data.
+func TrainForest(d *ContinuousDataset, cfg ForestConfig) (*ForestClassifier, error) {
+	return forest.Train(d, cfg)
+}

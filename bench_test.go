@@ -1,0 +1,347 @@
+package bstc_test
+
+// One benchmark per table and figure of the paper's evaluation (§6), plus
+// microbenchmarks of the core primitives. Each experiment benchmark runs
+// the same runner as `cmd/bstcbench` at small scale with a reduced test
+// count and cutoff, and reports the headline quantity of its artifact as a
+// custom metric, so `go test -bench=.` regenerates the whole evaluation.
+//
+//	Table 2  -> BenchmarkTable2DatasetInventory
+//	Table 3  -> BenchmarkTable3GivenTraining       (mean BSTC accuracy)
+//	Figure 4 -> BenchmarkFigure4ALLCrossValidation (mean BSTC accuracy)
+//	Figure 5 -> BenchmarkFigure5LCCrossValidation
+//	Figure 6 -> BenchmarkFigure6PCCrossValidation
+//	Figure 7 -> BenchmarkFigure7OCCrossValidation
+//	Table 4  -> BenchmarkTable4PCRuntimes          (BSTC vs Top-k/RCBT seconds)
+//	Table 5  -> BenchmarkTable5PCAccuracy
+//	Table 6  -> BenchmarkTable6OCRuntimes
+//	Table 7  -> BenchmarkTable7OCAccuracy
+//	§6.1     -> BenchmarkPreliminaryComparison  (CBA / C4.5 family / SVM / MCBAR / JEP)
+//	§6.2.4   -> BenchmarkTuningNarrative
+//	§7       -> BenchmarkRelatedWorkJEPBorder   (BST build vs MBD-LLBORDER)
+//	§8       -> BenchmarkAblationArithmetization
+//
+// The experiment benchmarks print their artifact once (on the first
+// iteration) so a -bench run leaves the full set of tables and figures in
+// its output.
+
+import (
+	"io"
+	"math/rand"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"bstc"
+	"bstc/internal/experiments"
+	"bstc/internal/stats"
+	"bstc/internal/synth"
+)
+
+// benchConfig shrinks the experiment protocol to benchmark-friendly cost
+// while keeping the paper's parameters (support 0.7, k=10, nl=20, nl
+// fallback 2).
+func benchConfig() experiments.Config {
+	cfg := experiments.Default(synth.Small)
+	cfg.Tests = 2
+	cfg.Cutoff = 3 * time.Second
+	return cfg
+}
+
+// benchWriter prints the artifact only on the first benchmark iteration.
+func benchWriter(i int) io.Writer {
+	if i == 0 {
+		return os.Stdout
+	}
+	return io.Discard
+}
+
+// studyCache shares one cross-validation study per profile between the
+// figure benchmark and its runtime/accuracy table benchmarks, mirroring
+// cmd/bstcbench.
+var studyCache = struct {
+	sync.Mutex
+	m map[string]*experiments.Study
+}{m: map[string]*experiments.Study{}}
+
+func cachedStudy(b *testing.B, name string) *experiments.Study {
+	b.Helper()
+	studyCache.Lock()
+	defer studyCache.Unlock()
+	if s, ok := studyCache.m[name]; ok {
+		return s
+	}
+	s, err := experiments.RunStudy(benchConfig(), name, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	studyCache.m[name] = s
+	return s
+}
+
+func BenchmarkTable2DatasetInventory(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Table2(benchWriter(i), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3GivenTraining(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table3(benchWriter(i), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var acc []float64
+		for _, r := range rows {
+			acc = append(acc, r.BSTC)
+		}
+		b.ReportMetric(stats.Mean(acc), "bstc-mean-acc")
+	}
+}
+
+func benchFigure(b *testing.B, figureID, profile string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		s := cachedStudy(b, profile)
+		s.RenderFigure(benchWriter(i), figureID)
+		var acc []float64
+		for _, sr := range s.Results {
+			acc = append(acc, sr.BSTCAccuracies()...)
+		}
+		b.ReportMetric(stats.Mean(acc), "bstc-mean-acc")
+	}
+}
+
+func BenchmarkFigure4ALLCrossValidation(b *testing.B) { benchFigure(b, "Figure 4", "ALL") }
+func BenchmarkFigure5LCCrossValidation(b *testing.B)  { benchFigure(b, "Figure 5", "LC") }
+func BenchmarkFigure6PCCrossValidation(b *testing.B)  { benchFigure(b, "Figure 6", "PC") }
+func BenchmarkFigure7OCCrossValidation(b *testing.B)  { benchFigure(b, "Figure 7", "OC") }
+
+func benchRuntimeTable(b *testing.B, tableID, profile string) {
+	b.Helper()
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		s := cachedStudy(b, profile)
+		s.RenderRuntimeTable(benchWriter(i), tableID, "(benchmark cutoff)")
+		// Headline: the largest training size's mean times.
+		last := s.Results[len(s.Results)-1]
+		topk, _ := last.MeanTopkTime()
+		b.ReportMetric(last.MeanBSTCTime().Seconds(), "bstc-s")
+		b.ReportMetric(topk.Seconds(), "topk-s")
+		_ = cfg
+	}
+}
+
+func BenchmarkTable4PCRuntimes(b *testing.B) { benchRuntimeTable(b, "Table 4", "PC") }
+func BenchmarkTable6OCRuntimes(b *testing.B) { benchRuntimeTable(b, "Table 6", "OC") }
+
+func benchAccuracyTable(b *testing.B, tableID, profile string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		s := cachedStudy(b, profile)
+		s.RenderAccuracyTable(benchWriter(i), tableID)
+		var acc []float64
+		for _, sr := range s.Results {
+			acc = append(acc, stats.Mean(sr.BSTCAccuraciesWhereRCBTFinished()))
+		}
+		b.ReportMetric(stats.Mean(acc), "bstc-mean-acc")
+	}
+}
+
+func BenchmarkTable5PCAccuracy(b *testing.B) { benchAccuracyTable(b, "Table 5", "PC") }
+func BenchmarkTable7OCAccuracy(b *testing.B) { benchAccuracyTable(b, "Table 7", "OC") }
+
+func BenchmarkPreliminaryComparison(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Preliminary(benchWriter(i), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var acc []float64
+		for _, r := range rows {
+			acc = append(acc, r.BSTC)
+		}
+		b.ReportMetric(stats.Mean(acc), "bstc-mean-acc")
+	}
+}
+
+func BenchmarkTuningNarrative(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Tuning(benchWriter(i), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRelatedWorkJEPBorder(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Related(benchWriter(i), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationArithmetization(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Ablation(benchWriter(i), cfg, "PC")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Label == "min (paper)" {
+				b.ReportMetric(r.Accuracy, "min-acc")
+			}
+		}
+	}
+}
+
+// --- Core primitive microbenchmarks -----------------------------------
+
+// pcSplit prepares one discretized PC training set for primitive benches.
+func pcSplit(b *testing.B) *bstc.Dataset {
+	b.Helper()
+	p, err := synth.ProfileByName("PC", synth.Small)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cont, err := p.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := bstc.Discretize(cont)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := model.Transform(cont)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+func BenchmarkBSTConstruction(b *testing.B) {
+	d := pcSplit(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bstc.NewBST(d, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBSTCTrain(b *testing.B) {
+	d := pcSplit(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bstc.Train(d, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBSTCEPerQuery(b *testing.B) {
+	d := pcSplit(b)
+	cl, err := bstc.Train(d, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	queries := make([]*bstc.GeneSet, 64)
+	for i := range queries {
+		q := bstc.NewGeneSet(d.NumGenes())
+		for g := 0; g < d.NumGenes(); g++ {
+			if r.Intn(2) == 0 {
+				q.Add(g)
+			}
+		}
+		queries[i] = q
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cl.Classify(queries[i%len(queries)])
+	}
+}
+
+func BenchmarkMineMCMCBAR(b *testing.B) {
+	d := pcSplit(b)
+	bst, err := bstc.NewBST(d, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bst.MineMCMCBAR(10, bstc.MineOptions{})
+	}
+}
+
+// BenchmarkAblationNaiveCellMaterialization quantifies Algorithm 1's
+// pointer-sharing design: the shared representation stores one exclusion
+// list per (class sample, outside sample) pair, while a naive table
+// materializes a list copy in every cell. The -benchmem numbers of this
+// benchmark against BenchmarkBSTConstruction show the memory gap.
+func BenchmarkAblationNaiveCellMaterialization(b *testing.B) {
+	d := pcSplit(b)
+	bst, err := bstc.NewBST(d, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	cells := 0
+	for i := 0; i < b.N; i++ {
+		for c := 0; c < bst.NumColumns(); c++ {
+			for g := 0; g < bst.NumGenes(); g++ {
+				if kind, cls := bst.Cell(g, c); kind != 0 {
+					cells += len(cls) // force materialization
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(cells/b.N), "materialized-lists")
+}
+
+// BenchmarkBSTCEScaling checks §5.3.1's O(|S|²·|G|) claim empirically:
+// classification time per query across growing training sample counts.
+func BenchmarkBSTCEScaling(b *testing.B) {
+	for _, samples := range []int{40, 80, 160} {
+		b.Run(sizeName(samples), func(b *testing.B) {
+			p := bstc.SyntheticProfile{
+				Name: "scale", NumGenes: 200,
+				ClassNames: []string{"A", "B"}, ClassSizes: []int{samples / 2, samples / 2},
+				InformativeFrac: 0.2, Separation: 2.5, Dropout: 0.1, Seed: 5,
+			}
+			cont, err := p.Generate()
+			if err != nil {
+				b.Fatal(err)
+			}
+			model, err := bstc.Discretize(cont)
+			if err != nil {
+				b.Fatal(err)
+			}
+			d, err := model.Transform(cont)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cl, err := bstc.Train(d, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			q := d.Rows[0]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cl.Classify(q)
+			}
+		})
+	}
+}
+
+func sizeName(n int) string { return "samples-" + strconv.Itoa(n) }

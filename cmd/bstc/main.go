@@ -1,0 +1,305 @@
+// Command bstc trains and applies the BSTC classifier from the command
+// line, mines boolean association rules, and runs the discretization
+// pipeline.
+//
+// Subcommands:
+//
+//	bstc discretize -in expr.tsv -out data.bool
+//	    Fit the entropy-MDL partition on a continuous TSV matrix and write
+//	    the boolean item-list representation.
+//
+//	bstc classify -train train.bool (or -model m) -test test.bool [-explain N] [-min-sat F]
+//	    Train BSTC on the training file and classify every test sample,
+//	    printing predictions (and accuracy when the test file carries
+//	    labels). -explain N additionally prints the top N supporting cell
+//	    rules per sample with satisfaction ≥ -min-sat.
+//
+//	bstc mine -train train.bool -class LABEL -k K [-per-sample]
+//	    Mine the top-k (MC)²BARs of a class (Algorithm 3, or Algorithm 4
+//	    with -per-sample) and print them with support and CAR confidence.
+//
+//	bstc table -train train.bool -class LABEL
+//	    Render the class's Boolean Structure Table in the style of the
+//	    paper's Figure 1.
+//
+//	bstc train -train train.bool -out model.gob
+//	    Train once and persist the model for later `classify -model` runs.
+//
+//	bstc eval -in expr.tsv -folds 5 -classifiers bstc,svm,forest,cba
+//	    K-fold cross validation on a continuous matrix (TSV, or ARFF when
+//	    the file ends in .arff), discretizing each fold's training half.
+//
+// File formats are documented in internal/dataset (TSV for continuous
+// data, tab-separated item lists for boolean data, plus Weka ARFF).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bstc"
+	"bstc/internal/dataset"
+	"bstc/internal/discretize"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bstc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: bstc <discretize|train|classify|mine|table|eval> [flags]")
+	}
+	switch args[0] {
+	case "discretize":
+		return cmdDiscretize(args[1:])
+	case "train":
+		return cmdTrain(args[1:])
+	case "classify":
+		return cmdClassify(args[1:])
+	case "mine":
+		return cmdMine(args[1:])
+	case "table":
+		return cmdTable(args[1:])
+	case "eval":
+		return cmdEval(args[1:])
+	}
+	return fmt.Errorf("unknown subcommand %q (want discretize, train, classify, mine, table or eval)", args[0])
+}
+
+func readBool(path string) (*dataset.Bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dataset.ReadBool(f)
+}
+
+func classIndex(d *dataset.Bool, label string) (int, error) {
+	for i, n := range d.ClassNames {
+		if n == label {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("class %q not in dataset (have %v)", label, d.ClassNames)
+}
+
+func cmdDiscretize(args []string) error {
+	fs := flag.NewFlagSet("discretize", flag.ContinueOnError)
+	in := fs.String("in", "", "continuous TSV input (required)")
+	out := fs.String("out", "", "boolean item-list output (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		return fmt.Errorf("discretize: -in and -out are required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	cont, err := dataset.ReadContinuous(f)
+	if err != nil {
+		return err
+	}
+	model, err := discretize.Fit(cont)
+	if err != nil {
+		return err
+	}
+	boolData, err := model.Transform(cont)
+	if err != nil {
+		return err
+	}
+	of, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer of.Close()
+	if err := dataset.WriteBool(of, boolData); err != nil {
+		return err
+	}
+	fmt.Printf("discretized %d samples: %d/%d genes kept, %d boolean items\n",
+		cont.NumSamples(), model.NumSelectedGenes(), cont.NumGenes(), model.NumItems())
+	return of.Close()
+}
+
+// cmdTrain trains BSTC and writes the model to a file for later classify
+// runs (`bstc classify -model ...`).
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ContinueOnError)
+	trainPath := fs.String("train", "", "training item-list file (required)")
+	out := fs.String("out", "", "model output path (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *trainPath == "" || *out == "" {
+		return fmt.Errorf("train: -train and -out are required")
+	}
+	train, err := readBool(*trainPath)
+	if err != nil {
+		return err
+	}
+	cl, err := bstc.Train(train, nil)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := cl.Save(f); err != nil {
+		return err
+	}
+	fmt.Printf("trained %d-class BSTC on %d samples x %d items; model written to %s\n",
+		train.NumClasses(), train.NumSamples(), train.NumGenes(), *out)
+	return f.Close()
+}
+
+func cmdClassify(args []string) error {
+	fs := flag.NewFlagSet("classify", flag.ContinueOnError)
+	trainPath := fs.String("train", "", "training item-list file (or use -model)")
+	modelPath := fs.String("model", "", "model file written by `bstc train` (or use -train)")
+	testPath := fs.String("test", "", "test item-list file (required)")
+	explain := fs.Int("explain", 0, "print up to N supporting cell rules per sample")
+	minSat := fs.Float64("min-sat", 0.8, "minimum satisfaction level for explanations")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*trainPath == "") == (*modelPath == "") || *testPath == "" {
+		return fmt.Errorf("classify: -test and exactly one of -train/-model are required")
+	}
+	var cl *bstc.Classifier
+	if *modelPath != "" {
+		f, err := os.Open(*modelPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if cl, err = bstc.LoadClassifier(f); err != nil {
+			return err
+		}
+	} else {
+		train, err := readBool(*trainPath)
+		if err != nil {
+			return err
+		}
+		if dups := train.DuplicateSamplePairs(); len(dups) > 0 {
+			fmt.Fprintf(os.Stderr, "warning: %d duplicate sample pairs across classes (Theorem 2 assumption violated)\n", len(dups))
+		}
+		if cl, err = bstc.Train(train, nil); err != nil {
+			return err
+		}
+	}
+	test, err := readBool(*testPath)
+	if err != nil {
+		return err
+	}
+	if test.NumGenes() != len(cl.GeneNames) {
+		return fmt.Errorf("test file has %d items, model has %d", test.NumGenes(), len(cl.GeneNames))
+	}
+	correct, labeled := 0, 0
+	for i, row := range test.Rows {
+		pred := cl.Classify(row)
+		name := fmt.Sprintf("s%d", i+1)
+		if len(test.SampleNames) > 0 {
+			name = test.SampleNames[i]
+		}
+		fmt.Printf("%s\t%s", name, cl.ClassNames[pred])
+		if i < len(test.Classes) {
+			labeled++
+			if pred == test.Classes[i] {
+				correct++
+			}
+		}
+		fmt.Println()
+		if *explain > 0 {
+			exps := cl.Explain(row, pred, *minSat)
+			if len(exps) > *explain {
+				exps = exps[:*explain]
+			}
+			for _, e := range exps {
+				fmt.Printf("\tsat=%.3f via training sample %d: %s\n",
+					e.Satisfaction, e.SampleIndex+1, bstc.RenderRule(e.Rule.Antecedent, cl.GeneNames))
+			}
+		}
+	}
+	if labeled > 0 {
+		fmt.Printf("accuracy: %d/%d = %.2f%%\n", correct, labeled, 100*float64(correct)/float64(labeled))
+	}
+	return nil
+}
+
+func cmdMine(args []string) error {
+	fs := flag.NewFlagSet("mine", flag.ContinueOnError)
+	trainPath := fs.String("train", "", "training item-list file (required)")
+	class := fs.String("class", "", "class label to mine rules for (required)")
+	k := fs.Int("k", 10, "number of (MC)²BARs")
+	perSample := fs.Bool("per-sample", false, "use Algorithm 4 (top-k per training sample)")
+	tieBreak := fs.Bool("tie-break", false, "order same-support rules by fewer excluded samples (§4.1)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *trainPath == "" || *class == "" {
+		return fmt.Errorf("mine: -train and -class are required")
+	}
+	train, err := readBool(*trainPath)
+	if err != nil {
+		return err
+	}
+	ci, err := classIndex(train, *class)
+	if err != nil {
+		return err
+	}
+	bst, err := bstc.NewBST(train, ci)
+	if err != nil {
+		return err
+	}
+	opts := bstc.MineOptions{TieBreakFewerExcluded: *tieBreak}
+	var mined []bstc.MCBAR
+	if *perSample {
+		mined = bst.MineMCMCBARPerSample(*k, opts)
+	} else {
+		mined = bst.MineMCMCBAR(*k, opts)
+	}
+	for i, m := range mined {
+		carConf := float64(m.Support.Count()) / float64(m.Support.Count()+m.Excluded.Count())
+		fmt.Printf("#%d support=%d excluded=%d CAR-confidence=%.3f\n",
+			i+1, m.Support.Count(), m.Excluded.Count(), carConf)
+		fmt.Printf("   %s => %s\n", bstc.RenderRule(m.Rule.Antecedent, train.GeneNames), *class)
+	}
+	fmt.Printf("%d rules mined\n", len(mined))
+	return nil
+}
+
+func cmdTable(args []string) error {
+	fs := flag.NewFlagSet("table", flag.ContinueOnError)
+	trainPath := fs.String("train", "", "training item-list file (required)")
+	class := fs.String("class", "", "class label (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *trainPath == "" || *class == "" {
+		return fmt.Errorf("table: -train and -class are required")
+	}
+	train, err := readBool(*trainPath)
+	if err != nil {
+		return err
+	}
+	ci, err := classIndex(train, *class)
+	if err != nil {
+		return err
+	}
+	bst, err := bstc.NewBST(train, ci)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bst.Render(train.GeneNames, train.SampleNames))
+	return nil
+}

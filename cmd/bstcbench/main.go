@@ -1,0 +1,183 @@
+// Command bstcbench regenerates the BSTC paper's evaluation artifacts
+// (Tables 2-7, Figures 4-7, the §6.2.4 tuning narrative and the §8
+// ablations) on the synthetic dataset profiles.
+//
+// Usage:
+//
+//	bstcbench -exp all                 # everything, small scale
+//	bstcbench -exp table4 -scale small # one artifact
+//	bstcbench -exp fig6 -tests 25 -cutoff 30s
+//
+// Experiments: table2, table3, fig4, fig5, fig6, fig7, table4, table5,
+// table6, table7, tuning, ablation, all. Figures and their runtime and
+// accuracy tables for the same dataset share one cross-validation study, so
+// asking for "fig6 table4 table5" computes the PC study once.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"bstc/internal/experiments"
+	"bstc/internal/synth"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bstcbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bstcbench", flag.ContinueOnError)
+	expFlag := fs.String("exp", "all", "comma-separated experiments (table2,table3,fig4..fig7,table4..table7,tuning,ablation,all)")
+	scaleFlag := fs.String("scale", "small", "dataset scale: small, medium or paper")
+	testsFlag := fs.Int("tests", 0, "cross-validation tests per training size (0 = scale default)")
+	cutoffFlag := fs.Duration("cutoff", 0, "per-phase mining cutoff (0 = scale default)")
+	seedFlag := fs.Int64("seed", 0, "random seed (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	scale, err := synth.ParseScale(*scaleFlag)
+	if err != nil {
+		return err
+	}
+	cfg := experiments.Default(scale)
+	if *testsFlag > 0 {
+		cfg.Tests = *testsFlag
+	}
+	if *cutoffFlag > 0 {
+		cfg.Cutoff = *cutoffFlag
+	}
+	if *seedFlag != 0 {
+		cfg.Seed = *seedFlag
+	}
+
+	wanted := map[string]bool{}
+	for _, e := range strings.Split(*expFlag, ",") {
+		e = strings.TrimSpace(e)
+		if e == "" {
+			continue
+		}
+		if e == "all" {
+			for _, all := range []string{
+				"table2", "table3", "prelim", "fig4", "fig5", "fig6", "fig7",
+				"table4", "table5", "table6", "table7", "tuning", "ablation", "related",
+			} {
+				wanted[all] = true
+			}
+			continue
+		}
+		wanted[e] = true
+	}
+	if len(wanted) == 0 {
+		return fmt.Errorf("no experiments selected")
+	}
+	for e := range wanted {
+		if !knownExperiment(e) {
+			return fmt.Errorf("unknown experiment %q", e)
+		}
+	}
+
+	w := os.Stdout
+	fmt.Fprintf(w, "BSTC evaluation suite — scale=%s tests=%d cutoff=%v seed=%d\n\n",
+		scale, cfg.Tests, cfg.Cutoff, cfg.Seed)
+
+	if wanted["table2"] {
+		if err := experiments.Table2(w, cfg); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if wanted["table3"] {
+		start := time.Now()
+		if _, err := experiments.Table3(w, cfg); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "(table3 took %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	if wanted["prelim"] {
+		start := time.Now()
+		if _, err := experiments.Preliminary(w, cfg); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "(prelim took %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	// Cross-validation studies, shared between each dataset's figure and
+	// tables.
+	type studyPlan struct {
+		figure        string
+		runtimeTable  string
+		accuracyTable string
+	}
+	plans := map[string]studyPlan{
+		"ALL": {figure: "fig4"},
+		"LC":  {figure: "fig5"},
+		"PC":  {figure: "fig6", runtimeTable: "table4", accuracyTable: "table5"},
+		"OC":  {figure: "fig7", runtimeTable: "table6", accuracyTable: "table7"},
+	}
+	for _, name := range []string{"ALL", "LC", "PC", "OC"} {
+		plan := plans[name]
+		needFig := wanted[plan.figure]
+		needRT := plan.runtimeTable != "" && wanted[plan.runtimeTable]
+		needAcc := plan.accuracyTable != "" && wanted[plan.accuracyTable]
+		if !needFig && !needRT && !needAcc {
+			continue
+		}
+		start := time.Now()
+		study, err := experiments.RunStudy(cfg, name, true)
+		if err != nil {
+			return err
+		}
+		if needFig {
+			study.RenderFigure(w, "Figure "+strings.TrimPrefix(plan.figure, "fig"))
+			fmt.Fprintln(w)
+		}
+		cutoffNote := fmt.Sprintf("Cutoff time is %v, default nl value is %d; \"(+)\" marks nl lowered to %d.",
+			cfg.Cutoff, cfg.RCBT.NL, cfg.NLFallback)
+		if needRT {
+			study.RenderRuntimeTable(w, "Table "+strings.TrimPrefix(plan.runtimeTable, "table"), cutoffNote)
+			fmt.Fprintln(w)
+		}
+		if needAcc {
+			study.RenderAccuracyTable(w, "Table "+strings.TrimPrefix(plan.accuracyTable, "table"))
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "(%s study took %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if wanted["tuning"] {
+		if err := experiments.Tuning(w, cfg); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if wanted["ablation"] {
+		if _, err := experiments.Ablation(w, cfg, "PC"); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if wanted["related"] {
+		if err := experiments.Related(w, cfg); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func knownExperiment(e string) bool {
+	switch e {
+	case "table2", "table3", "table4", "table5", "table6", "table7",
+		"fig4", "fig5", "fig6", "fig7", "tuning", "ablation", "prelim", "related":
+		return true
+	}
+	return false
+}

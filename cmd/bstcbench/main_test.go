@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestRunFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-exp", "bogus"},
+		{"-scale", "huge"},
+		{"-exp", ""},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should error", args)
+		}
+	}
+}
+
+func TestRunTable2(t *testing.T) {
+	if err := run([]string{"-exp", "table2", "-scale", "small"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKnownExperiment(t *testing.T) {
+	for _, e := range []string{"table2", "table7", "fig4", "tuning", "ablation"} {
+		if !knownExperiment(e) {
+			t.Errorf("%s should be known", e)
+		}
+	}
+	if knownExperiment("fig9") || knownExperiment("all") {
+		t.Error("fig9/all should not be known directly")
+	}
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"bstc/internal/dataset"
+)
+
+func TestRunPaperProfile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "all.tsv")
+	if err := run([]string{"-profile", "ALL", "-scale", "small", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	d, err := dataset.ReadContinuous(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumSamples() != 72 || d.NumGenes() != 7129/40 {
+		t.Errorf("ALL small: %d samples, %d genes", d.NumSamples(), d.NumGenes())
+	}
+}
+
+func TestRunCustomProfile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "c.tsv")
+	err := run([]string{
+		"-genes", "30", "-classes", "x:4,y:5,z:6",
+		"-informative", "0.3", "-sep", "2", "-seed", "9", "-out", out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	d, err := dataset.ReadContinuous(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumSamples() != 15 || d.NumGenes() != 30 || d.NumClasses() != 3 {
+		t.Errorf("custom: %d samples, %d genes, %d classes", d.NumSamples(), d.NumGenes(), d.NumClasses())
+	}
+	if got := d.ClassCounts(); !reflect.DeepEqual(got, []int{4, 5, 6}) {
+		t.Errorf("class counts = %v", got)
+	}
+}
+
+func TestRunARFFFormat(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "x.arff")
+	if err := run([]string{"-profile", "ALL", "-scale", "small", "-format", "arff", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	d, err := dataset.ReadARFF(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumSamples() != 72 {
+		t.Errorf("ARFF output has %d samples", d.NumSamples())
+	}
+	if err := run([]string{"-profile", "ALL", "-format", "xml", "-out", out}); err == nil {
+		t.Error("unknown format should error")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},                                     // no -out
+		{"-out", "/tmp/x", "-profile", "NOPE"}, // bad profile
+		{"-out", "/tmp/x", "-scale", "huge", "-profile", "ALL"},  // bad scale
+		{"-out", "/tmp/x", "-classes", "broken"},                 // bad class spec
+		{"-out", "/tmp/x", "-classes", "a:notanum"},              // bad count
+		{"-out", "/tmp/x", "-classes", "a:1,b:1", "-genes", "0"}, // invalid profile
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should error", args)
+		}
+	}
+}
+
+func TestParseClasses(t *testing.T) {
+	names, sizes, err := parseClasses("a:1, b:2 ,c:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(names, []string{"a", "b", "c"}) || !reflect.DeepEqual(sizes, []int{1, 2, 3}) {
+		t.Errorf("parseClasses = %v %v", names, sizes)
+	}
+}

@@ -1,0 +1,80 @@
+// Rulemining exercises the boolean-association-rule machinery of §3 and §4
+// on the paper's running example: the Figure 1 BST, the Figure 2 gene-row
+// BARs (Algorithm 2), the top-k (MC)²BARs (Algorithm 3) with their
+// Theorem 2 CAR counterparts, and the per-sample covering variant
+// (Algorithm 4).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bstc"
+)
+
+func main() {
+	data := bstc.PaperTable1()
+
+	bst, err := bstc.NewBST(data, 0) // T(Cancer)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Boolean Structure Table for class Cancer (paper Figure 1):")
+	fmt.Println(bst.Render(data.GeneNames, data.SampleNames))
+
+	fmt.Println("Gene-row BARs with 100% confidence (paper Figure 2):")
+	for g := 0; g < data.NumGenes(); g++ {
+		rule := bst.RowBAR(g)
+		rendered := bstc.RenderRule(rule.Antecedent, data.GeneNames)
+		if rendered == "false" {
+			continue // gene expressed by no Cancer sample
+		}
+		supp := rule.Support(data)
+		fmt.Printf("  %s: %s => Cancer   (support %d, confidence %.0f%%)\n",
+			data.GeneNames[g], rendered, supp.Count(), 100*rule.Confidence(data))
+	}
+
+	fmt.Println("\nTop-4 (MC)²BARs (Algorithm 3):")
+	for i, m := range bst.MineMCMCBAR(4, bstc.MineOptions{}) {
+		fmt.Printf("  #%d support=%v CAR-portion=%s\n",
+			i+1, names(m.SupportSamples, data.SampleNames),
+			bstc.RenderRule(m.StripExclusions().Expr(), data.GeneNames))
+		fmt.Printf("     full BAR: %s => Cancer\n",
+			bstc.RenderRule(m.Rule.Antecedent, data.GeneNames))
+		// Theorem 2: stripping exclusion clauses yields a CAR whose
+		// confidence is |supp| / (|supp| + #excluded).
+		carConf := float64(m.Support.Count()) / float64(m.Support.Count()+m.Excluded.Count())
+		fmt.Printf("     Theorem 2 CAR confidence: %.2f (excludes %d Healthy samples)\n",
+			carConf, m.Excluded.Count())
+	}
+
+	fmt.Println("\nPer-sample covering (MC)²BARs (Algorithm 4, k=1):")
+	for _, m := range bst.MineMCMCBARPerSample(1, bstc.MineOptions{}) {
+		fmt.Printf("  support=%v: %s => Cancer\n",
+			names(m.SupportSamples, data.SampleNames),
+			bstc.RenderRule(m.Rule.Antecedent, data.GeneNames))
+	}
+
+	// §4.2's interesting boolean rule group with support {s2}: the paper
+	// lists upper bound g1 AND g3 AND g6 and lower bounds g1 AND g6 and
+	// g3 AND g6.
+	fmt.Println("\nIBRG bounds for the support {s2} rule group (paper §4.2):")
+	for _, m := range bst.MineMCMCBARPerSample(3, bstc.MineOptions{}) {
+		if m.Support.Count() != 1 || m.SupportSamples[0] != 1 {
+			continue
+		}
+		fmt.Printf("  upper bound: %s\n", bstc.RenderRule(m.StripExclusions().Expr(), data.GeneNames))
+		for _, lb := range bst.MineIBRGLowerBounds(m.Support, 10) {
+			car := bstc.CAR{Genes: lb, Class: 0}
+			fmt.Printf("  lower bound: %s\n", bstc.RenderRule(car.Expr(), data.GeneNames))
+		}
+	}
+}
+
+func names(idx []int, all []string) []string {
+	out := make([]string, len(idx))
+	for i, j := range idx {
+		out[i] = all[j]
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module bstc
+
+go 1.22

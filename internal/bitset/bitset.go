@@ -1,0 +1,378 @@
+// Package bitset provides a dense, fixed-universe bitset used throughout the
+// BSTC codebase to represent gene sets and sample sets.
+//
+// All mining algorithms in this repository (BST construction, BSTCE
+// evaluation, Top-k row enumeration, lower-bound BFS) reduce to intersecting,
+// unioning and counting subsets of a small fixed universe, so a flat
+// []uint64-backed set is the natural substrate. The zero value of Set is an
+// empty set over an empty universe; use New to create a set with capacity.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a fixed-universe bitset over the elements [0, Len()).
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns an empty Set over the universe [0, n).
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative universe size")
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// FromIndices returns a Set over [0, n) containing exactly the given indices.
+func FromIndices(n int, indices ...int) *Set {
+	s := New(n)
+	for _, i := range indices {
+		s.Add(i)
+	}
+	return s
+}
+
+// Len returns the universe size (not the number of elements; see Count).
+func (s *Set) Len() int { return s.n }
+
+// Add inserts element i. It panics if i is outside the universe.
+func (s *Set) Add(i int) {
+	s.check(i)
+	s.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Remove deletes element i. It panics if i is outside the universe.
+func (s *Set) Remove(i int) {
+	s.check(i)
+	s.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Contains reports whether element i is in the set.
+func (s *Set) Contains(i int) bool {
+	if i < 0 || i >= s.n {
+		return false
+	}
+	return s.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: index %d out of universe [0,%d)", i, s.n))
+	}
+}
+
+// Count returns the number of elements in the set.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// IsEmpty reports whether the set has no elements.
+func (s *Set) IsEmpty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of s.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words)), n: s.n}
+	copy(c.words, s.words)
+	return c
+}
+
+// Clear removes every element, keeping the universe size.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Fill adds every element of the universe.
+func (s *Set) Fill() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.trim()
+}
+
+// trim zeroes the bits beyond the universe in the last word.
+func (s *Set) trim() {
+	if s.n%wordBits != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << (uint(s.n) % wordBits)) - 1
+	}
+}
+
+func (s *Set) sameUniverse(t *Set) {
+	if s.n != t.n {
+		panic(fmt.Sprintf("bitset: universe mismatch %d vs %d", s.n, t.n))
+	}
+}
+
+// And sets s to the intersection s ∩ t and returns s.
+func (s *Set) And(t *Set) *Set {
+	s.sameUniverse(t)
+	for i := range s.words {
+		s.words[i] &= t.words[i]
+	}
+	return s
+}
+
+// Or sets s to the union s ∪ t and returns s.
+func (s *Set) Or(t *Set) *Set {
+	s.sameUniverse(t)
+	for i := range s.words {
+		s.words[i] |= t.words[i]
+	}
+	return s
+}
+
+// AndNot sets s to the difference s \ t and returns s.
+func (s *Set) AndNot(t *Set) *Set {
+	s.sameUniverse(t)
+	for i := range s.words {
+		s.words[i] &^= t.words[i]
+	}
+	return s
+}
+
+// Xor sets s to the symmetric difference s △ t and returns s.
+func (s *Set) Xor(t *Set) *Set {
+	s.sameUniverse(t)
+	for i := range s.words {
+		s.words[i] ^= t.words[i]
+	}
+	return s
+}
+
+// Complement sets s to universe \ s and returns s.
+func (s *Set) Complement() *Set {
+	for i := range s.words {
+		s.words[i] = ^s.words[i]
+	}
+	s.trim()
+	return s
+}
+
+// Intersect returns a new set holding s ∩ t.
+func Intersect(s, t *Set) *Set { return s.Clone().And(t) }
+
+// Union returns a new set holding s ∪ t.
+func Union(s, t *Set) *Set { return s.Clone().Or(t) }
+
+// Difference returns a new set holding s \ t.
+func Difference(s, t *Set) *Set { return s.Clone().AndNot(t) }
+
+// Equal reports whether s and t contain exactly the same elements over the
+// same universe.
+func (s *Set) Equal(t *Set) bool {
+	if s.n != t.n {
+		return false
+	}
+	for i := range s.words {
+		if s.words[i] != t.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every element of s is in t.
+func (s *Set) SubsetOf(t *Set) bool {
+	s.sameUniverse(t)
+	for i := range s.words {
+		if s.words[i]&^t.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ProperSubsetOf reports whether s ⊂ t strictly.
+func (s *Set) ProperSubsetOf(t *Set) bool {
+	return s.SubsetOf(t) && !s.Equal(t)
+}
+
+// Intersects reports whether s ∩ t is non-empty.
+func (s *Set) Intersects(t *Set) bool {
+	s.sameUniverse(t)
+	for i := range s.words {
+		if s.words[i]&t.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// IntersectionCount returns |s ∩ t| without allocating.
+func (s *Set) IntersectionCount(t *Set) int {
+	s.sameUniverse(t)
+	c := 0
+	for i := range s.words {
+		c += bits.OnesCount64(s.words[i] & t.words[i])
+	}
+	return c
+}
+
+// DifferenceCount returns |s \ t| without allocating.
+func (s *Set) DifferenceCount(t *Set) int {
+	s.sameUniverse(t)
+	c := 0
+	for i := range s.words {
+		c += bits.OnesCount64(s.words[i] &^ t.words[i])
+	}
+	return c
+}
+
+// ForEach calls fn for each element in ascending order. If fn returns false,
+// iteration stops early.
+func (s *Set) ForEach(fn func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Indices returns the elements of s in ascending order.
+func (s *Set) Indices() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+// Min returns the smallest element, or -1 if the set is empty.
+func (s *Set) Min() int {
+	for wi, w := range s.words {
+		if w != 0 {
+			return wi*wordBits + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// Max returns the largest element, or -1 if the set is empty.
+func (s *Set) Max() int {
+	for wi := len(s.words) - 1; wi >= 0; wi-- {
+		if w := s.words[wi]; w != 0 {
+			return wi*wordBits + wordBits - 1 - bits.LeadingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// NextAfter returns the smallest element strictly greater than i, or -1.
+func (s *Set) NextAfter(i int) int {
+	i++
+	if i < 0 {
+		i = 0
+	}
+	if i >= s.n {
+		return -1
+	}
+	wi := i / wordBits
+	w := s.words[wi] >> (uint(i) % wordBits)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(s.words); wi++ {
+		if s.words[wi] != 0 {
+			return wi*wordBits + bits.TrailingZeros64(s.words[wi])
+		}
+	}
+	return -1
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler: 8 bytes of universe
+// size followed by the raw words, little-endian.
+func (s *Set) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 8+8*len(s.words))
+	putUint64(out, uint64(s.n))
+	for i, w := range s.words {
+		putUint64(out[8+8*i:], w)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (s *Set) UnmarshalBinary(data []byte) error {
+	if len(data) < 8 || (len(data)-8)%8 != 0 {
+		return fmt.Errorf("bitset: malformed binary data (%d bytes)", len(data))
+	}
+	n := int(getUint64(data))
+	words := (len(data) - 8) / 8
+	if n < 0 || words != (n+wordBits-1)/wordBits {
+		return fmt.Errorf("bitset: binary data has %d words for universe %d", words, n)
+	}
+	s.n = n
+	s.words = make([]uint64, words)
+	for i := range s.words {
+		s.words[i] = getUint64(data[8+8*i:])
+	}
+	s.trim()
+	return nil
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func getUint64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}
+
+// Key returns a string usable as a map key identifying the set's contents.
+// Two sets over the same universe have equal keys iff they are Equal.
+func (s *Set) Key() string {
+	var b strings.Builder
+	b.Grow(len(s.words) * 8)
+	for _, w := range s.words {
+		for i := 0; i < 8; i++ {
+			b.WriteByte(byte(w >> (8 * i)))
+		}
+	}
+	return b.String()
+}
+
+// String renders the set as "{1, 5, 9}".
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) bool {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,150 @@
+package carminer
+
+import (
+	"sort"
+
+	"bstc/internal/bitset"
+	"bstc/internal/dataset"
+)
+
+// MineLowerBounds finds up to nl lower bounds of a rule group: the minimal
+// antecedent gene subsets of the upper bound whose support set (over all
+// training rows) equals the upper bound's — i.e. the group's minimal
+// generators, which share the upper bound's support and confidence.
+//
+// As §6.2.3 describes, RCBT accomplishes this "via a pruned breadth-first
+// search on the subset space of the rule group's upper bound antecedent
+// genes"; the search is exponential in the antecedent size, which is exactly
+// what blows up on the Prostate Cancer profile (upper bounds with 400+
+// genes). The budget turns such blowups into explicit DNF results: on
+// expiry the bounds found so far are returned with ErrBudgetExceeded.
+func MineLowerBounds(d *dataset.Bool, g *RuleGroup, nl int, budget Budget) ([]*bitset.Set, error) {
+	if nl <= 0 {
+		return nil, nil
+	}
+	genes := g.UpperBound.Indices()
+	target := rowsContaining(d, g.UpperBound)
+
+	// cand is a BFS node: a gene subset (sorted) whose support set strictly
+	// exceeds the target (a non-generator to extend at the next level).
+	type cand struct {
+		genes []int
+		rows  *bitset.Set
+	}
+
+	steps := 0
+	expired := func() bool {
+		steps++
+		return steps%256 == 0 && budget.Expired()
+	}
+
+	var found []*bitset.Set
+	emit := func(gs []int) bool {
+		found = append(found, bitset.FromIndices(d.NumGenes(), gs...))
+		return len(found) >= nl
+	}
+	// Minimality prune: any candidate containing an already-found lower
+	// bound is a non-minimal generator and can be dropped.
+	hasFoundSubset := func(gs []int) bool {
+		for _, f := range found {
+			sup := true
+			f.ForEach(func(fg int) bool {
+				sup = containsSorted(gs, fg)
+				return sup
+			})
+			if sup {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Level 1: singletons.
+	var frontier []cand
+	for _, gi := range genes {
+		if expired() {
+			return found, ErrBudgetExceeded
+		}
+		rs := rowsWithGene(d, gi)
+		if rs.Equal(target) {
+			if emit([]int{gi}) {
+				return found, nil
+			}
+			continue
+		}
+		frontier = append(frontier, cand{genes: []int{gi}, rows: rs})
+	}
+
+	// Levels 2..|U|: apriori-style join of frontier pairs sharing an
+	// (l-1)-prefix. A joined candidate's support is the intersection of its
+	// parents'; it is a lower bound when that support hits the target.
+	for len(frontier) > 0 && len(found) < nl {
+		var next []cand
+		for i := 0; i < len(frontier); i++ {
+			for j := i + 1; j < len(frontier); j++ {
+				a, b := frontier[i], frontier[j]
+				if !samePrefix(a.genes, b.genes) {
+					break // frontier is sorted; later j cannot match either
+				}
+				if expired() {
+					return found, ErrBudgetExceeded
+				}
+				gs := make([]int, len(a.genes)+1)
+				copy(gs, a.genes)
+				gs[len(gs)-1] = b.genes[len(b.genes)-1]
+				if hasFoundSubset(gs) {
+					continue
+				}
+				rows := bitset.Intersect(a.rows, b.rows)
+				if rows.Equal(target) {
+					if emit(gs) {
+						return found, nil
+					}
+					continue
+				}
+				next = append(next, cand{genes: gs, rows: rows})
+			}
+		}
+		frontier = next
+	}
+	return found, nil
+}
+
+func rowsWithGene(d *dataset.Bool, g int) *bitset.Set {
+	rs := bitset.New(d.NumSamples())
+	for r, row := range d.Rows {
+		if row.Contains(g) {
+			rs.Add(r)
+		}
+	}
+	return rs
+}
+
+func containsSorted(a []int, x int) bool {
+	i := sort.SearchInts(a, x)
+	return i < len(a) && a[i] == x
+}
+
+// samePrefix reports whether two equal-length sorted gene lists agree on all
+// but the last element (the apriori join condition).
+func samePrefix(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a)-1; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func rowsContaining(d *dataset.Bool, genes *bitset.Set) *bitset.Set {
+	rs := bitset.New(d.NumSamples())
+	for r, row := range d.Rows {
+		if genes.SubsetOf(row) {
+			rs.Add(r)
+		}
+	}
+	return rs
+}

@@ -1,0 +1,333 @@
+// Package carminer implements the conjunctive-association-rule mining
+// substrate the BSTC paper benchmarks against: the Top-k covering rule
+// groups miner (Cong, Tan, Tung, Xu — SIGMOD'05) and the lower-bound miner
+// RCBT depends on.
+//
+// Top-k performs a pruned row enumeration over the training sample subset
+// space: every node of the search tree is a closed antecedent itemset (a
+// rule group upper bound) obtained by intersecting a subset of class rows.
+// The search is exponential in the number of class rows in the worst case —
+// the precise scalability wall the BSTC paper measures in Tables 4 and 6 —
+// so every entry point accepts a Budget that turns long runs into explicit
+// DNF results instead of unbounded stalls.
+package carminer
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"bstc/internal/bitset"
+	"bstc/internal/dataset"
+)
+
+// ErrBudgetExceeded reports that mining hit its deadline; partial results
+// accompany it so harnesses can still inspect what was found.
+var ErrBudgetExceeded = errors.New("carminer: time budget exceeded")
+
+// Budget bounds a mining run. The zero Budget is unlimited.
+type Budget struct {
+	// Deadline, when non-zero, aborts the search once passed.
+	Deadline time.Time
+}
+
+// Expired reports whether the budget deadline has passed.
+func (b Budget) Expired() bool {
+	return !b.Deadline.IsZero() && time.Now().After(b.Deadline)
+}
+
+// RuleGroup is an interesting rule group's upper bound: the maximal (closed)
+// antecedent itemset shared by every rule in the group, with its support and
+// confidence for the target class.
+type RuleGroup struct {
+	Class int
+	// UpperBound is the closed antecedent itemset (gene universe).
+	UpperBound *bitset.Set
+	// ClassRows are the class training rows containing the upper bound
+	// (sample universe).
+	ClassRows *bitset.Set
+	// Support is |ClassRows|.
+	Support int
+	// TotalRows counts all training rows (any class) containing the upper
+	// bound, so Confidence = Support / TotalRows.
+	TotalRows  int
+	Confidence float64
+	// LowerBounds holds the group's minimal generators once mined (nl of
+	// them at most); nil until MineLowerBounds runs.
+	LowerBounds []*bitset.Set
+}
+
+// TopKConfig mirrors the parameters of the Top-k executable used in the
+// paper's §6: minimum support as a fraction of the class rows (the paper's
+// 0.7) and the number of covering rule groups per row (the paper's k=10).
+type TopKConfig struct {
+	MinSupport float64
+	K          int
+	Budget     Budget
+}
+
+// TopKResult is the output of TopKCoveringRuleGroups: the deduplicated
+// union of mined rule groups plus, per class row, that row's covering top-k
+// list (best first) — the structure RCBT's main/standby classifier assembly
+// consumes.
+type TopKResult struct {
+	Class  int
+	Groups []*RuleGroup
+	// PerRow maps each class row index to its top-k covering groups,
+	// pointers into Groups.
+	PerRow map[int][]*RuleGroup
+}
+
+// TopKCoveringRuleGroups mines, for every class-ci training row, the k most
+// confident rule groups covering that row with support ≥ MinSupport·|C_i|.
+// When the budget expires it returns what was found so far together with
+// ErrBudgetExceeded.
+func TopKCoveringRuleGroups(d *dataset.Bool, ci int, cfg TopKConfig) (*TopKResult, error) {
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("carminer: k must be positive, got %d", cfg.K)
+	}
+	if cfg.MinSupport < 0 || cfg.MinSupport > 1 {
+		return nil, fmt.Errorf("carminer: minimum support %v outside [0,1]", cfg.MinSupport)
+	}
+	var classRows []int
+	for i, cl := range d.Classes {
+		if cl == ci {
+			classRows = append(classRows, i)
+		}
+	}
+	if len(classRows) == 0 {
+		return nil, fmt.Errorf("carminer: class %d has no rows", ci)
+	}
+	minSup := int(cfg.MinSupport*float64(len(classRows)) + 0.999999)
+	if minSup < 1 {
+		minSup = 1
+	}
+
+	m := &topkMiner{
+		d:         d,
+		ci:        ci,
+		classRows: classRows,
+		minSup:    minSup,
+		k:         cfg.K,
+		budget:    cfg.Budget,
+		states:    map[string]*nodeState{},
+		groups:    map[string]*RuleGroup{},
+		covers:    make(map[int][]*RuleGroup, len(classRows)),
+	}
+	err := m.run()
+	res := &TopKResult{Class: ci, PerRow: m.covers}
+	for _, g := range m.groups {
+		res.Groups = append(res.Groups, g)
+	}
+	sort.Slice(res.Groups, func(i, j int) bool {
+		a, b := res.Groups[i], res.Groups[j]
+		if a.Confidence != b.Confidence {
+			return a.Confidence > b.Confidence
+		}
+		if a.Support != b.Support {
+			return a.Support > b.Support
+		}
+		return a.UpperBound.Key() < b.UpperBound.Key()
+	})
+	return res, err
+}
+
+type topkMiner struct {
+	d         *dataset.Bool
+	ci        int
+	classRows []int
+	minSup    int
+	k         int
+	budget    Budget
+	nodes     int
+
+	// states dedupes enumeration nodes by their class-support-set key (a
+	// closed itemset is determined by its class support set) while keeping
+	// the search exhaustive: a closed node can be reached through several
+	// generating row sequences whose last indices differ, so each node
+	// remembers the smallest index it has been expanded from and re-expands
+	// only the uncovered gap when revisited from an earlier index.
+	states map[string]*nodeState
+	// groups holds the rule groups currently covering some row's top-k,
+	// keyed by class support set.
+	groups map[string]*RuleGroup
+	// covers[row] is the row's current best-k groups, best first.
+	covers map[int][]*RuleGroup
+}
+
+type nodeState struct {
+	// exploredFrom means children with index > exploredFrom are done.
+	exploredFrom int
+}
+
+func (m *topkMiner) run() error {
+	empty := bitset.New(m.d.NumGenes())
+	empty.Fill()
+	// Roots: one per class row, in index order (row enumeration).
+	for idx := range m.classRows {
+		if err := m.dfs(empty, idx); err != nil {
+			return err
+		}
+	}
+	m.retainCovering()
+	return nil
+}
+
+// dfs extends the current intersection with class row classRows[idx] and
+// recurses over later rows. itemset is the running intersection (the full
+// gene set at the synthetic root).
+func (m *topkMiner) dfs(itemset *bitset.Set, idx int) error {
+	m.nodes++
+	if m.nodes%64 == 0 && m.budget.Expired() {
+		m.retainCovering()
+		return ErrBudgetExceeded
+	}
+	next := bitset.Intersect(itemset, m.d.Rows[m.classRows[idx]])
+	if next.IsEmpty() {
+		return nil
+	}
+	// Closure: every class row containing the itemset, plus the total row
+	// count for confidence.
+	classSet := bitset.New(m.d.NumSamples())
+	total := 0
+	for i, row := range m.d.Rows {
+		if next.SubsetOf(row) {
+			total++
+			if m.d.Classes[i] == m.ci {
+				classSet.Add(i)
+			}
+		}
+	}
+	key := classSet.Key()
+	support := classSet.Count()
+	st, revisit := m.states[key]
+	if revisit {
+		if idx >= st.exploredFrom {
+			return nil // subtree already covered from an earlier index
+		}
+	} else {
+		st = &nodeState{exploredFrom: len(m.classRows)}
+		m.states[key] = st
+		if support >= m.minSup {
+			m.record(next, classSet, key, support, total)
+		}
+	}
+	// Support grows going down (descendants intersect more rows, shrinking
+	// the itemset and enlarging its closure), so the minsup prune is a
+	// capacity bound: even absorbing every remaining candidate row cannot
+	// lift a descendant's support above support + remaining.
+	if support < m.minSup {
+		remaining := 0
+		for j := idx + 1; j < len(m.classRows); j++ {
+			if !classSet.Contains(m.classRows[j]) {
+				remaining++
+			}
+		}
+		if support+remaining < m.minSup {
+			return nil
+		}
+	}
+	if m.prunable(total - support) {
+		// No descendant can improve any row's top-k. Leave exploredFrom
+		// untouched: covers only improve over time, so this prune stays
+		// valid for revisits.
+		return nil
+	}
+	// Expand only the gap (idx, previous exploredFrom]; children beyond it
+	// were reached from an earlier visit.
+	hi := st.exploredFrom
+	st.exploredFrom = idx
+	for j := idx + 1; j <= hi && j < len(m.classRows); j++ {
+		if classSet.Contains(m.classRows[j]) {
+			continue // already in the closure; extension is a no-op
+		}
+		if err := m.dfs(next, j); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// record builds the group and offers it to the top-k list of every covered
+// row.
+func (m *topkMiner) record(itemset, classSet *bitset.Set, key string, support, total int) {
+	g := &RuleGroup{
+		Class:      m.ci,
+		UpperBound: itemset.Clone(),
+		ClassRows:  classSet,
+		Support:    support,
+		TotalRows:  total,
+		Confidence: float64(support) / float64(total),
+	}
+	m.groups[key] = g
+	classSet.ForEach(func(r int) bool {
+		m.offer(r, g)
+		return true
+	})
+}
+
+// offer inserts g into row r's top-k (confidence desc, support desc).
+func (m *topkMiner) offer(r int, g *RuleGroup) {
+	lst := m.covers[r]
+	pos := len(lst)
+	for i, h := range lst {
+		if g.Confidence > h.Confidence ||
+			(g.Confidence == h.Confidence && g.Support > h.Support) {
+			pos = i
+			break
+		}
+	}
+	if pos >= m.k {
+		return
+	}
+	lst = append(lst, nil)
+	copy(lst[pos+1:], lst[pos:])
+	lst[pos] = g
+	if len(lst) > m.k {
+		lst = lst[:m.k]
+	}
+	m.covers[r] = lst
+}
+
+// prunable implements the covering-top-k confidence prune. A descendant's
+// itemset shrinks, so outside rows containing it only grow beyond the
+// current `outside` count while its class support is at most |C_i|; its
+// confidence is therefore bounded by |C_i| / (|C_i| + outside). If every
+// class row's current k-th best rule already beats that bound (or matches
+// it at the maximal possible support), no descendant can enter any top-k
+// list and the subtree is useless.
+func (m *topkMiner) prunable(outside int) bool {
+	nc := len(m.classRows)
+	bound := float64(nc) / float64(nc+outside)
+	for _, r := range m.classRows {
+		lst := m.covers[r]
+		if len(lst) < m.k {
+			return false
+		}
+		worst := lst[len(lst)-1]
+		if worst.Confidence < bound {
+			return false
+		}
+		if worst.Confidence == bound && worst.Support < nc {
+			return false
+		}
+	}
+	return true
+}
+
+// retainCovering keeps only the groups present in some row's final top-k
+// (the covering property of Top-k output).
+func (m *topkMiner) retainCovering() {
+	keep := map[*RuleGroup]bool{}
+	for _, lst := range m.covers {
+		for _, g := range lst {
+			keep[g] = true
+		}
+	}
+	for key, g := range m.groups {
+		if !keep[g] {
+			delete(m.groups, key)
+		}
+	}
+}

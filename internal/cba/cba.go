@@ -1,0 +1,243 @@
+// Package cba implements CBA (Classification Based on Associations, Liu,
+// Hsu & Ma, KDD'98): apriori mining of class association rules followed by
+// the database-coverage classifier builder (the CBA-CB M1 strategy). CBA is
+// part of the classifier family the BSTC paper's preliminary experiments
+// compare against (§6.1).
+package cba
+
+import (
+	"fmt"
+	"sort"
+
+	"bstc/internal/bitset"
+	"bstc/internal/dataset"
+)
+
+// Config tunes mining and building. Zero values take CBA's customary
+// defaults: minimum support 1% (of all rows), minimum confidence 50%, and a
+// maximum antecedent length of 3 to keep apriori tractable on wide
+// microarray item vocabularies.
+type Config struct {
+	MinSupport    float64
+	MinConfidence float64
+	MaxLen        int
+	// MaxCandidates caps each apriori level's candidate count as a safety
+	// valve on wide data (0 = 100000).
+	MaxCandidates int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinSupport == 0 {
+		c.MinSupport = 0.01
+	}
+	if c.MinConfidence == 0 {
+		c.MinConfidence = 0.5
+	}
+	if c.MaxLen == 0 {
+		c.MaxLen = 3
+	}
+	if c.MaxCandidates == 0 {
+		c.MaxCandidates = 100000
+	}
+	return c
+}
+
+// Rule is a mined class association rule.
+type Rule struct {
+	Genes      *bitset.Set
+	Class      int
+	Support    int // samples containing antecedent AND labeled Class
+	Confidence float64
+}
+
+// Classifier is the database-coverage rule list plus a default class.
+type Classifier struct {
+	Rules        []Rule
+	DefaultClass int
+}
+
+// Train mines CARs with apriori and builds the coverage classifier.
+func Train(d *dataset.Bool, cfg Config) (*Classifier, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	rules := mineCARs(d, cfg)
+	return build(d, rules), nil
+}
+
+// itemset is a sorted gene list with its covering rows.
+type itemset struct {
+	genes []int
+	rows  *bitset.Set
+}
+
+func mineCARs(d *dataset.Bool, cfg Config) []Rule {
+	n := d.NumSamples()
+	minCount := int(cfg.MinSupport*float64(n) + 0.999999)
+	if minCount < 1 {
+		minCount = 1
+	}
+	classRows := make([]*bitset.Set, d.NumClasses())
+	for c := range classRows {
+		classRows[c] = d.ClassMembers(c)
+	}
+
+	var rules []Rule
+	emit := func(it itemset) {
+		total := it.rows.Count()
+		for c := range classRows {
+			supp := it.rows.IntersectionCount(classRows[c])
+			if supp < minCount {
+				continue
+			}
+			conf := float64(supp) / float64(total)
+			if conf < cfg.MinConfidence {
+				continue
+			}
+			rules = append(rules, Rule{
+				Genes:      bitset.FromIndices(d.NumGenes(), it.genes...),
+				Class:      c,
+				Support:    supp,
+				Confidence: conf,
+			})
+		}
+	}
+
+	// Level 1: frequent single items (frequent = rule support reachable,
+	// i.e. covering at least minCount rows overall).
+	idx := d.BuildIndex()
+	var frontier []itemset
+	for g := 0; g < d.NumGenes(); g++ {
+		rows := idx.GeneRows[g]
+		if rows.Count() >= minCount {
+			it := itemset{genes: []int{g}, rows: rows}
+			emit(it)
+			frontier = append(frontier, it)
+		}
+	}
+
+	for level := 2; level <= cfg.MaxLen && len(frontier) > 0; level++ {
+		var next []itemset
+		for i := 0; i < len(frontier) && len(next) < cfg.MaxCandidates; i++ {
+			for j := i + 1; j < len(frontier); j++ {
+				a, b := frontier[i], frontier[j]
+				if !samePrefix(a.genes, b.genes) {
+					break
+				}
+				rows := bitset.Intersect(a.rows, b.rows)
+				if rows.Count() < minCount {
+					continue
+				}
+				gs := make([]int, len(a.genes)+1)
+				copy(gs, a.genes)
+				gs[len(gs)-1] = b.genes[len(b.genes)-1]
+				it := itemset{genes: gs, rows: rows}
+				emit(it)
+				next = append(next, it)
+				if len(next) >= cfg.MaxCandidates {
+					break
+				}
+			}
+		}
+		frontier = next
+	}
+	return rules
+}
+
+func samePrefix(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a)-1; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// build runs the CBA-CB M1 database-coverage pass: rules are ranked by
+// confidence, support, then antecedent brevity; a rule joins the classifier
+// if it correctly classifies at least one still-uncovered sample; covered
+// samples drop out; the default class is the majority of the remainder.
+func build(d *dataset.Bool, rules []Rule) *Classifier {
+	sort.SliceStable(rules, func(i, j int) bool {
+		if rules[i].Confidence != rules[j].Confidence {
+			return rules[i].Confidence > rules[j].Confidence
+		}
+		if rules[i].Support != rules[j].Support {
+			return rules[i].Support > rules[j].Support
+		}
+		return rules[i].Genes.Count() < rules[j].Genes.Count()
+	})
+	uncovered := bitset.New(d.NumSamples())
+	uncovered.Fill()
+	cl := &Classifier{}
+	for _, r := range rules {
+		if uncovered.IsEmpty() {
+			break
+		}
+		kept := false
+		var covered []int
+		uncovered.ForEach(func(i int) bool {
+			if r.Genes.SubsetOf(d.Rows[i]) {
+				covered = append(covered, i)
+				if d.Classes[i] == r.Class {
+					kept = true
+				}
+			}
+			return true
+		})
+		if !kept {
+			continue
+		}
+		cl.Rules = append(cl.Rules, r)
+		for _, i := range covered {
+			uncovered.Remove(i)
+		}
+	}
+	// Default class: majority among uncovered (or whole data when all are
+	// covered).
+	counts := make([]int, d.NumClasses())
+	if uncovered.IsEmpty() {
+		for _, c := range d.Classes {
+			counts[c]++
+		}
+	} else {
+		uncovered.ForEach(func(i int) bool {
+			counts[d.Classes[i]]++
+			return true
+		})
+	}
+	for c, v := range counts {
+		if v > counts[cl.DefaultClass] {
+			cl.DefaultClass = c
+		}
+	}
+	return cl
+}
+
+// Classify returns the class of the first matching rule, or the default.
+func (cl *Classifier) Classify(q *bitset.Set) int {
+	for _, r := range cl.Rules {
+		if r.Genes.SubsetOf(q) {
+			return r.Class
+		}
+	}
+	return cl.DefaultClass
+}
+
+// ClassifyBatch classifies every row of a test dataset.
+func (cl *Classifier) ClassifyBatch(test *dataset.Bool) []int {
+	out := make([]int, test.NumSamples())
+	for i, row := range test.Rows {
+		out[i] = cl.Classify(row)
+	}
+	return out
+}
+
+// String summarizes the classifier.
+func (cl *Classifier) String() string {
+	return fmt.Sprintf("CBA classifier: %d rules, default class %d", len(cl.Rules), cl.DefaultClass)
+}

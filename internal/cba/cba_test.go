@@ -1,0 +1,151 @@
+package cba
+
+import (
+	"testing"
+
+	"bstc/internal/bitset"
+	"bstc/internal/dataset"
+)
+
+func markerData(t *testing.T) *dataset.Bool {
+	t.Helper()
+	d, err := dataset.FromItems(
+		map[string][]string{
+			"s1": {"a", "n1"}, "s2": {"a", "n2"}, "s3": {"a", "n1", "n2"},
+			"s4": {"b", "n1"}, "s5": {"b", "n2"}, "s6": {"b", "n1", "n2"},
+		},
+		map[string]string{"s1": "A", "s2": "A", "s3": "A", "s4": "B", "s5": "B", "s6": "B"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func gi(d *dataset.Bool) map[string]int {
+	m := map[string]int{}
+	for j, g := range d.GeneNames {
+		m[g] = j
+	}
+	return m
+}
+
+func TestTrainAndClassify(t *testing.T) {
+	d := markerData(t)
+	cl, err := Train(d, Config{MinSupport: 0.2, MinConfidence: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.Rules) == 0 {
+		t.Fatal("no rules selected")
+	}
+	g := gi(d)
+	q := bitset.New(d.NumGenes())
+	q.Add(g["a"])
+	if got := cl.Classify(q); d.ClassNames[got] != "A" {
+		t.Errorf("marker-a query classified %s", d.ClassNames[got])
+	}
+	q2 := bitset.New(d.NumGenes())
+	q2.Add(g["b"])
+	q2.Add(g["n1"])
+	if got := cl.Classify(q2); d.ClassNames[got] != "B" {
+		t.Errorf("marker-b query classified %s", d.ClassNames[got])
+	}
+}
+
+func TestTrainingCoverage(t *testing.T) {
+	d := markerData(t)
+	cl, err := Train(d, Config{MinSupport: 0.2, MinConfidence: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := cl.ClassifyBatch(d)
+	correct := 0
+	for i, p := range preds {
+		if p == d.Classes[i] {
+			correct++
+		}
+	}
+	if correct != d.NumSamples() {
+		t.Errorf("training accuracy %d/%d on separable data", correct, d.NumSamples())
+	}
+}
+
+func TestDefaultClassFallback(t *testing.T) {
+	d := markerData(t)
+	cl, err := Train(d, Config{MinSupport: 0.2, MinConfidence: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := bitset.New(d.NumGenes()) // matches nothing
+	got := cl.Classify(q)
+	if got != cl.DefaultClass {
+		t.Errorf("unmatched query should get default class, got %d", got)
+	}
+}
+
+func TestRuleRanking(t *testing.T) {
+	d := markerData(t)
+	cl, err := Train(d, Config{MinSupport: 0.1, MinConfidence: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(cl.Rules); i++ {
+		a, b := cl.Rules[i-1], cl.Rules[i]
+		if b.Confidence > a.Confidence {
+			t.Error("selected rules not ranked by confidence")
+		}
+	}
+}
+
+func TestMinConfidenceFilters(t *testing.T) {
+	// n1 appears in both classes → any rule n1 ⇒ class has confidence 0.5;
+	// with MinConfidence 0.9 those rules must be absent.
+	d := markerData(t)
+	cl, err := Train(d, Config{MinSupport: 0.1, MinConfidence: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gi(d)
+	n1Only := bitset.FromIndices(d.NumGenes(), g["n1"])
+	for _, r := range cl.Rules {
+		if r.Genes.Equal(n1Only) {
+			t.Errorf("low-confidence rule %v selected", r)
+		}
+		if r.Confidence < 0.9 {
+			t.Errorf("rule with confidence %v below threshold", r.Confidence)
+		}
+	}
+}
+
+func TestMaxLenCapsAntecedents(t *testing.T) {
+	d := markerData(t)
+	cl, err := Train(d, Config{MinSupport: 0.1, MinConfidence: 0.5, MaxLen: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range cl.Rules {
+		if r.Genes.Count() > 1 {
+			t.Errorf("rule %v exceeds MaxLen 1", r.Genes.Indices())
+		}
+	}
+}
+
+func TestStringer(t *testing.T) {
+	d := markerData(t)
+	cl, err := Train(d, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.String() == "" {
+		t.Error("String() empty")
+	}
+}
+
+func TestTrainValidates(t *testing.T) {
+	d := markerData(t)
+	d.Classes[0] = 99
+	if _, err := Train(d, Config{}); err == nil {
+		t.Error("invalid dataset should error")
+	}
+}

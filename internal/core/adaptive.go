@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"bstc/internal/bitset"
+	"bstc/internal/dataset"
+)
+
+// Adaptive implements §8's "Generalizing BSTC" proposal: evaluate every
+// query under several BST satisfaction-level arithmetization procedures and
+// keep, per query, the answer of the procedure that appears most sure of
+// itself — measured by the normalized difference between its highest and
+// second-highest BST satisfaction levels, exactly the confidence heuristic
+// the paper suggests.
+//
+// The underlying tables are shared: training cost is one BSTC build
+// regardless of how many procedures are evaluated.
+type Adaptive struct {
+	Base       *Classifier
+	Procedures []EvalOptions
+}
+
+// TrainAdaptive builds the shared tables and registers the candidate
+// procedures. With no procedures given it uses the paper's min
+// arithmetization plus the product alternative.
+func TrainAdaptive(d *dataset.Bool, procedures ...EvalOptions) (*Adaptive, error) {
+	base, err := Train(d, nil)
+	if err != nil {
+		return nil, err
+	}
+	if len(procedures) == 0 {
+		procedures = []EvalOptions{
+			{Arithmetization: MinCombine},
+			{Arithmetization: ProductCombine},
+		}
+	}
+	return &Adaptive{Base: base, Procedures: procedures}, nil
+}
+
+// Decision is one procedure's verdict on a query.
+type Decision struct {
+	Procedure  EvalOptions
+	Class      int
+	Values     []float64
+	Confidence float64
+}
+
+// Decide evaluates every procedure and returns their decisions plus the
+// index of the selected (most confident) one. Ties keep the earlier
+// procedure, so listing the paper's min arithmetization first preserves its
+// primacy.
+func (a *Adaptive) Decide(q *bitset.Set) (decisions []Decision, selected int) {
+	bestConf := math.Inf(-1)
+	for pi, opts := range a.Procedures {
+		vals := make([]float64, len(a.Base.Tables))
+		for ci, t := range a.Base.Tables {
+			vals[ci] = t.Evaluate(q, opts).Value
+		}
+		class, conf := argmaxWithConfidence(vals)
+		decisions = append(decisions, Decision{
+			Procedure:  opts,
+			Class:      class,
+			Values:     vals,
+			Confidence: conf,
+		})
+		if conf > bestConf {
+			bestConf = conf
+			selected = pi
+		}
+	}
+	return decisions, selected
+}
+
+// Classify returns the selected procedure's class for q.
+func (a *Adaptive) Classify(q *bitset.Set) int {
+	decisions, selected := a.Decide(q)
+	return decisions[selected].Class
+}
+
+// ClassifyBatch classifies every row of a test dataset.
+func (a *Adaptive) ClassifyBatch(test *dataset.Bool) []int {
+	out := make([]int, test.NumSamples())
+	for i, row := range test.Rows {
+		out[i] = a.Classify(row)
+	}
+	return out
+}
+
+// String describes the ensemble.
+func (a *Adaptive) String() string {
+	return fmt.Sprintf("adaptive BSTC over %d procedures", len(a.Procedures))
+}
+
+// argmaxWithConfidence returns the smallest maximizing index and the
+// normalized difference (first-second)/first, 0 when the best value is not
+// positive.
+func argmaxWithConfidence(vals []float64) (int, float64) {
+	best, first, second := 0, math.Inf(-1), math.Inf(-1)
+	for i, v := range vals {
+		if v > first {
+			best, first, second = i, v, first
+		} else if v > second {
+			second = v
+		}
+	}
+	if first <= 0 || len(vals) < 2 {
+		if len(vals) < 2 && first > 0 {
+			return best, 1
+		}
+		return best, 0
+	}
+	return best, (first - second) / first
+}

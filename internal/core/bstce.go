@@ -1,0 +1,201 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"bstc/internal/bitset"
+)
+
+// Arithmetization selects how BSTCE combines the satisfaction fractions of a
+// cell's exclusion lists into one cell value. The paper's Algorithm 5 uses
+// the minimum (line 10, "we don't assume independence and use a min");
+// §8 proposes experimenting with alternatives, of which the natural one is
+// the independence-assuming product discussed in §5.2.
+type Arithmetization int
+
+// Supported arithmetizations.
+const (
+	// MinCombine is the paper's choice: the cell value is the weakest
+	// exclusion list's satisfaction fraction.
+	MinCombine Arithmetization = iota
+	// ProductCombine multiplies the fractions, assuming the lists exclude
+	// independently.
+	ProductCombine
+)
+
+func (a Arithmetization) String() string {
+	switch a {
+	case MinCombine:
+		return "min"
+	case ProductCombine:
+		return "product"
+	}
+	return "unknown"
+}
+
+// EvalOptions tunes BSTCE evaluation.
+type EvalOptions struct {
+	// Arithmetization combines a cell's list fractions (default MinCombine).
+	Arithmetization Arithmetization
+	// CullListsTo, when > 0, considers only that many exclusion lists per
+	// cell — the ones with the shortest (most discriminating) clauses — as
+	// §8's proposed per-query cost reduction. 0 means no culling.
+	CullListsTo int
+}
+
+// Evaluation is the result of running BSTCE against one BST.
+type Evaluation struct {
+	// Value is Algorithm 5's final return: the mean over non-blank columns
+	// of the per-column mean cell value; 0 when every column is blank.
+	Value float64
+	// ColumnValues[c] is the per-column mean (Algorithm 5 line 14), or NaN
+	// for blank columns.
+	ColumnValues []float64
+}
+
+// Evaluate runs BSTCE (Algorithm 5): it quantizes how well query q satisfies
+// the table's atomic cell rules and returns the expectation described in
+// §5.2. q is the query's expressed-gene set over the same gene universe.
+func (t *BST) Evaluate(q *bitset.Set, opts EvalOptions) Evaluation {
+	if q.Len() != t.numGenes {
+		panic("core: query gene universe does not match BST")
+	}
+	// pairV[c][h] is V_e for the shared (c, h) exclusion list, computed
+	// lazily: a cell only forces the pairs of its own outside expressers.
+	pairV := make([][]float64, len(t.ClassSamples))
+
+	colVals := make([]float64, len(t.ClassSamples))
+	for c := range colVals {
+		colVals[c] = math.NaN()
+	}
+
+	var colSum float64
+	nonBlank := 0
+	qAndCol := bitset.New(t.numGenes)
+	for c := range t.ClassSamples {
+		// Genes considered in this column: expressed by both q and the
+		// column sample (Algorithm 5 line 6; Figure 3 keeps only Q's genes).
+		qAndCol.Clear()
+		qAndCol.Or(q).And(t.colGenes[c])
+		if qAndCol.IsEmpty() {
+			continue
+		}
+		var sum float64
+		n := 0
+		qAndCol.ForEach(func(g int) bool {
+			sum += t.cellValue(q, pairV, g, c, opts)
+			n++
+			return true
+		})
+		v := sum / float64(n)
+		colVals[c] = v
+		colSum += v
+		nonBlank++
+	}
+	ev := Evaluation{ColumnValues: colVals}
+	if nonBlank > 0 {
+		ev.Value = colSum / float64(nonBlank)
+	}
+	return ev
+}
+
+// cellValue computes Algorithm 5 lines 7-11 for cell (g, c): 1 for black
+// dots, otherwise the combination of the cell's exclusion-list satisfaction
+// fractions.
+func (t *BST) cellValue(q *bitset.Set, pairV [][]float64, g, c int, opts EvalOptions) float64 {
+	if t.exclusive[g] {
+		return 1
+	}
+	if pairV[c] == nil {
+		pv := make([]float64, len(t.OutsideSamples))
+		for h := range pv {
+			pv[h] = math.NaN()
+		}
+		pairV[c] = pv
+	}
+	pv := pairV[c]
+
+	outs := t.geneOutside[g]
+	if k := opts.CullListsTo; k > 0 && outs.Count() > k {
+		// §8's list culling: consider only the cell's k shortest (most
+		// discriminating) exclusion lists. The per-column shortest-first
+		// order is precomputed at construction time, so culling genuinely
+		// reduces per-query work instead of adding sorting overhead.
+		v := 1.0
+		taken := 0
+		for _, h := range t.cullOrder(c) {
+			if !outs.Contains(h) {
+				continue
+			}
+			f := t.pairValue(q, pv, c, h)
+			if opts.Arithmetization == ProductCombine {
+				v *= f
+			} else if f < v {
+				v = f
+			}
+			taken++
+			if taken >= k || v == 0 {
+				break
+			}
+		}
+		return v
+	}
+
+	switch opts.Arithmetization {
+	case ProductCombine:
+		v := 1.0
+		outs.ForEach(func(h int) bool {
+			v *= t.pairValue(q, pv, c, h)
+			return v > 0
+		})
+		return v
+	default: // MinCombine
+		v := 1.0
+		outs.ForEach(func(h int) bool {
+			if f := t.pairValue(q, pv, c, h); f < v {
+				v = f
+			}
+			return v > 0
+		})
+		return v
+	}
+}
+
+func (t *BST) pairValue(q *bitset.Set, pv []float64, c, h int) float64 {
+	if math.IsNaN(pv[h]) {
+		pv[h] = t.pairList[c][h].SatisfactionFraction(q)
+	}
+	return pv[h]
+}
+
+// cullOrder returns column c's outside positions ordered by ascending
+// exclusion-list length. The orders are precomputed by NewBST so that
+// evaluation stays safe for concurrent queries.
+func (t *BST) cullOrder(c int) []int { return t.cullOrders[c] }
+
+// buildCullOrders sorts each column's outside positions by list length.
+func (t *BST) buildCullOrders() {
+	t.cullOrders = make([][]int, len(t.ClassSamples))
+	for c := range t.ClassSamples {
+		order := make([]int, len(t.OutsideSamples))
+		for h := range order {
+			order[h] = h
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return t.pairList[c][order[a]].Genes.Count() < t.pairList[c][order[b]].Genes.Count()
+		})
+		t.cullOrders[c] = order
+	}
+}
+
+// CellSatisfaction returns the BSTCE value of one cell for query q: 1 for a
+// black dot, NaN for a blank cell, otherwise the combined satisfaction of
+// the cell's exclusion lists. Used for §5.3.2 explanations.
+func (t *BST) CellSatisfaction(q *bitset.Set, g, c int, opts EvalOptions) float64 {
+	if !t.colGenes[c].Contains(g) {
+		return math.NaN()
+	}
+	pairV := make([][]float64, len(t.ClassSamples))
+	return t.cellValue(q, pairV, g, c, opts)
+}

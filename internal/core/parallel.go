@@ -1,0 +1,43 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"bstc/internal/dataset"
+)
+
+// ClassifyBatchParallel classifies every row of a test dataset using up to
+// workers goroutines (≤ 0 means GOMAXPROCS). Evaluation is read-only on the
+// trained tables — each query allocates its own scratch state — so queries
+// parallelize without locking. Results are returned in input order.
+func (cl *Classifier) ClassifyBatchParallel(test *dataset.Bool, workers int) []int {
+	n := test.NumSamples()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]int, n)
+	if workers <= 1 {
+		return cl.ClassifyBatch(test)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = cl.Classify(test.Rows[i])
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"bstc/internal/bitset"
+	"bstc/internal/rules"
+)
+
+// Model persistence: a trained Classifier serializes to a self-contained
+// gob stream so the CLI (and any downstream service) can train once and
+// classify many times without re-reading the training data.
+
+// persistFormatVersion guards against reading streams written by an
+// incompatible layout.
+const persistFormatVersion = 1
+
+type classifierDTO struct {
+	Version    int
+	ClassNames []string
+	GeneNames  []string
+	Opts       EvalOptions
+	Tables     []bstDTO
+}
+
+type bstDTO struct {
+	Class          int
+	ClassSamples   []int
+	OutsideSamples []int
+	NumGenes       int
+	ColGenes       []*bitset.Set
+	Exclusive      []bool
+	GeneOutside    []*bitset.Set
+	// Pair lists flattened row-major: PairGenes[c*len(OutsideSamples)+h].
+	PairGenes []*bitset.Set
+	PairNeg   []bool
+}
+
+// Save writes the classifier to w.
+func (cl *Classifier) Save(w io.Writer) error {
+	dto := classifierDTO{
+		Version:    persistFormatVersion,
+		ClassNames: cl.ClassNames,
+		GeneNames:  cl.GeneNames,
+		Opts:       cl.Opts,
+	}
+	for _, t := range cl.Tables {
+		b := bstDTO{
+			Class:          t.Class,
+			ClassSamples:   t.ClassSamples,
+			OutsideSamples: t.OutsideSamples,
+			NumGenes:       t.numGenes,
+			ColGenes:       t.colGenes,
+			Exclusive:      t.exclusive,
+			GeneOutside:    t.geneOutside,
+		}
+		for _, row := range t.pairList {
+			for _, cl := range row {
+				b.PairGenes = append(b.PairGenes, cl.Genes)
+				b.PairNeg = append(b.PairNeg, cl.Neg)
+			}
+		}
+		dto.Tables = append(dto.Tables, b)
+	}
+	return gob.NewEncoder(w).Encode(dto)
+}
+
+// LoadClassifier reads a classifier previously written by Save.
+func LoadClassifier(r io.Reader) (*Classifier, error) {
+	var dto classifierDTO
+	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("core: load classifier: %w", err)
+	}
+	if dto.Version != persistFormatVersion {
+		return nil, fmt.Errorf("core: model format version %d, want %d", dto.Version, persistFormatVersion)
+	}
+	cl := &Classifier{
+		ClassNames: dto.ClassNames,
+		GeneNames:  dto.GeneNames,
+		Opts:       dto.Opts,
+	}
+	for _, b := range dto.Tables {
+		nh := len(b.OutsideSamples)
+		if len(b.PairGenes) != len(b.ClassSamples)*nh || len(b.PairNeg) != len(b.PairGenes) {
+			return nil, fmt.Errorf("core: model table %d has inconsistent pair lists", b.Class)
+		}
+		t := &BST{
+			Class:          b.Class,
+			ClassSamples:   b.ClassSamples,
+			OutsideSamples: b.OutsideSamples,
+			numGenes:       b.NumGenes,
+			colGenes:       b.ColGenes,
+			exclusive:      b.Exclusive,
+			geneOutside:    b.GeneOutside,
+		}
+		t.pairList = make([][]rules.Clause, len(b.ClassSamples))
+		for c := range t.pairList {
+			t.pairList[c] = make([]rules.Clause, nh)
+			for h := 0; h < nh; h++ {
+				idx := c*nh + h
+				t.pairList[c][h] = rules.Clause{Genes: b.PairGenes[idx], Neg: b.PairNeg[idx]}
+			}
+		}
+		t.buildCullOrders()
+		cl.Tables = append(cl.Tables, t)
+	}
+	return cl, nil
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"bstc/internal/bitset"
+	"bstc/internal/dataset"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 10; trial++ {
+		d := randomBoolDataset(r, 12, 14, 2+trial%2)
+		orig, err := Train(d, &EvalOptions{Arithmetization: ProductCombine, CullListsTo: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := orig.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := LoadClassifier(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(loaded.ClassNames, orig.ClassNames) ||
+			!reflect.DeepEqual(loaded.GeneNames, orig.GeneNames) ||
+			loaded.Opts != orig.Opts {
+			t.Fatal("metadata lost in round trip")
+		}
+		// Behavioural equivalence: identical values and classifications for
+		// random queries.
+		for qn := 0; qn < 10; qn++ {
+			q := randomRow(r, d.NumGenes())
+			if !reflect.DeepEqual(orig.Values(q), loaded.Values(q)) {
+				t.Fatalf("trial %d: values differ after round trip", trial)
+			}
+			if orig.Classify(q) != loaded.Classify(q) {
+				t.Fatalf("trial %d: classification differs after round trip", trial)
+			}
+		}
+		// Explanations survive too (cell derivation relies on every field).
+		q := randomRow(r, d.NumGenes())
+		eo := orig.Explain(q, 0, 0)
+		el := loaded.Explain(q, 0, 0)
+		if len(eo) != len(el) {
+			t.Fatalf("trial %d: explanation counts differ: %d vs %d", trial, len(eo), len(el))
+		}
+	}
+}
+
+func TestLoadClassifierErrors(t *testing.T) {
+	if _, err := LoadClassifier(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream should error")
+	}
+	if _, err := LoadClassifier(bytes.NewReader([]byte("not a gob stream"))); err == nil {
+		t.Error("garbage stream should error")
+	}
+}
+
+func TestPaperExampleSurvivesPersistence(t *testing.T) {
+	d := dataset.PaperTable1()
+	cl, err := Train(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := cl.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadClassifier(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := bitset.FromIndices(6, 0, 3, 4) // the §5.4 query
+	vals := loaded.Values(q)
+	if vals[0] != 0.75 || vals[1] != 0.375 {
+		t.Errorf("worked example values after load = %v", vals)
+	}
+}

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"bstc/internal/rules"
+)
+
+// RowBAR implements Algorithm 2 (BSTRowBAR): the 100%-confident gene-row BAR
+// for gene g, logically equivalent to the disjunction of the g-row's cell
+// rules. Its antecedent has the special form of §3.2.1: the CAR literal g
+// conjoined with a disjunction of exclusion-list clause conjunctions.
+//
+// For a gene expressed by no class sample the row is entirely blank and the
+// returned rule's antecedent is the constant false.
+func (t *BST) RowBAR(g int) rules.BAR {
+	var disjuncts []rules.Expr
+	for c := range t.ClassSamples {
+		kind, cls := t.Cell(g, c)
+		switch kind {
+		case CellBlank:
+			continue
+		case CellDot:
+			disjuncts = append(disjuncts, rules.Const(true))
+		case CellLists:
+			conj := make([]rules.Expr, 0, len(cls))
+			for _, cc := range cls {
+				conj = append(conj, cc.Clause.Expr())
+			}
+			disjuncts = append(disjuncts, rules.NewAnd(conj...))
+		}
+	}
+	if len(disjuncts) == 0 {
+		return rules.BAR{Antecedent: rules.Const(false), Class: t.Class}
+	}
+	return rules.BAR{
+		Antecedent: rules.NewAnd(rules.Lit{Gene: g}, rules.NewOr(disjuncts...)),
+		Class:      t.Class,
+	}
+}

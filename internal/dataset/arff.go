@@ -1,0 +1,176 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ARFF support: the Weka attribute-relation file format, the lingua franca
+// of the classifier families the BSTC paper compares against. Only the
+// subset used by expression matrices is implemented: numeric attributes
+// plus one nominal class attribute (the last one), dense data rows.
+
+// WriteARFF serializes a continuous dataset as an ARFF relation with one
+// numeric attribute per gene and a final nominal class attribute.
+func WriteARFF(w io.Writer, name string, c *Continuous) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "@relation %s\n\n", arffQuote(name))
+	for _, g := range c.GeneNames {
+		fmt.Fprintf(bw, "@attribute %s numeric\n", arffQuote(g))
+	}
+	quoted := make([]string, len(c.ClassNames))
+	for i, cn := range c.ClassNames {
+		quoted[i] = arffQuote(cn)
+	}
+	fmt.Fprintf(bw, "@attribute class {%s}\n\n@data\n", strings.Join(quoted, ","))
+	for i, row := range c.Values {
+		for _, v := range row {
+			fmt.Fprintf(bw, "%s,", strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		fmt.Fprintln(bw, arffQuote(c.ClassNames[c.Classes[i]]))
+	}
+	return bw.Flush()
+}
+
+// ReadARFF parses an ARFF relation with numeric attributes and one nominal
+// attribute (the class, in any position); rows become Continuous samples.
+func ReadARFF(r io.Reader) (*Continuous, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+
+	c := &Continuous{}
+	classAttr := -1
+	classValues := map[string]int{}
+	numAttrs := 0
+	inData := false
+	line := 0
+	for sc.Scan() {
+		line++
+		txt := strings.TrimSpace(sc.Text())
+		if txt == "" || strings.HasPrefix(txt, "%") {
+			continue
+		}
+		if !inData {
+			lower := strings.ToLower(txt)
+			switch {
+			case strings.HasPrefix(lower, "@relation"):
+				// Name ignored.
+			case strings.HasPrefix(lower, "@attribute"):
+				name, kind, err := parseARFFAttribute(txt)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: arff line %d: %w", line, err)
+				}
+				if kind == "numeric" {
+					c.GeneNames = append(c.GeneNames, name)
+				} else {
+					if classAttr >= 0 {
+						return nil, fmt.Errorf("dataset: arff line %d: second nominal attribute %q (only one class attribute supported)", line, name)
+					}
+					classAttr = numAttrs
+					for _, v := range strings.Split(kind, ",") {
+						v = strings.TrimSpace(v)
+						if v == "" {
+							continue
+						}
+						classValues[arffUnquote(v)] = len(c.ClassNames)
+						c.ClassNames = append(c.ClassNames, arffUnquote(v))
+					}
+				}
+				numAttrs++
+			case lower == "@data":
+				if classAttr < 0 {
+					return nil, fmt.Errorf("dataset: arff has no nominal class attribute")
+				}
+				inData = true
+			default:
+				return nil, fmt.Errorf("dataset: arff line %d: unsupported directive %q", line, txt)
+			}
+			continue
+		}
+		fields := strings.Split(txt, ",")
+		if len(fields) != numAttrs {
+			return nil, fmt.Errorf("dataset: arff line %d: %d fields, want %d", line, len(fields), numAttrs)
+		}
+		row := make([]float64, 0, len(c.GeneNames))
+		class := -1
+		for fi, f := range fields {
+			f = strings.TrimSpace(f)
+			if fi == classAttr {
+				ci, ok := classValues[arffUnquote(f)]
+				if !ok {
+					return nil, fmt.Errorf("dataset: arff line %d: unknown class %q", line, f)
+				}
+				class = ci
+				continue
+			}
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: arff line %d field %d: %w", line, fi, err)
+			}
+			row = append(row, v)
+		}
+		c.Values = append(c.Values, row)
+		c.Classes = append(c.Classes, class)
+		c.SampleNames = append(c.SampleNames, fmt.Sprintf("s%d", len(c.Values)))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: arff read: %w", err)
+	}
+	if !inData || len(c.Values) == 0 {
+		return nil, fmt.Errorf("dataset: arff has no data rows")
+	}
+	return c, nil
+}
+
+// parseARFFAttribute splits "@attribute name numeric" or
+// "@attribute class {a,b}" into (name, "numeric") or (name, "a,b").
+func parseARFFAttribute(line string) (name, kind string, err error) {
+	rest := strings.TrimSpace(line[len("@attribute"):])
+	if rest == "" {
+		return "", "", fmt.Errorf("attribute without a name")
+	}
+	// Quoted or bare name.
+	if rest[0] == '\'' {
+		end := strings.IndexByte(rest[1:], '\'')
+		if end < 0 {
+			return "", "", fmt.Errorf("unterminated attribute name")
+		}
+		name = rest[1 : 1+end]
+		rest = strings.TrimSpace(rest[2+end:])
+	} else {
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
+			return "", "", fmt.Errorf("attribute %q without a type", rest)
+		}
+		name = rest[:sp]
+		rest = strings.TrimSpace(rest[sp:])
+	}
+	lower := strings.ToLower(rest)
+	switch {
+	case lower == "numeric" || lower == "real" || lower == "integer":
+		return name, "numeric", nil
+	case strings.HasPrefix(rest, "{") && strings.HasSuffix(rest, "}"):
+		return name, rest[1 : len(rest)-1], nil
+	}
+	return "", "", fmt.Errorf("unsupported attribute type %q", rest)
+}
+
+func arffQuote(s string) string {
+	if strings.ContainsAny(s, " \t,{}%'") || s == "" {
+		return "'" + strings.ReplaceAll(s, "'", `\'`) + "'"
+	}
+	return s
+}
+
+func arffUnquote(s string) string {
+	if len(s) >= 2 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		return strings.ReplaceAll(s[1:len(s)-1], `\'`, "'")
+	}
+	return s
+}

@@ -1,0 +1,109 @@
+package dataset
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func arffFixture() *Continuous {
+	return &Continuous{
+		GeneNames:   []string{"gA", "g B"}, // second name needs quoting
+		ClassNames:  []string{"tumor", "normal"},
+		SampleNames: []string{"s1", "s2", "s3"},
+		Classes:     []int{0, 1, 0},
+		Values: [][]float64{
+			{1.5, -2},
+			{0, 3.25},
+			{-1e-3, 4},
+		},
+	}
+}
+
+func TestARFFRoundTrip(t *testing.T) {
+	c := arffFixture()
+	var buf bytes.Buffer
+	if err := WriteARFF(&buf, "micro array", c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadARFF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.GeneNames, c.GeneNames) {
+		t.Errorf("gene names = %v, want %v", got.GeneNames, c.GeneNames)
+	}
+	if !reflect.DeepEqual(got.ClassNames, c.ClassNames) {
+		t.Errorf("class names = %v", got.ClassNames)
+	}
+	if !reflect.DeepEqual(got.Classes, c.Classes) {
+		t.Errorf("classes = %v", got.Classes)
+	}
+	if !reflect.DeepEqual(got.Values, c.Values) {
+		t.Errorf("values = %v", got.Values)
+	}
+}
+
+func TestReadARFFClassAnywhere(t *testing.T) {
+	// Class attribute first, with comments and blank lines sprinkled in.
+	in := `% a comment
+@relation r
+
+@attribute class {x, y}
+@attribute f1 real
+@attribute f2 INTEGER
+
+@data
+x, 1.0, 2
+y, 3.0, 4
+`
+	c, err := ReadARFF(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumGenes() != 2 || c.NumSamples() != 2 || c.NumClasses() != 2 {
+		t.Fatalf("shape %d/%d/%d", c.NumGenes(), c.NumSamples(), c.NumClasses())
+	}
+	if c.Classes[0] != 0 || c.Classes[1] != 1 {
+		t.Errorf("classes = %v", c.Classes)
+	}
+	if c.Values[1][0] != 3 || c.Values[1][1] != 4 {
+		t.Errorf("values = %v", c.Values)
+	}
+}
+
+func TestReadARFFErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"no data", "@relation r\n@attribute c {a,b}\n"},
+		{"no class", "@relation r\n@attribute f numeric\n@data\n1\n"},
+		{"two nominals", "@relation r\n@attribute a {x}\n@attribute b {y}\n@data\nx,y\n"},
+		{"bad directive", "@relation r\n@frobnicate\n"},
+		{"bad float", "@relation r\n@attribute f numeric\n@attribute c {a}\n@data\nzz,a\n"},
+		{"unknown class", "@relation r\n@attribute f numeric\n@attribute c {a}\n@data\n1,b\n"},
+		{"field count", "@relation r\n@attribute f numeric\n@attribute c {a}\n@data\n1\n"},
+		{"untyped attribute", "@relation r\n@attribute f\n@data\n"},
+		{"string type", "@relation r\n@attribute f string\n@data\n"},
+		{"empty", ""},
+	}
+	for _, tc := range cases {
+		if _, err := ReadARFF(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestARFFQuoting(t *testing.T) {
+	if got := arffQuote("plain"); got != "plain" {
+		t.Errorf("arffQuote(plain) = %q", got)
+	}
+	if got := arffQuote("has space"); got != "'has space'" {
+		t.Errorf("arffQuote = %q", got)
+	}
+	if got := arffUnquote("'has space'"); got != "has space" {
+		t.Errorf("arffUnquote = %q", got)
+	}
+	if got := arffUnquote("bare"); got != "bare" {
+		t.Errorf("arffUnquote(bare) = %q", got)
+	}
+}

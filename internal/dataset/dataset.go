@@ -1,0 +1,272 @@
+// Package dataset defines the microarray data model used across the BSTC
+// repository.
+//
+// Two representations exist side by side, mirroring the paper's pipeline:
+//
+//   - Continuous: the raw expression matrix (samples × genes of float64),
+//     the form SVM and random forest consume and the input to
+//     entropy-minimized discretization.
+//   - Bool: the discretized relational representation of the paper's §2 —
+//     each sample is the set of genes it expresses, plus a class label.
+//     This is what BSTs, BSTC and all CAR/BAR miners operate on.
+package dataset
+
+import (
+	"fmt"
+
+	"bstc/internal/bitset"
+)
+
+// Continuous is a raw expression matrix with class labels.
+type Continuous struct {
+	GeneNames   []string
+	ClassNames  []string
+	SampleNames []string
+	Classes     []int       // Classes[i] is the class index of sample i.
+	Values      [][]float64 // Values[i][j] is sample i's expression of gene j.
+}
+
+// NumSamples returns the number of samples.
+func (c *Continuous) NumSamples() int { return len(c.Values) }
+
+// NumGenes returns the number of genes.
+func (c *Continuous) NumGenes() int { return len(c.GeneNames) }
+
+// NumClasses returns the number of class labels.
+func (c *Continuous) NumClasses() int { return len(c.ClassNames) }
+
+// Validate checks internal consistency and returns a descriptive error for
+// the first problem found.
+func (c *Continuous) Validate() error {
+	if len(c.Classes) != len(c.Values) {
+		return fmt.Errorf("dataset: %d class labels for %d samples", len(c.Classes), len(c.Values))
+	}
+	if len(c.SampleNames) != 0 && len(c.SampleNames) != len(c.Values) {
+		return fmt.Errorf("dataset: %d sample names for %d samples", len(c.SampleNames), len(c.Values))
+	}
+	for i, row := range c.Values {
+		if len(row) != len(c.GeneNames) {
+			return fmt.Errorf("dataset: sample %d has %d values, want %d", i, len(row), len(c.GeneNames))
+		}
+	}
+	for i, cl := range c.Classes {
+		if cl < 0 || cl >= len(c.ClassNames) {
+			return fmt.Errorf("dataset: sample %d has class index %d, valid range [0,%d)", i, cl, len(c.ClassNames))
+		}
+	}
+	return nil
+}
+
+// ClassCounts returns the number of samples per class.
+func (c *Continuous) ClassCounts() []int {
+	counts := make([]int, len(c.ClassNames))
+	for _, cl := range c.Classes {
+		counts[cl]++
+	}
+	return counts
+}
+
+// Subset returns a new Continuous containing the given sample indices, in
+// order. The gene set and class vocabulary are shared (not copied).
+func (c *Continuous) Subset(idx []int) *Continuous {
+	out := &Continuous{
+		GeneNames:  c.GeneNames,
+		ClassNames: c.ClassNames,
+		Classes:    make([]int, len(idx)),
+		Values:     make([][]float64, len(idx)),
+	}
+	if len(c.SampleNames) > 0 {
+		out.SampleNames = make([]string, len(idx))
+	}
+	for k, i := range idx {
+		out.Classes[k] = c.Classes[i]
+		out.Values[k] = c.Values[i]
+		if len(c.SampleNames) > 0 {
+			out.SampleNames[k] = c.SampleNames[i]
+		}
+	}
+	return out
+}
+
+// SelectGenes returns a new Continuous restricted to the given gene column
+// indices (values are copied).
+func (c *Continuous) SelectGenes(genes []int) *Continuous {
+	out := &Continuous{
+		GeneNames:   make([]string, len(genes)),
+		ClassNames:  c.ClassNames,
+		SampleNames: c.SampleNames,
+		Classes:     c.Classes,
+		Values:      make([][]float64, len(c.Values)),
+	}
+	for k, g := range genes {
+		out.GeneNames[k] = c.GeneNames[g]
+	}
+	for i, row := range c.Values {
+		nr := make([]float64, len(genes))
+		for k, g := range genes {
+			nr[k] = row[g]
+		}
+		out.Values[i] = nr
+	}
+	return out
+}
+
+// Summary renders a one-line description like
+// "PC: 136 samples (tumor=77, normal=59), 315 genes".
+func (c *Continuous) Summary(name string) string {
+	counts := c.ClassCounts()
+	s := fmt.Sprintf("%s: %d samples (", name, c.NumSamples())
+	for i, n := range counts {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s=%d", c.ClassNames[i], n)
+	}
+	s += fmt.Sprintf("), %d genes", c.NumGenes())
+	return s
+}
+
+// Bool is the discretized relational representation of §2: a finite gene set
+// G and disjoint sample classes C_1..C_N, where each sample is the subset of
+// G it expresses.
+type Bool struct {
+	GeneNames   []string
+	ClassNames  []string
+	SampleNames []string
+	Classes     []int         // Classes[i] is the class index of sample i.
+	Rows        []*bitset.Set // Rows[i] is sample i's expressed genes, universe = NumGenes().
+}
+
+// NumSamples returns |S|.
+func (d *Bool) NumSamples() int { return len(d.Rows) }
+
+// NumGenes returns |G|.
+func (d *Bool) NumGenes() int { return len(d.GeneNames) }
+
+// NumClasses returns N.
+func (d *Bool) NumClasses() int { return len(d.ClassNames) }
+
+// Validate checks internal consistency.
+func (d *Bool) Validate() error {
+	if len(d.Classes) != len(d.Rows) {
+		return fmt.Errorf("dataset: %d class labels for %d samples", len(d.Classes), len(d.Rows))
+	}
+	if len(d.SampleNames) != 0 && len(d.SampleNames) != len(d.Rows) {
+		return fmt.Errorf("dataset: %d sample names for %d samples", len(d.SampleNames), len(d.Rows))
+	}
+	for i, r := range d.Rows {
+		if r == nil {
+			return fmt.Errorf("dataset: sample %d has nil gene set", i)
+		}
+		if r.Len() != d.NumGenes() {
+			return fmt.Errorf("dataset: sample %d gene universe %d, want %d", i, r.Len(), d.NumGenes())
+		}
+	}
+	for i, cl := range d.Classes {
+		if cl < 0 || cl >= len(d.ClassNames) {
+			return fmt.Errorf("dataset: sample %d has class index %d, valid range [0,%d)", i, cl, len(d.ClassNames))
+		}
+	}
+	return nil
+}
+
+// ClassCounts returns the number of samples per class.
+func (d *Bool) ClassCounts() []int {
+	counts := make([]int, len(d.ClassNames))
+	for _, cl := range d.Classes {
+		counts[cl]++
+	}
+	return counts
+}
+
+// ClassMembers returns the set of sample indices belonging to class ci,
+// over the universe of all samples.
+func (d *Bool) ClassMembers(ci int) *bitset.Set {
+	s := bitset.New(d.NumSamples())
+	for i, cl := range d.Classes {
+		if cl == ci {
+			s.Add(i)
+		}
+	}
+	return s
+}
+
+// Subset returns a new Bool containing the given sample indices, in order.
+// Row sets are shared, not copied.
+func (d *Bool) Subset(idx []int) *Bool {
+	out := &Bool{
+		GeneNames:  d.GeneNames,
+		ClassNames: d.ClassNames,
+		Classes:    make([]int, len(idx)),
+		Rows:       make([]*bitset.Set, len(idx)),
+	}
+	if len(d.SampleNames) > 0 {
+		out.SampleNames = make([]string, len(idx))
+	}
+	for k, i := range idx {
+		out.Classes[k] = d.Classes[i]
+		out.Rows[k] = d.Rows[i]
+		if len(d.SampleNames) > 0 {
+			out.SampleNames[k] = d.SampleNames[i]
+		}
+	}
+	return out
+}
+
+// DuplicateSamplePairs reports pairs of samples, belonging to different
+// classes, that express exactly the same gene set. Theorem 2 of the paper
+// assumes no such pairs exist; BST construction tolerates them (the pair's
+// exclusion list is empty and can never be satisfied) but classification
+// quality may degrade, so callers can warn.
+func (d *Bool) DuplicateSamplePairs() [][2]int {
+	byKey := make(map[string][]int, len(d.Rows))
+	var dups [][2]int
+	for i, r := range d.Rows {
+		k := r.Key()
+		for _, j := range byKey[k] {
+			if d.Classes[j] != d.Classes[i] {
+				dups = append(dups, [2]int{j, i})
+			}
+		}
+		byKey[k] = append(byKey[k], i)
+	}
+	return dups
+}
+
+// Index is a transposed view of a Bool dataset: for each gene, the set of
+// samples expressing it. Miners use it heavily; build it once per dataset.
+type Index struct {
+	// GeneRows[g] is the set of sample indices expressing gene g,
+	// universe = NumSamples().
+	GeneRows []*bitset.Set
+}
+
+// BuildIndex computes the transposed gene→samples index.
+func (d *Bool) BuildIndex() *Index {
+	idx := &Index{GeneRows: make([]*bitset.Set, d.NumGenes())}
+	for g := range idx.GeneRows {
+		idx.GeneRows[g] = bitset.New(d.NumSamples())
+	}
+	for i, r := range d.Rows {
+		r.ForEach(func(g int) bool {
+			idx.GeneRows[g].Add(i)
+			return true
+		})
+	}
+	return idx
+}
+
+// Summary renders a one-line description like
+// "ALL: 72 samples (ALL=47, AML=25), 7129 genes".
+func (d *Bool) Summary(name string) string {
+	counts := d.ClassCounts()
+	s := fmt.Sprintf("%s: %d samples (", name, d.NumSamples())
+	for i, n := range counts {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s=%d", d.ClassNames[i], n)
+	}
+	s += fmt.Sprintf("), %d genes", d.NumGenes())
+	return s
+}

@@ -1,0 +1,462 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"bstc/internal/bitset"
+)
+
+func TestPaperTable1Shape(t *testing.T) {
+	d := PaperTable1()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumSamples() != 5 || d.NumGenes() != 6 || d.NumClasses() != 2 {
+		t.Fatalf("got %d samples, %d genes, %d classes", d.NumSamples(), d.NumGenes(), d.NumClasses())
+	}
+	if got := d.ClassCounts(); !reflect.DeepEqual(got, []int{3, 2}) {
+		t.Errorf("ClassCounts = %v, want [3 2]", got)
+	}
+	// s2 expresses g1, g3, g6 (indices 0, 2, 5).
+	if got := d.Rows[1].Indices(); !reflect.DeepEqual(got, []int{0, 2, 5}) {
+		t.Errorf("s2 genes = %v, want [0 2 5]", got)
+	}
+	cancer := d.ClassMembers(0)
+	if got := cancer.Indices(); !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Errorf("Cancer members = %v, want [0 1 2]", got)
+	}
+	if len(d.DuplicateSamplePairs()) != 0 {
+		t.Error("Table 1 has no duplicate samples")
+	}
+}
+
+func TestBuildIndex(t *testing.T) {
+	d := PaperTable1()
+	idx := d.BuildIndex()
+	// g3 (index 2) is expressed by s1, s2, s4, s5.
+	if got := idx.GeneRows[2].Indices(); !reflect.DeepEqual(got, []int{0, 1, 3, 4}) {
+		t.Errorf("g3 expressers = %v, want [0 1 3 4]", got)
+	}
+	// g1 (index 0) only by s1 and s2.
+	if got := idx.GeneRows[0].Indices(); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Errorf("g1 expressers = %v, want [0 1]", got)
+	}
+}
+
+func TestBoolRoundTrip(t *testing.T) {
+	d := PaperTable1()
+	var buf bytes.Buffer
+	if err := WriteBool(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBool(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.GeneNames, d.GeneNames) ||
+		!reflect.DeepEqual(got.ClassNames, d.ClassNames) ||
+		!reflect.DeepEqual(got.Classes, d.Classes) ||
+		!reflect.DeepEqual(got.SampleNames, d.SampleNames) {
+		t.Fatalf("metadata mismatch after round trip:\n%+v\nvs\n%+v", got, d)
+	}
+	for i := range d.Rows {
+		if !got.Rows[i].Equal(d.Rows[i]) {
+			t.Errorf("sample %d rows differ: %v vs %v", i, got.Rows[i], d.Rows[i])
+		}
+	}
+}
+
+func TestContinuousRoundTrip(t *testing.T) {
+	c := &Continuous{
+		GeneNames:   []string{"gA", "gB"},
+		ClassNames:  []string{"tumor", "normal"},
+		SampleNames: []string{"p1", "p2", "p3"},
+		Classes:     []int{0, 1, 0},
+		Values: [][]float64{
+			{1.25, -3.5},
+			{0, 2.0000001},
+			{-1e-9, 4000000},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteContinuous(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadContinuous(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, c) {
+		t.Fatalf("round trip mismatch:\n%+v\nvs\n%+v", got, c)
+	}
+}
+
+func TestReadBoolErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"bad header", "genes\tg1\n"},
+		{"unknown gene", "#genes\tg1\ns1\tA\tg9\n"},
+		{"missing fields", "#genes\tg1\ns1 A g1\n"},
+		{"duplicate gene", "#genes\tg1\tg1\ns1\tA\tg1\n"},
+		{"no samples", "#genes\tg1\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ReadBool(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestReadContinuousErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"bad header", "nope\n"},
+		{"wrong field count", "#genes\tg1\tg2\ns1\tA\t1.0\n"},
+		{"bad float", "#genes\tg1\ns1\tA\tpotato\n"},
+		{"no samples", "#genes\tg1\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ReadContinuous(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestFromItems(t *testing.T) {
+	d, err := FromItems(
+		map[string][]string{
+			"s1": {"g1", "g2"},
+			"s2": {"g2", "g3"},
+		},
+		map[string]string{"s1": "A", "s2": "B"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumSamples() != 2 || d.NumGenes() != 3 || d.NumClasses() != 2 {
+		t.Fatalf("unexpected shape: %+v", d)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromItemsMissingClass(t *testing.T) {
+	_, err := FromItems(map[string][]string{"s1": {"g1"}}, map[string]string{})
+	if err == nil {
+		t.Fatal("expected error for sample with no class")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	d := PaperTable1()
+	sub := d.Subset([]int{1, 4})
+	if sub.NumSamples() != 2 {
+		t.Fatalf("subset has %d samples", sub.NumSamples())
+	}
+	if sub.SampleNames[0] != "s2" || sub.SampleNames[1] != "s5" {
+		t.Errorf("subset names = %v", sub.SampleNames)
+	}
+	if sub.Classes[0] != 0 || sub.Classes[1] != 1 {
+		t.Errorf("subset classes = %v", sub.Classes)
+	}
+	if !sub.Rows[0].Equal(d.Rows[1]) {
+		t.Error("subset row 0 should be s2's gene set")
+	}
+}
+
+func TestContinuousAccessorsAndValidate(t *testing.T) {
+	c := &Continuous{
+		GeneNames:  []string{"a", "b"},
+		ClassNames: []string{"X", "Y"},
+		Classes:    []int{0, 1, 0},
+		Values:     [][]float64{{1, 2}, {3, 4}, {5, 6}},
+	}
+	if c.NumSamples() != 3 || c.NumGenes() != 2 || c.NumClasses() != 2 {
+		t.Errorf("accessors: %d/%d/%d", c.NumSamples(), c.NumGenes(), c.NumClasses())
+	}
+	if got := c.ClassCounts(); !reflect.DeepEqual(got, []int{2, 1}) {
+		t.Errorf("ClassCounts = %v", got)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Summary("demo"); got != "demo: 3 samples (X=2, Y=1), 2 genes" {
+		t.Errorf("Summary = %q", got)
+	}
+	// Validation failures.
+	bad := *c
+	bad.Classes = []int{0}
+	if bad.Validate() == nil {
+		t.Error("class/sample count mismatch should fail")
+	}
+	bad = *c
+	bad.SampleNames = []string{"one"}
+	if bad.Validate() == nil {
+		t.Error("sample name count mismatch should fail")
+	}
+	bad = *c
+	bad.Values = [][]float64{{1}, {3, 4}, {5, 6}}
+	if bad.Validate() == nil {
+		t.Error("ragged values should fail")
+	}
+	bad = *c
+	bad.Classes = []int{0, 9, 0}
+	if bad.Validate() == nil {
+		t.Error("out-of-range class should fail")
+	}
+}
+
+func TestBoolValidateFailures(t *testing.T) {
+	d := PaperTable1()
+	d.Rows[0] = nil
+	if d.Validate() == nil {
+		t.Error("nil row should fail")
+	}
+	d = PaperTable1()
+	d.Rows[0] = bitset.New(3) // wrong universe
+	if d.Validate() == nil {
+		t.Error("wrong row universe should fail")
+	}
+	d = PaperTable1()
+	d.SampleNames = d.SampleNames[:2]
+	if d.Validate() == nil {
+		t.Error("sample-name count mismatch should fail")
+	}
+}
+
+func TestStratifiedFractionSplitBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	if _, err := StratifiedFractionSplit(r, []int{0, 1}, 2, 0); err == nil {
+		t.Error("frac 0 should error")
+	}
+	if _, err := StratifiedFractionSplit(r, []int{0, 1}, 2, 1); err == nil {
+		t.Error("frac 1 should error")
+	}
+	// Tiny classes still keep at least one sample per side per class.
+	classes := []int{0, 0, 1, 1}
+	sp, err := StratifiedFractionSplit(r, classes, 2, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Train) == 0 || len(sp.Test) == 0 {
+		t.Errorf("degenerate stratified split: %+v", sp)
+	}
+}
+
+func TestContinuousSubsetAndSelectGenes(t *testing.T) {
+	c := &Continuous{
+		GeneNames:  []string{"a", "b", "c"},
+		ClassNames: []string{"X"},
+		Classes:    []int{0, 0},
+		Values:     [][]float64{{1, 2, 3}, {4, 5, 6}},
+	}
+	sub := c.Subset([]int{1})
+	if len(sub.Values) != 1 || sub.Values[0][2] != 6 {
+		t.Errorf("Subset wrong: %+v", sub.Values)
+	}
+	sel := c.SelectGenes([]int{2, 0})
+	if !reflect.DeepEqual(sel.GeneNames, []string{"c", "a"}) {
+		t.Errorf("SelectGenes names = %v", sel.GeneNames)
+	}
+	if !reflect.DeepEqual(sel.Values[0], []float64{3, 1}) || !reflect.DeepEqual(sel.Values[1], []float64{6, 4}) {
+		t.Errorf("SelectGenes values = %v", sel.Values)
+	}
+}
+
+func TestDuplicateSamplePairs(t *testing.T) {
+	d := &Bool{
+		GeneNames:  []string{"g1", "g2"},
+		ClassNames: []string{"A", "B"},
+		Classes:    []int{0, 1, 0},
+		Rows: []*bitset.Set{
+			bitset.FromIndices(2, 0),
+			bitset.FromIndices(2, 0), // same genes, different class -> duplicate pair
+			bitset.FromIndices(2, 0), // same genes, same class as sample 0 -> not reported with 0
+		},
+	}
+	dups := d.DuplicateSamplePairs()
+	if len(dups) != 2 { // (0,1) and (1,2)
+		t.Fatalf("got %d duplicate pairs %v, want 2", len(dups), dups)
+	}
+}
+
+func TestRandomFractionSplit(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	sp, err := RandomFractionSplit(r, 100, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Train) != 40 || len(sp.Test) != 60 {
+		t.Fatalf("train=%d test=%d, want 40/60", len(sp.Train), len(sp.Test))
+	}
+	seen := make(map[int]bool)
+	for _, i := range append(append([]int{}, sp.Train...), sp.Test...) {
+		if seen[i] {
+			t.Fatalf("index %d appears twice", i)
+		}
+		seen[i] = true
+	}
+	if len(seen) != 100 {
+		t.Fatalf("split covers %d indices, want 100", len(seen))
+	}
+}
+
+func TestRandomFractionSplitErrors(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	if _, err := RandomFractionSplit(r, 10, 0); err == nil {
+		t.Error("frac=0 should error")
+	}
+	if _, err := RandomFractionSplit(r, 10, 1); err == nil {
+		t.Error("frac=1 should error")
+	}
+	if _, err := RandomFractionSplit(r, 1, 0.5); err == nil {
+		t.Error("n=1 should error")
+	}
+}
+
+func TestRandomFractionSplitExtremes(t *testing.T) {
+	// Tiny fractions must still leave at least one sample on each side.
+	r := rand.New(rand.NewSource(2))
+	sp, err := RandomFractionSplit(r, 3, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Train) < 1 || len(sp.Test) < 1 {
+		t.Fatalf("degenerate split: train=%d test=%d", len(sp.Train), len(sp.Test))
+	}
+	sp, err = RandomFractionSplit(r, 3, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Train) < 1 || len(sp.Test) < 1 {
+		t.Fatalf("degenerate split: train=%d test=%d", len(sp.Train), len(sp.Test))
+	}
+}
+
+func TestFixedCountSplit(t *testing.T) {
+	classes := []int{0, 0, 0, 1, 1, 0, 1}
+	r := rand.New(rand.NewSource(3))
+	sp, err := FixedCountSplit(r, classes, []int{2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Train) != 3 || len(sp.Test) != 4 {
+		t.Fatalf("train=%d test=%d, want 3/4", len(sp.Train), len(sp.Test))
+	}
+	n0, n1 := 0, 0
+	for _, i := range sp.Train {
+		if classes[i] == 0 {
+			n0++
+		} else {
+			n1++
+		}
+	}
+	if n0 != 2 || n1 != 1 {
+		t.Fatalf("train class counts %d/%d, want 2/1", n0, n1)
+	}
+}
+
+func TestFixedCountSplitErrors(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	classes := []int{0, 0, 1}
+	if _, err := FixedCountSplit(r, classes, []int{3, 0}); err == nil {
+		t.Error("asking for more samples than class has should error")
+	}
+	if _, err := FixedCountSplit(r, classes, []int{2, 1}); err == nil {
+		t.Error("using every sample for training should error (empty test set)")
+	}
+	if _, err := FixedCountSplit(r, []int{0, 5}, []int{1, 1}); err == nil {
+		t.Error("out-of-range class index should error")
+	}
+}
+
+func TestStratifiedFractionSplit(t *testing.T) {
+	classes := make([]int, 30)
+	for i := 20; i < 30; i++ {
+		classes[i] = 1
+	}
+	r := rand.New(rand.NewSource(5))
+	sp, err := StratifiedFractionSplit(r, classes, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n0, n1 := 0, 0
+	for _, i := range sp.Train {
+		if classes[i] == 0 {
+			n0++
+		} else {
+			n1++
+		}
+	}
+	if n0 != 10 || n1 != 5 {
+		t.Fatalf("stratified train counts %d/%d, want 10/5", n0, n1)
+	}
+}
+
+func TestKFoldSplits(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	splits, err := KFoldSplits(r, 23, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(splits) != 5 {
+		t.Fatalf("got %d folds", len(splits))
+	}
+	seen := map[int]int{}
+	for _, sp := range splits {
+		if len(sp.Train)+len(sp.Test) != 23 {
+			t.Fatalf("fold covers %d samples", len(sp.Train)+len(sp.Test))
+		}
+		if len(sp.Test) < 4 || len(sp.Test) > 5 {
+			t.Errorf("fold size %d outside [4,5]", len(sp.Test))
+		}
+		for _, i := range sp.Test {
+			seen[i]++
+		}
+		inTrain := map[int]bool{}
+		for _, i := range sp.Train {
+			inTrain[i] = true
+		}
+		for _, i := range sp.Test {
+			if inTrain[i] {
+				t.Fatal("sample in both halves of a fold")
+			}
+		}
+	}
+	// Every sample is a test sample exactly once.
+	if len(seen) != 23 {
+		t.Fatalf("test folds cover %d samples", len(seen))
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Errorf("sample %d tested %d times", i, n)
+		}
+	}
+}
+
+func TestKFoldSplitsErrors(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	if _, err := KFoldSplits(r, 5, 1); err == nil {
+		t.Error("k=1 should error")
+	}
+	if _, err := KFoldSplits(r, 3, 4); err == nil {
+		t.Error("k>n should error")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	got := PaperTable1().Summary("Example")
+	want := "Example: 5 samples (Cancer=3, Healthy=2), 6 genes"
+	if got != want {
+		t.Errorf("Summary = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,78 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The parsers face user-supplied files; fuzzing asserts they never panic
+// and that anything they accept survives a write/read round trip.
+
+func FuzzReadBool(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteBool(&seed, PaperTable1()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add("#genes\tg1\tg2\ns1\tA\tg1 g2\n")
+	f.Add("#genes\tg1\ns1\tA\t\n")
+	f.Add("")
+	f.Add("#genes")
+	f.Fuzz(func(t *testing.T, in string) {
+		d, err := ReadBool(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("accepted invalid dataset: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteBool(&buf, d); err != nil {
+			t.Fatalf("cannot re-serialize accepted dataset: %v", err)
+		}
+		if _, err := ReadBool(&buf); err != nil {
+			t.Fatalf("round trip of accepted dataset failed: %v", err)
+		}
+	})
+}
+
+func FuzzReadContinuous(f *testing.F) {
+	f.Add("#genes\tg1\tg2\ns1\tA\t1.5\t-2\ns2\tB\t0\t3\n")
+	f.Add("#genes\tg\ns\tA\tNaN\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, in string) {
+		c, err := ReadContinuous(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("accepted invalid dataset: %v", err)
+		}
+	})
+}
+
+func FuzzReadARFF(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteARFF(&seed, "r", &Continuous{
+		GeneNames:  []string{"f"},
+		ClassNames: []string{"a", "b"},
+		Classes:    []int{0, 1},
+		Values:     [][]float64{{1}, {2}},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add("@relation r\n@attribute f numeric\n@attribute c {a,b}\n@data\n1,a\n")
+	f.Add("@relation r\n@attribute 'x y' real\n@attribute c {a}\n@data\n0,a\n")
+	f.Add("% only a comment\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		c, err := ReadARFF(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("accepted invalid dataset: %v", err)
+		}
+	})
+}

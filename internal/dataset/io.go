@@ -1,0 +1,250 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"bstc/internal/bitset"
+)
+
+// The on-disk formats are deliberately simple, line-oriented and diffable.
+//
+// Continuous (TSV):
+//
+//	#genes<TAB>g1<TAB>g2<TAB>...
+//	sampleName<TAB>className<TAB>v1<TAB>v2<TAB>...
+//
+// Bool (item list, matching the paper's Table 1 view):
+//
+//	#genes<TAB>g1<TAB>g2<TAB>...
+//	sampleName<TAB>className<TAB>g1 g3 g5
+//
+// where the third field is a space-separated list of expressed gene names.
+
+// WriteContinuous serializes c in the TSV format above.
+func WriteContinuous(w io.Writer, c *Continuous) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprint(bw, "#genes")
+	for _, g := range c.GeneNames {
+		fmt.Fprintf(bw, "\t%s", g)
+	}
+	fmt.Fprintln(bw)
+	for i, row := range c.Values {
+		fmt.Fprintf(bw, "%s\t%s", c.sampleName(i), c.ClassNames[c.Classes[i]])
+		for _, v := range row {
+			fmt.Fprintf(bw, "\t%s", strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+func (c *Continuous) sampleName(i int) string {
+	if len(c.SampleNames) > 0 {
+		return c.SampleNames[i]
+	}
+	return fmt.Sprintf("s%d", i+1)
+}
+
+func (d *Bool) sampleName(i int) string {
+	if len(d.SampleNames) > 0 {
+		return d.SampleNames[i]
+	}
+	return fmt.Sprintf("s%d", i+1)
+}
+
+// ReadContinuous parses the TSV format written by WriteContinuous.
+func ReadContinuous(r io.Reader) (*Continuous, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("dataset: empty input: %w", firstErr(sc.Err(), io.ErrUnexpectedEOF))
+	}
+	header := strings.Split(sc.Text(), "\t")
+	if len(header) < 2 || header[0] != "#genes" {
+		return nil, fmt.Errorf("dataset: bad header, want \"#genes\\t...\"")
+	}
+	c := &Continuous{GeneNames: header[1:]}
+	classIdx := make(map[string]int)
+	line := 1
+	for sc.Scan() {
+		line++
+		txt := sc.Text()
+		if txt == "" {
+			continue
+		}
+		fields := strings.Split(txt, "\t")
+		if len(fields) != 2+len(c.GeneNames) {
+			return nil, fmt.Errorf("dataset: line %d has %d fields, want %d", line, len(fields), 2+len(c.GeneNames))
+		}
+		ci, ok := classIdx[fields[1]]
+		if !ok {
+			ci = len(c.ClassNames)
+			classIdx[fields[1]] = ci
+			c.ClassNames = append(c.ClassNames, fields[1])
+		}
+		row := make([]float64, len(c.GeneNames))
+		for j, f := range fields[2:] {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d gene %d: %w", line, j, err)
+			}
+			row[j] = v
+		}
+		c.SampleNames = append(c.SampleNames, fields[0])
+		c.Classes = append(c.Classes, ci)
+		c.Values = append(c.Values, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: read: %w", err)
+	}
+	if len(c.Values) == 0 {
+		return nil, fmt.Errorf("dataset: no samples")
+	}
+	return c, nil
+}
+
+// WriteBool serializes d in the item-list format above.
+func WriteBool(w io.Writer, d *Bool) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprint(bw, "#genes")
+	for _, g := range d.GeneNames {
+		fmt.Fprintf(bw, "\t%s", g)
+	}
+	fmt.Fprintln(bw)
+	for i, row := range d.Rows {
+		fmt.Fprintf(bw, "%s\t%s\t", d.sampleName(i), d.ClassNames[d.Classes[i]])
+		first := true
+		row.ForEach(func(g int) bool {
+			if !first {
+				fmt.Fprint(bw, " ")
+			}
+			first = false
+			fmt.Fprint(bw, d.GeneNames[g])
+			return true
+		})
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// ReadBool parses the item-list format written by WriteBool.
+func ReadBool(r io.Reader) (*Bool, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("dataset: empty input: %w", firstErr(sc.Err(), io.ErrUnexpectedEOF))
+	}
+	header := strings.Split(sc.Text(), "\t")
+	if len(header) < 2 || header[0] != "#genes" {
+		return nil, fmt.Errorf("dataset: bad header, want \"#genes\\t...\"")
+	}
+	d := &Bool{GeneNames: header[1:]}
+	geneIdx := make(map[string]int, len(d.GeneNames))
+	for j, g := range d.GeneNames {
+		if _, dup := geneIdx[g]; dup {
+			return nil, fmt.Errorf("dataset: duplicate gene name %q", g)
+		}
+		geneIdx[g] = j
+	}
+	classIdx := make(map[string]int)
+	line := 1
+	for sc.Scan() {
+		line++
+		txt := sc.Text()
+		if txt == "" {
+			continue
+		}
+		fields := strings.SplitN(txt, "\t", 3)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("dataset: line %d has %d fields, want 3", line, len(fields))
+		}
+		ci, ok := classIdx[fields[1]]
+		if !ok {
+			ci = len(d.ClassNames)
+			classIdx[fields[1]] = ci
+			d.ClassNames = append(d.ClassNames, fields[1])
+		}
+		row := bitset.New(len(d.GeneNames))
+		for _, g := range strings.Fields(fields[2]) {
+			j, ok := geneIdx[g]
+			if !ok {
+				return nil, fmt.Errorf("dataset: line %d references unknown gene %q", line, g)
+			}
+			row.Add(j)
+		}
+		d.SampleNames = append(d.SampleNames, fields[0])
+		d.Classes = append(d.Classes, ci)
+		d.Rows = append(d.Rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: read: %w", err)
+	}
+	if len(d.Rows) == 0 {
+		return nil, fmt.Errorf("dataset: no samples")
+	}
+	return d, nil
+}
+
+// FromItems builds a Bool dataset from named gene lists, assigning gene and
+// class indices in first-seen order. It is the programmatic analogue of the
+// paper's Table 1: FromItems(map{"s1": {"g1","g2"}, ...}, map{"s1":"Cancer", ...}).
+// Sample order is by sorted sample name, for determinism.
+func FromItems(samples map[string][]string, classes map[string]string) (*Bool, error) {
+	names := make([]string, 0, len(samples))
+	for n := range samples {
+		if _, ok := classes[n]; !ok {
+			return nil, fmt.Errorf("dataset: sample %q has no class label", n)
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	geneIdx := make(map[string]int)
+	var geneNames []string
+	for _, n := range names {
+		for _, g := range samples[n] {
+			if _, ok := geneIdx[g]; !ok {
+				geneIdx[g] = len(geneNames)
+				geneNames = append(geneNames, g)
+			}
+		}
+	}
+	d := &Bool{GeneNames: geneNames}
+	classIdx := make(map[string]int)
+	for _, n := range names {
+		cn := classes[n]
+		ci, ok := classIdx[cn]
+		if !ok {
+			ci = len(d.ClassNames)
+			classIdx[cn] = ci
+			d.ClassNames = append(d.ClassNames, cn)
+		}
+		row := bitset.New(len(geneNames))
+		for _, g := range samples[n] {
+			row.Add(geneIdx[g])
+		}
+		d.SampleNames = append(d.SampleNames, n)
+		d.Classes = append(d.Classes, ci)
+		d.Rows = append(d.Rows, row)
+	}
+	return d, nil
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+package dataset
+
+import "bstc/internal/bitset"
+
+// PaperTable1 returns the running example of the BSTC paper's Table 1:
+//
+//	s1: g1 g2 g3 g5  Cancer
+//	s2: g1 g3 g6     Cancer
+//	s3: g2 g4 g6     Cancer
+//	s4: g2 g3 g5     Healthy
+//	s5: g3 g4 g5 g6  Healthy
+//
+// Gene j is index j-1 and class order is Cancer=0, Healthy=1, so tests can
+// refer to cells exactly as the paper's figures do.
+func PaperTable1() *Bool {
+	rows := [][]int{
+		{0, 1, 2, 4}, // s1
+		{0, 2, 5},    // s2
+		{1, 3, 5},    // s3
+		{1, 2, 4},    // s4
+		{2, 3, 4, 5}, // s5
+	}
+	d := &Bool{
+		GeneNames:   []string{"g1", "g2", "g3", "g4", "g5", "g6"},
+		ClassNames:  []string{"Cancer", "Healthy"},
+		SampleNames: []string{"s1", "s2", "s3", "s4", "s5"},
+		Classes:     []int{0, 0, 0, 1, 1},
+	}
+	for _, r := range rows {
+		d.Rows = append(d.Rows, bitset.FromIndices(6, r...))
+	}
+	return d
+}

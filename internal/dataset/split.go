@@ -1,0 +1,129 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Split describes a partition of a dataset's samples into a training set and
+// a test set, by sample index.
+type Split struct {
+	Train []int
+	Test  []int
+}
+
+// RandomFractionSplit selects round(frac·n) samples uniformly at random
+// (without stratification, as in the paper's §6.2 protocol where "each
+// training set was produced by randomly selecting samples from the original
+// combined dataset"). The remaining samples form the test set.
+func RandomFractionSplit(r *rand.Rand, n int, frac float64) (Split, error) {
+	if frac <= 0 || frac >= 1 {
+		return Split{}, fmt.Errorf("dataset: training fraction %v outside (0,1)", frac)
+	}
+	if n < 2 {
+		return Split{}, fmt.Errorf("dataset: need at least 2 samples, have %d", n)
+	}
+	k := int(float64(n)*frac + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	if k >= n {
+		k = n - 1
+	}
+	perm := r.Perm(n)
+	sp := Split{Train: append([]int(nil), perm[:k]...), Test: append([]int(nil), perm[k:]...)}
+	sortInts(sp.Train)
+	sortInts(sp.Test)
+	return sp, nil
+}
+
+// FixedCountSplit implements the paper's "1-x/0-y" protocol: select exactly
+// counts[c] samples of each class c uniformly at random as training data;
+// everything else is test data.
+func FixedCountSplit(r *rand.Rand, classes []int, counts []int) (Split, error) {
+	perClass := make([][]int, len(counts))
+	for i, cl := range classes {
+		if cl < 0 || cl >= len(counts) {
+			return Split{}, fmt.Errorf("dataset: sample %d has class %d, outside [0,%d)", i, cl, len(counts))
+		}
+		perClass[cl] = append(perClass[cl], i)
+	}
+	var sp Split
+	inTrain := make([]bool, len(classes))
+	for c, want := range counts {
+		have := perClass[c]
+		if want < 0 || want > len(have) {
+			return Split{}, fmt.Errorf("dataset: class %d has %d samples, cannot select %d", c, len(have), want)
+		}
+		perm := r.Perm(len(have))
+		for _, pi := range perm[:want] {
+			inTrain[have[pi]] = true
+		}
+	}
+	for i := range classes {
+		if inTrain[i] {
+			sp.Train = append(sp.Train, i)
+		} else {
+			sp.Test = append(sp.Test, i)
+		}
+	}
+	if len(sp.Train) == 0 || len(sp.Test) == 0 {
+		return Split{}, fmt.Errorf("dataset: split leaves train=%d test=%d samples", len(sp.Train), len(sp.Test))
+	}
+	return sp, nil
+}
+
+// StratifiedFractionSplit selects round(frac·n_c) samples of every class c.
+// The paper's main protocol is unstratified, but stratified splits are useful
+// for the small multi-class examples where a random split can drop a class
+// from the training set entirely.
+func StratifiedFractionSplit(r *rand.Rand, classes []int, numClasses int, frac float64) (Split, error) {
+	if frac <= 0 || frac >= 1 {
+		return Split{}, fmt.Errorf("dataset: training fraction %v outside (0,1)", frac)
+	}
+	counts := make([]int, numClasses)
+	perClass := make([]int, numClasses)
+	for _, cl := range classes {
+		perClass[cl]++
+	}
+	for c, n := range perClass {
+		k := int(float64(n)*frac + 0.5)
+		if n > 0 && k < 1 {
+			k = 1
+		}
+		if n > 0 && k >= n {
+			k = n - 1
+		}
+		if k < 0 {
+			k = 0
+		}
+		counts[c] = k
+	}
+	return FixedCountSplit(r, classes, counts)
+}
+
+// KFoldSplits partitions n samples into k folds after a random shuffle and
+// returns one Split per fold (the fold is the test set, the rest train).
+// Fold sizes differ by at most one.
+func KFoldSplits(r *rand.Rand, n, k int) ([]Split, error) {
+	if k < 2 || k > n {
+		return nil, fmt.Errorf("dataset: k=%d folds for %d samples", k, n)
+	}
+	perm := r.Perm(n)
+	out := make([]Split, k)
+	for fold := 0; fold < k; fold++ {
+		lo := fold * n / k
+		hi := (fold + 1) * n / k
+		sp := Split{
+			Test:  append([]int(nil), perm[lo:hi]...),
+			Train: append(append([]int(nil), perm[:lo]...), perm[hi:]...),
+		}
+		sortInts(sp.Train)
+		sortInts(sp.Test)
+		out[fold] = sp
+	}
+	return out, nil
+}
+
+func sortInts(a []int) { sort.Ints(a) }

@@ -1,0 +1,269 @@
+// Package discretize implements the entropy-minimized partition the BSTC
+// paper uses to turn continuous microarray matrices into the boolean
+// relational representation of §2 (Fayyad & Irani's recursive MDL-stopped
+// binary splitting, the method behind R dprep's disc.mentr, the paper's
+// footnote 2).
+//
+// A gene with k accepted cut points produces k+1 intervals; every
+// (gene, interval) pair becomes one boolean item ("gene expressed in its
+// associated expression interval", §1). Genes with no accepted cut carry no
+// class information under the MDL criterion and are dropped — the paper's
+// "Genes After Discretization" column in Table 3 counts the genes that
+// survive.
+package discretize
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"bstc/internal/bitset"
+	"bstc/internal/dataset"
+)
+
+// Cutter computes cut thresholds for one gene given its values and the
+// sample class labels. EntropyMDL is the paper's choice; EqualWidth and
+// EqualFrequency are unsupervised comparators.
+type Cutter func(values []float64, classes []int, numClasses int) []float64
+
+// Model holds fitted per-gene cut points and the induced item vocabulary.
+type Model struct {
+	// GeneCuts[g] holds the sorted accepted cut thresholds of original gene
+	// g; genes with no cuts are dropped from the item vocabulary.
+	GeneCuts [][]float64
+	// Selected lists the original gene indices that survived (≥ 1 cut).
+	Selected []int
+	// ItemNames names every (gene, interval) item, e.g. "g12[1]".
+	ItemNames []string
+	// ClassNames is carried over from the training data.
+	ClassNames []string
+
+	// itemBase[k] is the first item index of Selected[k]'s intervals.
+	itemBase []int
+	numGenes int
+}
+
+// Fit learns entropy-MDL cut points from training data.
+func Fit(train *dataset.Continuous) (*Model, error) {
+	return FitWith(train, EntropyMDL)
+}
+
+// FitWith learns cut points using the supplied Cutter.
+func FitWith(train *dataset.Continuous, cut Cutter) (*Model, error) {
+	if err := train.Validate(); err != nil {
+		return nil, err
+	}
+	if train.NumSamples() == 0 {
+		return nil, fmt.Errorf("discretize: no training samples")
+	}
+	m := &Model{
+		GeneCuts:   make([][]float64, train.NumGenes()),
+		ClassNames: train.ClassNames,
+		numGenes:   train.NumGenes(),
+	}
+	col := make([]float64, train.NumSamples())
+	for g := 0; g < train.NumGenes(); g++ {
+		for i, row := range train.Values {
+			col[i] = row[g]
+		}
+		cuts := cut(col, train.Classes, train.NumClasses())
+		m.GeneCuts[g] = cuts
+		if len(cuts) > 0 {
+			m.itemBase = append(m.itemBase, len(m.ItemNames))
+			m.Selected = append(m.Selected, g)
+			for b := 0; b <= len(cuts); b++ {
+				m.ItemNames = append(m.ItemNames, fmt.Sprintf("%s[%d]", train.GeneNames[g], b))
+			}
+		}
+	}
+	return m, nil
+}
+
+// NumItems returns the size of the boolean item vocabulary.
+func (m *Model) NumItems() int { return len(m.ItemNames) }
+
+// NumSelectedGenes returns the number of original genes kept.
+func (m *Model) NumSelectedGenes() int { return len(m.Selected) }
+
+// bin returns the interval index of value v for sorted cuts: the number of
+// cuts ≤ v... values exactly on a cut fall in the lower interval, matching
+// the convention that a cut at t splits into (-inf, t] and (t, +inf).
+func bin(cuts []float64, v float64) int {
+	return sort.Search(len(cuts), func(i int) bool { return v <= cuts[i] })
+}
+
+// Transform maps a continuous dataset (sharing the training gene order)
+// into the boolean item representation: each sample expresses exactly one
+// item per selected gene.
+func (m *Model) Transform(c *dataset.Continuous) (*dataset.Bool, error) {
+	if c.NumGenes() != m.numGenes {
+		return nil, fmt.Errorf("discretize: dataset has %d genes, model fitted on %d", c.NumGenes(), m.numGenes)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	d := &dataset.Bool{
+		GeneNames:   m.ItemNames,
+		ClassNames:  c.ClassNames,
+		SampleNames: c.SampleNames,
+		Classes:     c.Classes,
+		Rows:        make([]*bitset.Set, c.NumSamples()),
+	}
+	for i, row := range c.Values {
+		r := bitset.New(len(m.ItemNames))
+		for k, g := range m.Selected {
+			r.Add(m.itemBase[k] + bin(m.GeneCuts[g], row[g]))
+		}
+		d.Rows[i] = r
+	}
+	return d, nil
+}
+
+// EntropyMDL is Fayyad & Irani's entropy-minimized partition with the MDL
+// stopping criterion, applied recursively.
+func EntropyMDL(values []float64, classes []int, numClasses int) []float64 {
+	n := len(values)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return values[order[a]] < values[order[b]] })
+	sortedVals := make([]float64, n)
+	sortedCls := make([]int, n)
+	for i, idx := range order {
+		sortedVals[i] = values[idx]
+		sortedCls[i] = classes[idx]
+	}
+	var cuts []float64
+	mdlSplit(sortedVals, sortedCls, 0, n, numClasses, &cuts)
+	sort.Float64s(cuts)
+	return cuts
+}
+
+// mdlSplit recursively splits the range [lo, hi) of the sorted values.
+func mdlSplit(vals []float64, cls []int, lo, hi, numClasses int, cuts *[]float64) {
+	n := hi - lo
+	if n < 2 {
+		return
+	}
+	// Class counts and entropy of the whole range.
+	total := make([]int, numClasses)
+	for i := lo; i < hi; i++ {
+		total[cls[i]]++
+	}
+	ent := entropy(total, n)
+	if ent == 0 {
+		return // pure range: nothing to gain
+	}
+
+	// Scan candidate cut positions: between adjacent distinct values.
+	left := make([]int, numClasses)
+	bestGain, bestPos := -1.0, -1
+	var bestLeftEnt, bestRightEnt float64
+	var bestLeftK, bestRightK int
+	for i := lo; i < hi-1; i++ {
+		left[cls[i]]++
+		if vals[i] == vals[i+1] {
+			continue
+		}
+		nl := i - lo + 1
+		nr := n - nl
+		le := entropy(left, nl)
+		right := make([]int, numClasses)
+		for c := range right {
+			right[c] = total[c] - left[c]
+		}
+		re := entropy(right, nr)
+		gain := ent - (float64(nl)*le+float64(nr)*re)/float64(n)
+		if gain > bestGain {
+			bestGain, bestPos = gain, i
+			bestLeftEnt, bestRightEnt = le, re
+			bestLeftK, bestRightK = distinct(left), distinct(right)
+		}
+	}
+	if bestPos < 0 {
+		return // all values equal
+	}
+
+	// MDL acceptance (Fayyad & Irani 1993): accept the cut iff
+	// gain > log2(n-1)/n + delta/n with
+	// delta = log2(3^k - 2) - (k·E - k1·E1 - k2·E2).
+	k := distinct(total)
+	delta := math.Log2(math.Pow(3, float64(k))-2) -
+		(float64(k)*ent - float64(bestLeftK)*bestLeftEnt - float64(bestRightK)*bestRightEnt)
+	threshold := (math.Log2(float64(n-1)) + delta) / float64(n)
+	if bestGain <= threshold {
+		return
+	}
+
+	*cuts = append(*cuts, (vals[bestPos]+vals[bestPos+1])/2)
+	mdlSplit(vals, cls, lo, bestPos+1, numClasses, cuts)
+	mdlSplit(vals, cls, bestPos+1, hi, numClasses, cuts)
+}
+
+func entropy(counts []int, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	e := 0.0
+	for _, c := range counts {
+		if c > 0 {
+			p := float64(c) / float64(n)
+			e -= p * math.Log2(p)
+		}
+	}
+	return e
+}
+
+func distinct(counts []int) int {
+	k := 0
+	for _, c := range counts {
+		if c > 0 {
+			k++
+		}
+	}
+	return k
+}
+
+// EqualWidthK returns a Cutter placing k-1 equally spaced cuts between the
+// min and max training values (class labels are ignored). Constant genes
+// get no cuts and are dropped.
+func EqualWidthK(k int) Cutter {
+	return func(values []float64, _ []int, _ int) []float64 {
+		if k < 2 {
+			return nil
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range values {
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+		if !(hi > lo) {
+			return nil
+		}
+		cuts := make([]float64, 0, k-1)
+		for i := 1; i < k; i++ {
+			cuts = append(cuts, lo+(hi-lo)*float64(i)/float64(k))
+		}
+		return cuts
+	}
+}
+
+// EqualFrequencyK returns a Cutter placing cuts so each of the k bins holds
+// roughly the same number of training samples.
+func EqualFrequencyK(k int) Cutter {
+	return func(values []float64, _ []int, _ int) []float64 {
+		if k < 2 || len(values) < k {
+			return nil
+		}
+		sorted := append([]float64(nil), values...)
+		sort.Float64s(sorted)
+		var cuts []float64
+		for i := 1; i < k; i++ {
+			pos := i * len(sorted) / k
+			if pos > 0 && pos < len(sorted) && sorted[pos-1] != sorted[pos] {
+				cuts = append(cuts, (sorted[pos-1]+sorted[pos])/2)
+			}
+		}
+		return cuts
+	}
+}

@@ -1,0 +1,116 @@
+package ep
+
+import (
+	"fmt"
+	"sort"
+
+	"bstc/internal/bitset"
+	"bstc/internal/carminer"
+	"bstc/internal/dataset"
+)
+
+// Classifier aggregates per-class minimal-JEP supports in the style of the
+// JEP-Classifier: a query's score for class C is the summed home-class
+// support of C's JEPs the query contains, normalized by the class's median
+// training score so unbalanced classes compete fairly. Queries matching no
+// JEP fall back to the majority class.
+type Classifier struct {
+	PerClass     [][]JEP
+	baseScore    []float64
+	classSizes   []int
+	DefaultClass int
+}
+
+// Train mines the minimal JEPs of every class and calibrates the per-class
+// base scores on the training rows.
+func Train(d *dataset.Bool, budget carminer.Budget) (*Classifier, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	cl := &Classifier{classSizes: d.ClassCounts()}
+	for ci := 0; ci < d.NumClasses(); ci++ {
+		if cl.classSizes[ci] == 0 {
+			return nil, fmt.Errorf("ep: class %d has no rows", ci)
+		}
+		jeps, err := MineJEPs(d, ci, budget)
+		if err != nil {
+			return nil, err
+		}
+		cl.PerClass = append(cl.PerClass, jeps)
+		if cl.classSizes[ci] > cl.classSizes[cl.DefaultClass] {
+			cl.DefaultClass = ci
+		}
+	}
+	// Base score per class: the median raw score of the class's own
+	// training rows (JEP-Classifier's normalization).
+	cl.baseScore = make([]float64, d.NumClasses())
+	for ci := range cl.PerClass {
+		var scores []float64
+		for i, row := range d.Rows {
+			if d.Classes[i] == ci {
+				scores = append(scores, cl.rawScore(row, ci))
+			}
+		}
+		sort.Float64s(scores)
+		base := scores[len(scores)/2]
+		if base <= 0 {
+			base = 1
+		}
+		cl.baseScore[ci] = base
+	}
+	return cl, nil
+}
+
+func (cl *Classifier) rawScore(q *bitset.Set, ci int) float64 {
+	s := 0.0
+	for _, j := range cl.PerClass[ci] {
+		if j.Genes.SubsetOf(q) {
+			s += float64(j.Support) / float64(cl.classSizes[ci])
+		}
+	}
+	return s
+}
+
+// Scores returns the normalized per-class scores of q.
+func (cl *Classifier) Scores(q *bitset.Set) []float64 {
+	out := make([]float64, len(cl.PerClass))
+	for ci := range cl.PerClass {
+		out[ci] = cl.rawScore(q, ci) / cl.baseScore[ci]
+	}
+	return out
+}
+
+// Classify returns the class with the highest normalized score; with no
+// matching JEP anywhere it returns the majority class.
+func (cl *Classifier) Classify(q *bitset.Set) int {
+	scores := cl.Scores(q)
+	best, bestV, any := 0, 0.0, false
+	for ci, v := range scores {
+		if v > bestV {
+			best, bestV = ci, v
+			any = true
+		}
+	}
+	if !any {
+		return cl.DefaultClass
+	}
+	return best
+}
+
+// ClassifyBatch classifies every row of a test dataset.
+func (cl *Classifier) ClassifyBatch(test *dataset.Bool) []int {
+	out := make([]int, test.NumSamples())
+	for i, row := range test.Rows {
+		out[i] = cl.Classify(row)
+	}
+	return out
+}
+
+// NumPatterns returns the total minimal-JEP count across classes.
+func (cl *Classifier) NumPatterns() int {
+	n := 0
+	for _, js := range cl.PerClass {
+		n += len(js)
+	}
+	return n
+}

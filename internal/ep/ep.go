@@ -1,0 +1,167 @@
+// Package ep implements emerging-pattern mining and the JEP classifier —
+// the related-work family the BSTC paper's §7 positions BSTs against.
+//
+// §7: "Perhaps the work closest to utilizing 100% BARs is the TOP-RULES
+// miner [which] discovers all 100% confident CARs in a dataset. However,
+// the method must utilize an emerging pattern mining algorithm such as
+// MBD-LLBORDER, and so generally isn't polynomial time."
+//
+// A jumping emerging pattern (JEP) of class C is an itemset contained in
+// at least one C row and in no row outside C; the minimal JEPs are exactly
+// the antecedents of the minimal 100%-confident CARs TOP-RULES reports.
+// MineJEPs computes the minimal-JEP left border via Dong & Li's
+// MBD-LLBORDER / BORDER-DIFF (KDD'99) — worst-case exponential, hence the
+// budget — and Classifier aggregates JEP supports per class in the style
+// of the JEP-Classifier (Li, Dong, Ramamohanarao).
+package ep
+
+import (
+	"fmt"
+	"sort"
+
+	"bstc/internal/bitset"
+	"bstc/internal/carminer"
+	"bstc/internal/dataset"
+)
+
+// JEP is one minimal jumping emerging pattern with its home-class support.
+type JEP struct {
+	Genes *bitset.Set
+	// Support counts the home-class rows containing the pattern.
+	Support int
+}
+
+// BorderDiff computes the left border of [ {}, base ] minus the union of
+// [ {}, bound_i ]: the minimal subsets of base not contained in any bound.
+// Every bound must be a subset of base (callers pass row intersections).
+// This is Dong & Li's BORDER-DIFF, the core of MBD-LLBORDER; its output
+// (and runtime) can be exponential in |base|.
+func BorderDiff(base *bitset.Set, bounds []*bitset.Set, budget carminer.Budget) ([]*bitset.Set, error) {
+	// X ⊄ bound ⟺ X intersects base \ bound, so the minimal X are the
+	// minimal hitting sets of the difference sets, built incrementally.
+	if len(bounds) == 0 {
+		// Everything non-empty qualifies; minimal ones are the singletons.
+		var out []*bitset.Set
+		base.ForEach(func(g int) bool {
+			out = append(out, bitset.FromIndices(base.Len(), g))
+			return true
+		})
+		return out, nil
+	}
+	var frontier []*bitset.Set
+	steps := 0
+	for i, bound := range bounds {
+		diff := bitset.Difference(base, bound)
+		if diff.IsEmpty() {
+			// Some bound equals base: no subset of base escapes it.
+			return nil, nil
+		}
+		if i == 0 {
+			diff.ForEach(func(g int) bool {
+				frontier = append(frontier, bitset.FromIndices(base.Len(), g))
+				return true
+			})
+			continue
+		}
+		var next []*bitset.Set
+		for _, x := range frontier {
+			steps++
+			if steps%256 == 0 && budget.Expired() {
+				return nil, carminer.ErrBudgetExceeded
+			}
+			if x.Intersects(diff) {
+				next = append(next, x) // already hits this difference
+				continue
+			}
+			diff.ForEach(func(g int) bool {
+				y := x.Clone()
+				y.Add(g)
+				next = append(next, y)
+				return true
+			})
+		}
+		frontier = minimize(next)
+	}
+	return frontier, nil
+}
+
+// minimize removes duplicates and strict supersets.
+func minimize(sets []*bitset.Set) []*bitset.Set {
+	sort.Slice(sets, func(i, j int) bool {
+		ci, cj := sets[i].Count(), sets[j].Count()
+		if ci != cj {
+			return ci < cj
+		}
+		return sets[i].Key() < sets[j].Key()
+	})
+	var out []*bitset.Set
+	seen := map[string]bool{}
+	for _, s := range sets {
+		key := s.Key()
+		if seen[key] {
+			continue
+		}
+		minimal := true
+		for _, kept := range out {
+			if kept.SubsetOf(s) {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			seen[key] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// MineJEPs returns the minimal jumping emerging patterns of class ci: for
+// each class row, BORDER-DIFF of the row against its intersections with
+// every outside row (MBD-LLBORDER), then a global minimization. Patterns
+// are returned most-supported first.
+func MineJEPs(d *dataset.Bool, ci int, budget carminer.Budget) ([]JEP, error) {
+	if ci < 0 || ci >= d.NumClasses() {
+		return nil, fmt.Errorf("ep: class index %d outside [0,%d)", ci, d.NumClasses())
+	}
+	var classRows, outsideRows []*bitset.Set
+	for i, row := range d.Rows {
+		if d.Classes[i] == ci {
+			classRows = append(classRows, row)
+		} else {
+			outsideRows = append(outsideRows, row)
+		}
+	}
+	if len(classRows) == 0 {
+		return nil, fmt.Errorf("ep: class %d has no rows", ci)
+	}
+	var all []*bitset.Set
+	for _, row := range classRows {
+		bounds := make([]*bitset.Set, 0, len(outsideRows))
+		for _, out := range outsideRows {
+			bounds = append(bounds, bitset.Intersect(row, out))
+		}
+		mins, err := BorderDiff(row, bounds, budget)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, mins...)
+	}
+	var out []JEP
+	for _, genes := range minimize(all) {
+		supp := 0
+		for _, row := range classRows {
+			if genes.SubsetOf(row) {
+				supp++
+			}
+		}
+		out = append(out, JEP{Genes: genes, Support: supp})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		return out[i].Genes.Key() < out[j].Genes.Key()
+	})
+	return out, nil
+}

@@ -1,0 +1,318 @@
+package ep
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"bstc/internal/bitset"
+	"bstc/internal/carminer"
+	"bstc/internal/dataset"
+)
+
+func set(n int, genes ...int) *bitset.Set { return bitset.FromIndices(n, genes...) }
+
+func TestBorderDiffNoBounds(t *testing.T) {
+	got, err := BorderDiff(set(4, 0, 2), nil, carminer.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Minimal subsets avoiding nothing: the singletons.
+	if len(got) != 2 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestBorderDiffBaseCovered(t *testing.T) {
+	base := set(4, 0, 1)
+	got, err := BorderDiff(base, []*bitset.Set{base.Clone()}, carminer.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("covered base should yield nothing, got %v", got)
+	}
+}
+
+func TestBorderDiffMatchesBruteForce(t *testing.T) {
+	// Against brute force over all subsets of base.
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + r.Intn(6)
+		base := bitset.New(n)
+		for g := 0; g < n; g++ {
+			if r.Intn(3) > 0 {
+				base.Add(g)
+			}
+		}
+		if base.IsEmpty() {
+			continue
+		}
+		var bounds []*bitset.Set
+		for b := 0; b < r.Intn(4); b++ {
+			s := base.Clone()
+			base.ForEach(func(g int) bool {
+				if r.Intn(3) == 0 {
+					s.Remove(g)
+				}
+				return true
+			})
+			if !s.Equal(base) || r.Intn(2) == 0 {
+				bounds = append(bounds, s)
+			}
+		}
+		got, err := BorderDiff(base, bounds, carminer.Budget{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteMinimalEscapes(base, bounds)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d minimal sets, want %d", trial, len(got), len(want))
+		}
+		wantKeys := map[string]bool{}
+		for _, s := range want {
+			wantKeys[s.Key()] = true
+		}
+		for _, s := range got {
+			if !wantKeys[s.Key()] {
+				t.Fatalf("trial %d: unexpected minimal set %v", trial, s.Indices())
+			}
+		}
+	}
+}
+
+// bruteMinimalEscapes enumerates all subsets of base not contained in any
+// bound, keeping the inclusion-minimal ones.
+func bruteMinimalEscapes(base *bitset.Set, bounds []*bitset.Set) []*bitset.Set {
+	genes := base.Indices()
+	var escapes []*bitset.Set
+	for mask := 1; mask < 1<<len(genes); mask++ {
+		s := bitset.New(base.Len())
+		for b, g := range genes {
+			if mask&(1<<b) != 0 {
+				s.Add(g)
+			}
+		}
+		inBound := false
+		for _, bd := range bounds {
+			if s.SubsetOf(bd) {
+				inBound = true
+				break
+			}
+		}
+		if !inBound {
+			escapes = append(escapes, s)
+		}
+	}
+	var minimal []*bitset.Set
+	for _, s := range escapes {
+		isMin := true
+		for _, other := range escapes {
+			if other.ProperSubsetOf(s) {
+				isMin = false
+				break
+			}
+		}
+		if isMin {
+			minimal = append(minimal, s)
+		}
+	}
+	return minimal
+}
+
+// TestMineJEPsTable1 pins the hand-derived minimal JEPs of the paper's
+// running example: Cancer has {g1}, {g2,g4}, {g2,g6}; Healthy has
+// {g3,g4}, {g4,g5}, {g5,g6}.
+func TestMineJEPsTable1(t *testing.T) {
+	d := dataset.PaperTable1()
+	cancer, err := MineJEPs(d, 0, carminer.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCancer := [][]int{{0}, {1, 3}, {1, 5}}
+	checkJEPs(t, "Cancer", cancer, wantCancer, d.NumGenes())
+
+	healthy, err := MineJEPs(d, 1, carminer.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHealthy := [][]int{{2, 3}, {3, 4}, {4, 5}}
+	checkJEPs(t, "Healthy", healthy, wantHealthy, d.NumGenes())
+
+	// Supports: {g1} is in s1 and s2.
+	for _, j := range cancer {
+		if j.Genes.Equal(set(6, 0)) && j.Support != 2 {
+			t.Errorf("{g1} support = %d, want 2", j.Support)
+		}
+	}
+}
+
+func checkJEPs(t *testing.T, label string, got []JEP, want [][]int, numGenes int) {
+	t.Helper()
+	if len(got) != len(want) {
+		var gs [][]int
+		for _, j := range got {
+			gs = append(gs, j.Genes.Indices())
+		}
+		t.Fatalf("%s: got %d JEPs %v, want %d %v", label, len(got), gs, len(want), want)
+	}
+	wantKeys := map[string]bool{}
+	for _, w := range want {
+		wantKeys[set(numGenes, w...).Key()] = true
+	}
+	for _, j := range got {
+		if !wantKeys[j.Genes.Key()] {
+			t.Errorf("%s: unexpected JEP %v", label, j.Genes.Indices())
+		}
+	}
+}
+
+func TestMineJEPsProperties(t *testing.T) {
+	// Every mined JEP occurs in ≥1 class row, 0 outside rows, and is
+	// minimal (dropping any gene admits an outside row or empties it).
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		d := randomBool(r, 8, 8, 2)
+		for ci := 0; ci < 2; ci++ {
+			jeps, err := MineJEPs(d, ci, carminer.Budget{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, j := range jeps {
+				in, out := 0, 0
+				for i, row := range d.Rows {
+					if j.Genes.SubsetOf(row) {
+						if d.Classes[i] == ci {
+							in++
+						} else {
+							out++
+						}
+					}
+				}
+				if in == 0 || out > 0 {
+					t.Fatalf("trial %d: %v occurs in %d class rows, %d outside rows",
+						trial, j.Genes.Indices(), in, out)
+				}
+				if in != j.Support {
+					t.Fatalf("trial %d: support %d, counted %d", trial, j.Support, in)
+				}
+				j.Genes.ForEach(func(g int) bool {
+					sub := j.Genes.Clone()
+					sub.Remove(g)
+					if sub.IsEmpty() {
+						return true
+					}
+					for i, row := range d.Rows {
+						if d.Classes[i] != ci && sub.SubsetOf(row) {
+							return true // dropping g admits an outside row: minimal
+						}
+					}
+					t.Fatalf("trial %d: %v not minimal (drop g%d)", trial, j.Genes.Indices(), g+1)
+					return false
+				})
+			}
+		}
+	}
+}
+
+func TestMineJEPsErrorsAndBudget(t *testing.T) {
+	d := dataset.PaperTable1()
+	if _, err := MineJEPs(d, 5, carminer.Budget{}); err == nil {
+		t.Error("bad class index should error")
+	}
+	// Exponential blowup under an expired deadline must DNF.
+	r := rand.New(rand.NewSource(11))
+	big := randomBool(r, 40, 40, 2)
+	_, err := MineJEPs(big, 0, carminer.Budget{Deadline: time.Now().Add(-time.Second)})
+	if !errors.Is(err, carminer.ErrBudgetExceeded) {
+		t.Errorf("expected budget error, got %v", err)
+	}
+}
+
+func TestJEPClassifierTable1(t *testing.T) {
+	d := dataset.PaperTable1()
+	cl, err := Train(d, carminer.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.NumPatterns() != 6 {
+		t.Errorf("NumPatterns = %d, want 6", cl.NumPatterns())
+	}
+	// Training rows classify to their own classes — except s4, which is a
+	// subset of the Cancer sample s1 and therefore contains no JEP of
+	// either class (the JEP family's blind spot); it falls back to the
+	// majority class.
+	for i, p := range cl.ClassifyBatch(d) {
+		if d.SampleNames[i] == "s4" {
+			if p != cl.DefaultClass {
+				t.Errorf("s4 (JEP-free) should take the default class, got %s", d.ClassNames[p])
+			}
+			continue
+		}
+		if p != d.Classes[i] {
+			t.Errorf("sample %s misclassified as %s", d.SampleNames[i], d.ClassNames[p])
+		}
+	}
+	// The §5.4 query expresses g1 (a Cancer JEP) and g4,g5 (a Healthy JEP):
+	// scores are positive for both classes; classification must pick one.
+	q := set(6, 0, 3, 4)
+	scores := cl.Scores(q)
+	if scores[0] <= 0 || scores[1] <= 0 {
+		t.Errorf("scores = %v, want both positive", scores)
+	}
+	// A query with no JEP at all falls back to the majority class (Cancer).
+	if got := cl.Classify(set(6)); got != 0 {
+		t.Errorf("empty query -> %d, want majority class 0", got)
+	}
+}
+
+func TestJEPClassifierSeparable(t *testing.T) {
+	d, err := dataset.FromItems(
+		map[string][]string{
+			"a1": {"m1", "x"}, "a2": {"m1", "y"}, "a3": {"m1", "x", "y"},
+			"b1": {"m2", "x"}, "b2": {"m2", "y"}, "b3": {"m2", "x", "y"},
+		},
+		map[string]string{"a1": "A", "a2": "A", "a3": "A", "b1": "B", "b2": "B", "b3": "B"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := Train(d, carminer.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range cl.ClassifyBatch(d) {
+		if p != d.Classes[i] {
+			t.Fatalf("sample %d misclassified", i)
+		}
+	}
+}
+
+func randomBool(r *rand.Rand, samples, genes, classes int) *dataset.Bool {
+	d := &dataset.Bool{
+		GeneNames:  make([]string, genes),
+		ClassNames: make([]string, classes),
+	}
+	for g := range d.GeneNames {
+		d.GeneNames[g] = "g"
+	}
+	for c := range d.ClassNames {
+		d.ClassNames[c] = "C"
+	}
+	for i := 0; i < samples; i++ {
+		cl := i % classes
+		if i >= classes {
+			cl = r.Intn(classes)
+		}
+		row := bitset.New(genes)
+		for g := 0; g < genes; g++ {
+			if r.Intn(2) == 0 {
+				row.Add(g)
+			}
+		}
+		d.Classes = append(d.Classes, cl)
+		d.Rows = append(d.Rows, row)
+	}
+	return d
+}

@@ -1,0 +1,211 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"bstc/internal/core"
+	"bstc/internal/dataset"
+	"bstc/internal/rcbt"
+)
+
+// TrainSize is one row of the cross-validation protocol: either a random
+// fraction of all samples (the paper's 40%/60%/80% sizes) or fixed
+// per-class counts (the paper's "1-x/0-y" sizes).
+type TrainSize struct {
+	Label  string
+	Frac   float64 // used when > 0
+	Counts []int   // used otherwise: training samples per class
+}
+
+func (ts TrainSize) split(r *rand.Rand, d *dataset.Continuous) (dataset.Split, error) {
+	if ts.Frac > 0 {
+		return dataset.RandomFractionSplit(r, d.NumSamples(), ts.Frac)
+	}
+	return dataset.FixedCountSplit(r, d.Classes, ts.Counts)
+}
+
+// PaperTrainSizes builds the four §6.2 training sizes for a dataset with
+// the given clinically-determined counts (class1, class0) — e.g. for PC:
+// 40%, 60%, 80% and 1-52/0-50.
+func PaperTrainSizes(given [2]int) []TrainSize {
+	return []TrainSize{
+		{Label: "40%", Frac: 0.4},
+		{Label: "60%", Frac: 0.6},
+		{Label: "80%", Frac: 0.8},
+		{Label: fmt.Sprintf("1-%d/0-%d", given[0], given[1]), Counts: []int{given[0], given[1]}},
+	}
+}
+
+// CVConfig drives a cross-validation study on one dataset.
+type CVConfig struct {
+	Data  *dataset.Continuous
+	Sizes []TrainSize
+	// Tests per size (the paper uses 25).
+	Tests int
+	Seed  int64
+
+	BSTCOpts *core.EvalOptions
+
+	// RunRCBT enables the Top-k/RCBT arm.
+	RunRCBT bool
+	RCBT    rcbt.Config
+	// Cutoff bounds each Top-k/RCBT phase (the paper's 2 hours); 0 is
+	// unbounded.
+	Cutoff time.Duration
+	// NLFallback retries a DNF'd RCBT build with this nl (the paper's 2).
+	NLFallback int
+}
+
+// SizeResult aggregates one training size's tests.
+type SizeResult struct {
+	Size       TrainSize
+	BSTC       []BSTCOutcome
+	RCBT       []RCBTOutcome
+	GenesAfter []int
+}
+
+// RunCV runs the full study: Tests independent random splits per size, each
+// discretized on its training half, with BSTC always and Top-k/RCBT
+// optionally evaluated.
+func RunCV(cfg CVConfig) ([]SizeResult, error) {
+	if cfg.Tests <= 0 {
+		return nil, fmt.Errorf("eval: Tests = %d", cfg.Tests)
+	}
+	if len(cfg.Sizes) == 0 {
+		return nil, fmt.Errorf("eval: no training sizes")
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	var out []SizeResult
+	for _, size := range cfg.Sizes {
+		sr := SizeResult{Size: size}
+		for test := 0; test < cfg.Tests; test++ {
+			sp, err := size.split(r, cfg.Data)
+			if err != nil {
+				return nil, fmt.Errorf("eval: size %s test %d: %w", size.Label, test, err)
+			}
+			ps, err := Prepare(cfg.Data, sp)
+			if err != nil {
+				return nil, fmt.Errorf("eval: size %s test %d: %w", size.Label, test, err)
+			}
+			sr.GenesAfter = append(sr.GenesAfter, ps.GenesAfterDiscretization)
+			b, err := RunBSTC(ps, cfg.BSTCOpts)
+			if err != nil {
+				return nil, fmt.Errorf("eval: size %s test %d: BSTC: %w", size.Label, test, err)
+			}
+			sr.BSTC = append(sr.BSTC, b)
+			if cfg.RunRCBT {
+				sr.RCBT = append(sr.RCBT, RunRCBT(ps, cfg.RCBT, cfg.Cutoff, cfg.NLFallback))
+			}
+		}
+		out = append(out, sr)
+	}
+	return out, nil
+}
+
+// BSTCAccuracies returns the per-test BSTC accuracies.
+func (sr SizeResult) BSTCAccuracies() []float64 {
+	out := make([]float64, len(sr.BSTC))
+	for i, b := range sr.BSTC {
+		out[i] = b.Accuracy
+	}
+	return out
+}
+
+// MeanBSTCTime averages BSTC build+classify time.
+func (sr SizeResult) MeanBSTCTime() time.Duration {
+	if len(sr.BSTC) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, b := range sr.BSTC {
+		total += b.Elapsed
+	}
+	return total / time.Duration(len(sr.BSTC))
+}
+
+// RCBTFinishedAccuracies returns accuracies over the tests RCBT finished —
+// the basis of the paper's Tables 5 and 7 means.
+func (sr SizeResult) RCBTFinishedAccuracies() []float64 {
+	var out []float64
+	for _, o := range sr.RCBT {
+		if o.Finished() {
+			out = append(out, o.Accuracy)
+		}
+	}
+	return out
+}
+
+// BSTCAccuraciesWhereRCBTFinished pairs Table 5/7's convention: BSTC means
+// over exactly the tests RCBT completed (all tests when RCBT never ran or
+// never finished, matching the paper's fallback of reporting BSTC over all
+// 25).
+func (sr SizeResult) BSTCAccuraciesWhereRCBTFinished() []float64 {
+	if len(sr.RCBT) == 0 {
+		return sr.BSTCAccuracies()
+	}
+	var out []float64
+	for i, o := range sr.RCBT {
+		if o.Finished() {
+			out = append(out, sr.BSTC[i].Accuracy)
+		}
+	}
+	if len(out) == 0 {
+		return sr.BSTCAccuracies()
+	}
+	return out
+}
+
+// MeanTopkTime averages Top-k mining time; truncated reports whether any
+// test hit the cutoff (the paper prints such averages as "≥").
+func (sr SizeResult) MeanTopkTime() (mean time.Duration, truncated bool) {
+	if len(sr.RCBT) == 0 {
+		return 0, false
+	}
+	var total time.Duration
+	for _, o := range sr.RCBT {
+		total += o.TopkTime
+		truncated = truncated || o.TopkDNF
+	}
+	return total / time.Duration(len(sr.RCBT)), truncated
+}
+
+// MeanRCBTTime averages the RCBT phase over the tests Top-k finished, as
+// the paper's Tables 4 and 6 do; truncated reports any DNF among them.
+func (sr SizeResult) MeanRCBTTime() (mean time.Duration, truncated bool) {
+	n := 0
+	var total time.Duration
+	for _, o := range sr.RCBT {
+		if o.TopkDNF {
+			continue
+		}
+		total += o.RCBTTime
+		n++
+		truncated = truncated || o.RCBTDNF
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return total / time.Duration(n), truncated
+}
+
+// DNFCounts returns the paper's "# RCBT DNF" cell: RCBT DNFs over the
+// number of tests for which Top-k finished, plus whether any finished test
+// used the nl fallback (the tables' † marker).
+func (sr SizeResult) DNFCounts() (rcbtDNF, topkFinished int, nlLowered bool) {
+	for _, o := range sr.RCBT {
+		if o.TopkDNF {
+			continue
+		}
+		topkFinished++
+		if o.RCBTDNF {
+			rcbtDNF++
+		}
+		nlLowered = nlLowered || o.NLFallback
+	}
+	return rcbtDNF, topkFinished, nlLowered
+}
+
+// DefaultRCBTConfig mirrors rcbt.DefaultConfig for harness convenience.
+func DefaultRCBTConfig() rcbt.Config { return rcbt.DefaultConfig() }

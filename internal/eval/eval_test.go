@@ -1,0 +1,300 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"bstc/internal/cba"
+	"bstc/internal/dataset"
+	"bstc/internal/forest"
+	"bstc/internal/rcbt"
+	"bstc/internal/svm"
+	"bstc/internal/synth"
+)
+
+// toyData generates a small separable continuous dataset.
+func toyData(t *testing.T, seed int64) *dataset.Continuous {
+	t.Helper()
+	p := synth.Profile{
+		Name: "toy", NumGenes: 60,
+		ClassNames: []string{"A", "B"}, ClassSizes: []int{20, 20},
+		InformativeFrac: 0.25, Separation: 2.5, Dropout: 0.1, Seed: seed,
+	}
+	d, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func preparedToy(t *testing.T) *Prepared {
+	t.Helper()
+	d := toyData(t, 5)
+	r := rand.New(rand.NewSource(1))
+	sp, err := dataset.RandomFractionSplit(r, d.NumSamples(), 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := Prepare(d, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ps
+}
+
+func TestPrepareShapes(t *testing.T) {
+	ps := preparedToy(t)
+	if ps.TrainBool.NumSamples() != ps.TrainCont.NumSamples() {
+		t.Error("train views disagree on sample count")
+	}
+	if ps.TestBool.NumSamples() != ps.TestCont.NumSamples() {
+		t.Error("test views disagree on sample count")
+	}
+	if ps.GenesAfterDiscretization == 0 {
+		t.Error("no genes selected")
+	}
+	if ps.TrainCont.NumGenes() != ps.GenesAfterDiscretization {
+		t.Errorf("continuous view has %d genes, want %d selected",
+			ps.TrainCont.NumGenes(), ps.GenesAfterDiscretization)
+	}
+	// Bool item vocabulary shared between train and test.
+	if ps.TrainBool.NumGenes() != ps.TestBool.NumGenes() {
+		t.Error("train/test item vocabularies differ")
+	}
+}
+
+func TestPrepareRejectsEmptySides(t *testing.T) {
+	d := toyData(t, 6)
+	if _, err := Prepare(d, dataset.Split{Train: []int{0, 1}, Test: nil}); err == nil {
+		t.Error("empty test side should error")
+	}
+	if _, err := Prepare(d, dataset.Split{Train: nil, Test: []int{0}}); err == nil {
+		t.Error("empty train side should error")
+	}
+}
+
+func TestRunBSTCAccuracy(t *testing.T) {
+	ps := preparedToy(t)
+	out, err := RunBSTC(ps, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Accuracy < 0.75 {
+		t.Errorf("BSTC accuracy %v too low on separable toy data", out.Accuracy)
+	}
+	if out.Elapsed <= 0 {
+		t.Error("elapsed time not recorded")
+	}
+}
+
+func TestRunRCBTFinishes(t *testing.T) {
+	ps := preparedToy(t)
+	out := RunRCBT(ps, rcbt.Config{MinSupport: 0.7, K: 3, NL: 5}, time.Minute, 2)
+	if !out.Finished() {
+		t.Fatalf("RCBT did not finish on toy data: %+v", out)
+	}
+	if out.Accuracy < 0.6 {
+		t.Errorf("RCBT accuracy %v too low", out.Accuracy)
+	}
+	if out.NLUsed != 5 || out.NLFallback {
+		t.Errorf("unexpected nl state: %+v", out)
+	}
+}
+
+func TestRunRCBTCutoffDNF(t *testing.T) {
+	ps := preparedToy(t)
+	out := RunRCBT(ps, rcbt.Config{MinSupport: 0.01, K: 10, NL: 20}, time.Nanosecond, 2)
+	if out.Finished() {
+		t.Error("nanosecond cutoff should DNF")
+	}
+	if !out.TopkDNF && !out.RCBTDNF {
+		t.Error("a phase should be marked DNF")
+	}
+}
+
+func TestRunSVMAndForest(t *testing.T) {
+	ps := preparedToy(t)
+	accS, err := RunSVM(ps, svm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accS < 0.7 {
+		t.Errorf("SVM accuracy %v too low", accS)
+	}
+	accF, err := RunForest(ps, forest.Config{NumTrees: 30, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accF < 0.7 {
+		t.Errorf("forest accuracy %v too low", accF)
+	}
+}
+
+func TestRunCBAAndTreeAndMCBAR(t *testing.T) {
+	ps := preparedToy(t)
+	accC, err := RunCBA(ps, cba.Config{MinSupport: 0.1, MinConfidence: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accC < 0.6 {
+		t.Errorf("CBA accuracy %v too low", accC)
+	}
+	for _, mode := range []TreeMode{SingleTree, BaggedTrees, BoostedTrees} {
+		acc, err := RunTree(ps, mode, 10, 1)
+		if err != nil {
+			t.Fatalf("mode %d: %v", mode, err)
+		}
+		if acc < 0.6 {
+			t.Errorf("tree mode %d accuracy %v too low", mode, acc)
+		}
+	}
+	if _, err := RunTree(ps, TreeMode(99), 10, 1); err == nil {
+		t.Error("unknown tree mode should error")
+	}
+	accM, err := RunMCBAR(ps, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accM < 0.6 {
+		t.Errorf("MCBAR accuracy %v too low", accM)
+	}
+}
+
+func TestPaperTrainSizes(t *testing.T) {
+	sizes := PaperTrainSizes([2]int{52, 50})
+	if len(sizes) != 4 {
+		t.Fatalf("got %d sizes", len(sizes))
+	}
+	if sizes[0].Frac != 0.4 || sizes[1].Frac != 0.6 || sizes[2].Frac != 0.8 {
+		t.Error("fraction sizes wrong")
+	}
+	if sizes[3].Label != "1-52/0-50" || sizes[3].Counts[0] != 52 || sizes[3].Counts[1] != 50 {
+		t.Errorf("fixed-count size wrong: %+v", sizes[3])
+	}
+}
+
+func TestRunCVEndToEnd(t *testing.T) {
+	d := toyData(t, 7)
+	results, err := RunCV(CVConfig{
+		Data:       d,
+		Sizes:      []TrainSize{{Label: "40%", Frac: 0.4}, {Label: "fixed", Counts: []int{8, 8}}},
+		Tests:      3,
+		Seed:       9,
+		RunRCBT:    true,
+		RCBT:       rcbt.Config{MinSupport: 0.7, K: 2, NL: 3},
+		Cutoff:     30 * time.Second,
+		NLFallback: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d size results", len(results))
+	}
+	for _, sr := range results {
+		if len(sr.BSTC) != 3 || len(sr.RCBT) != 3 || len(sr.GenesAfter) != 3 {
+			t.Fatalf("size %s: wrong test counts %d/%d/%d",
+				sr.Size.Label, len(sr.BSTC), len(sr.RCBT), len(sr.GenesAfter))
+		}
+		if accs := sr.BSTCAccuracies(); len(accs) != 3 {
+			t.Error("BSTCAccuracies wrong length")
+		}
+		if sr.MeanBSTCTime() <= 0 {
+			t.Error("mean BSTC time not positive")
+		}
+		if _, _, lowered := sr.DNFCounts(); lowered {
+			t.Error("unexpected nl fallback on toy data")
+		}
+	}
+}
+
+func TestRunCVValidation(t *testing.T) {
+	d := toyData(t, 8)
+	if _, err := RunCV(CVConfig{Data: d, Sizes: []TrainSize{{Frac: 0.4}}, Tests: 0}); err == nil {
+		t.Error("Tests=0 should error")
+	}
+	if _, err := RunCV(CVConfig{Data: d, Tests: 1}); err == nil {
+		t.Error("no sizes should error")
+	}
+}
+
+func TestMediumScalePipelineSanity(t *testing.T) {
+	// The medium-scale OC profile (1515 genes, 253 samples) must flow
+	// through discretization and BSTC without pathology; only BSTC runs
+	// (the miners' medium-scale behaviour is the benchmark harness's job).
+	if testing.Short() {
+		t.Skip("medium-scale pipeline")
+	}
+	p, err := synth.ProfileByName("OC", synth.Medium)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(17))
+	sp, err := dataset.RandomFractionSplit(r, d.NumSamples(), 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := Prepare(d, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.GenesAfterDiscretization < 10 {
+		t.Fatalf("medium OC selected only %d genes", ps.GenesAfterDiscretization)
+	}
+	out, err := RunBSTC(ps, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Accuracy < 0.8 {
+		t.Errorf("medium OC BSTC accuracy %v too low", out.Accuracy)
+	}
+	if out.Elapsed > 30*time.Second {
+		t.Errorf("medium OC BSTC took %v — polynomial promise broken?", out.Elapsed)
+	}
+}
+
+func TestSizeResultAggregatesWithDNF(t *testing.T) {
+	sr := SizeResult{
+		BSTC: []BSTCOutcome{{Accuracy: 0.9, Elapsed: time.Second}, {Accuracy: 0.8, Elapsed: time.Second}},
+		RCBT: []RCBTOutcome{
+			{TopkTime: time.Second, RCBTTime: 2 * time.Second, Accuracy: 0.85},
+			{TopkTime: 3 * time.Second, TopkDNF: true},
+		},
+	}
+	if got := sr.RCBTFinishedAccuracies(); len(got) != 1 || got[0] != 0.85 {
+		t.Errorf("finished accuracies = %v", got)
+	}
+	if got := sr.BSTCAccuraciesWhereRCBTFinished(); len(got) != 1 || got[0] != 0.9 {
+		t.Errorf("paired BSTC accuracies = %v", got)
+	}
+	mean, trunc := sr.MeanTopkTime()
+	if mean != 2*time.Second || !trunc {
+		t.Errorf("MeanTopkTime = %v, %v", mean, trunc)
+	}
+	mean, trunc = sr.MeanRCBTTime()
+	if mean != 2*time.Second || trunc {
+		t.Errorf("MeanRCBTTime = %v, %v", mean, trunc)
+	}
+	dnf, fin, _ := sr.DNFCounts()
+	if dnf != 0 || fin != 1 {
+		t.Errorf("DNFCounts = %d/%d", dnf, fin)
+	}
+}
+
+func TestSizeResultAllDNFFallsBackToAllBSTC(t *testing.T) {
+	sr := SizeResult{
+		BSTC: []BSTCOutcome{{Accuracy: 0.9}, {Accuracy: 0.7}},
+		RCBT: []RCBTOutcome{{TopkDNF: true}, {RCBTDNF: true}},
+	}
+	if got := sr.BSTCAccuraciesWhereRCBTFinished(); len(got) != 2 {
+		t.Errorf("expected fallback to all BSTC accuracies, got %v", got)
+	}
+	if got := sr.RCBTFinishedAccuracies(); len(got) != 0 {
+		t.Errorf("expected no finished RCBT tests, got %v", got)
+	}
+}

@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"bstc/internal/synth"
+)
+
+// tinyConfig keeps experiment tests fast: 2 CV tests, 1.5s cutoffs.
+func tinyConfig() Config {
+	cfg := Default(synth.Small)
+	cfg.Tests = 2
+	cfg.Cutoff = 1500 * time.Millisecond
+	return cfg
+}
+
+func TestDefaultConfigs(t *testing.T) {
+	small := Default(synth.Small)
+	if small.Tests != 5 || small.RCBT.MinSupport != 0.7 || small.RCBT.K != 10 || small.RCBT.NL != 20 {
+		t.Errorf("small defaults wrong: %+v", small)
+	}
+	paper := Default(synth.Paper)
+	if paper.Tests != 25 || paper.Cutoff != 2*time.Hour {
+		t.Errorf("paper defaults must match the paper: %+v", paper)
+	}
+	if paper.NLFallback != 2 {
+		t.Errorf("NL fallback should be the paper's 2, got %d", paper.NLFallback)
+	}
+}
+
+func TestTable2(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table2(&buf, tinyConfig()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"ALL", "LC", "PC", "OC", "tumor", "normal", "162", "91"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table 3 runs all four profiles")
+	}
+	var buf bytes.Buffer
+	rows, err := Table3(&buf, tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.BSTC < 0.5 {
+			t.Errorf("%s: BSTC accuracy %v suspiciously low", r.Name, r.BSTC)
+		}
+		if r.GenesAfterDiscretization == 0 {
+			t.Errorf("%s: no genes after discretization", r.Name)
+		}
+	}
+	if !strings.Contains(buf.String(), "Average") {
+		t.Error("Table 3 output missing the Average row")
+	}
+}
+
+func TestRunStudyAndRenderers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("study runs the CV protocol")
+	}
+	cfg := tinyConfig()
+	s, err := RunStudy(cfg, "ALL", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Results) != 4 {
+		t.Fatalf("study has %d sizes, want 4", len(s.Results))
+	}
+
+	var fig bytes.Buffer
+	s.RenderFigure(&fig, "Figure 4")
+	if !strings.Contains(fig.String(), "BSTC 40%") {
+		t.Errorf("figure missing BSTC row:\n%s", fig.String())
+	}
+
+	var rt bytes.Buffer
+	s.RenderRuntimeTable(&rt, "Table X", "note")
+	for _, want := range []string{"Training", "BSTC", "Top-k", "# RCBT DNF", "1-27/0-11"} {
+		if !strings.Contains(rt.String(), want) {
+			t.Errorf("runtime table missing %q:\n%s", want, rt.String())
+		}
+	}
+
+	var acc bytes.Buffer
+	s.RenderAccuracyTable(&acc, "Table Y")
+	if !strings.Contains(acc.String(), "RCBT") {
+		t.Errorf("accuracy table malformed:\n%s", acc.String())
+	}
+}
+
+func TestRunStudyUnknownProfile(t *testing.T) {
+	if _, err := RunStudy(tinyConfig(), "nope", false); err == nil {
+		t.Error("unknown profile should error")
+	}
+}
+
+func TestFigureProfile(t *testing.T) {
+	for id, want := range map[string]string{"fig4": "ALL", "fig5": "LC", "fig6": "PC", "fig7": "OC"} {
+		got, ok := FigureProfile(id)
+		if !ok || got != want {
+			t.Errorf("FigureProfile(%s) = %q, %v", id, got, ok)
+		}
+	}
+	if _, ok := FigureProfile("fig9"); ok {
+		t.Error("unknown figure id should not resolve")
+	}
+}
+
+func TestTuning(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tuning runs OC mining twice")
+	}
+	var buf bytes.Buffer
+	if err := Tuning(&buf, tinyConfig()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "0.70") || !strings.Contains(out, "0.90") {
+		t.Errorf("tuning output missing support rows:\n%s", out)
+	}
+	if !strings.Contains(out, "parameter-free") {
+		t.Error("tuning output missing the BSTC note")
+	}
+}
+
+func TestAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation trains several variants")
+	}
+	var buf bytes.Buffer
+	rows, err := Ablation(&buf, tinyConfig(), "ALL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d ablation rows, want 5 (incl. adaptive)", len(rows))
+	}
+	for _, r := range rows {
+		if r.Accuracy < 0.5 || r.Accuracy > 1 {
+			t.Errorf("%s: accuracy %v out of range", r.Label, r.Accuracy)
+		}
+		if r.PerQuery <= 0 {
+			t.Errorf("%s: per-query time not measured", r.Label)
+		}
+	}
+	if !strings.Contains(buf.String(), "Mine-MCMCBAR") {
+		t.Error("ablation output missing the mining tie-break rows")
+	}
+}
+
+func TestPreliminary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("preliminary runs all four profiles and seven classifiers")
+	}
+	var buf bytes.Buffer
+	rows, err := Preliminary(&buf, tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	for _, r := range rows {
+		for name, acc := range map[string]float64{
+			"BSTC": r.BSTC, "CBA": r.CBA, "single": r.Single,
+			"bagging": r.Bagging, "boosting": r.Boosting, "SVM": r.SVM, "MCBAR": r.MCBAR,
+		} {
+			if acc < 0.3 || acc > 1 {
+				t.Errorf("%s %s accuracy %v implausible", r.Name, name, acc)
+			}
+		}
+	}
+	if !strings.Contains(buf.String(), "Average") {
+		t.Error("preliminary output missing the Average row")
+	}
+}
+
+func TestRelated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("related runs JEP mining with cutoffs")
+	}
+	var buf bytes.Buffer
+	if err := Related(&buf, tinyConfig()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"BST build", "JEP left border", "40%", "80%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("related output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormattingHelpers(t *testing.T) {
+	if got := fmtDuration(1500 * time.Millisecond); got != "1.500s" {
+		t.Errorf("fmtDuration = %q", got)
+	}
+	if got := fmtMaybeTruncated(2*time.Second, true, true); got != ">= 2.000s (+)" {
+		t.Errorf("fmtMaybeTruncated = %q", got)
+	}
+	if got := fmtPct(0.8235); got != "82.35%" {
+		t.Errorf("fmtPct = %q", got)
+	}
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"io"
+
+	"bstc/internal/stats"
+	"bstc/internal/textplot"
+)
+
+// figureOf maps the paper's figure numbers to dataset profiles.
+var figureOf = map[string]string{
+	"fig4": "ALL",
+	"fig5": "LC",
+	"fig6": "PC",
+	"fig7": "OC",
+}
+
+// FigureProfile resolves a figure id ("fig4".."fig7") to its profile name.
+func FigureProfile(id string) (string, bool) {
+	name, ok := figureOf[id]
+	return name, ok
+}
+
+// RenderFigure prints the paper's Figures 4-7 as ASCII boxplot panels: one
+// BSTC boxplot per training size and, where RCBT finished every test of a
+// size (the paper's condition for drawing its boxplot), an RCBT panel too.
+func (s *Study) RenderFigure(w io.Writer, figureID string) {
+	line(w, "%s: %s cross-validation accuracy (%d tests per size)",
+		figureID, s.Name, len(s.Results[0].BSTC))
+
+	var labels []string
+	var plots []stats.Boxplot
+	for _, sr := range s.Results {
+		labels = append(labels, "BSTC "+sr.Size.Label)
+		plots = append(plots, stats.NewBoxplot(sr.BSTCAccuracies()))
+	}
+	for _, sr := range s.Results {
+		acc := sr.RCBTFinishedAccuracies()
+		if len(acc) == len(sr.RCBT) && len(acc) > 0 {
+			labels = append(labels, "RCBT "+sr.Size.Label)
+			plots = append(plots, stats.NewBoxplot(acc))
+		} else if len(sr.RCBT) > 0 {
+			line(w, "  (RCBT boxplot omitted for %s: finished %d/%d tests within the cutoff)",
+				sr.Size.Label, len(acc), len(sr.RCBT))
+		}
+	}
+	lo, hi := textplot.AutoRange(plots)
+	if hi > 1 {
+		hi = 1.001
+	}
+	textplot.Boxplots(w, "  accuracy", labels, plots, lo, hi, 64)
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"bstc/internal/stats"
+	"bstc/internal/textplot"
+)
+
+// RenderRuntimeTable prints the paper's Table 4 (PC) / Table 6 (OC)
+// structure: per training size the average BSTC build+classify time, the
+// average Top-k mining time, the average RCBT time over the tests Top-k
+// finished, and the "# RCBT DNF" cell (DNFs over Top-k-finished tests).
+// Averages truncated by the cutoff carry "≥"; sizes where the nl fallback
+// fired carry the paper's † marker (rendered "(+)").
+func (s *Study) RenderRuntimeTable(w io.Writer, tableID string, cutoffNote string) {
+	line(w, "%s: Average Run Times for the %s Tests. %s", tableID, s.Name, cutoffNote)
+	var rows [][]string
+	for _, sr := range s.Results {
+		topkMean, topkTrunc := sr.MeanTopkTime()
+		rcbtMean, rcbtTrunc := sr.MeanRCBTTime()
+		dnf, finished, dagger := sr.DNFCounts()
+		rcbtCell := "n/a"
+		if finished > 0 {
+			rcbtCell = fmtMaybeTruncated(rcbtMean, rcbtTrunc, dagger)
+		}
+		rows = append(rows, []string{
+			sr.Size.Label,
+			fmtDuration(sr.MeanBSTCTime()),
+			fmtMaybeTruncated(topkMean, topkTrunc, false),
+			rcbtCell,
+			fmt.Sprintf("%d/%d", dnf, finished),
+		})
+	}
+	textplot.Table(w, []string{"Training", "BSTC", "Top-k", "RCBT", "# RCBT DNF"}, rows)
+}
+
+// RenderAccuracyTable prints the paper's Table 5 (PC) / Table 7 (OC)
+// structure: mean accuracies per training size, taken over the tests RCBT
+// finished (BSTC falls back to all tests when RCBT finished none, as the
+// paper does).
+func (s *Study) RenderAccuracyTable(w io.Writer, tableID string) {
+	line(w, "%s: Mean Accuracies for the %s Tests that RCBT Finished", tableID, s.Name)
+	var rows [][]string
+	for _, sr := range s.Results {
+		rcbtAcc := sr.RCBTFinishedAccuracies()
+		rcbtCell := "-"
+		note := fmt.Sprintf("%d tests", len(rcbtAcc))
+		if len(rcbtAcc) > 0 {
+			rcbtCell = fmtPct(stats.Mean(rcbtAcc))
+		} else {
+			note = "0 tests (BSTC mean over all tests)"
+		}
+		rows = append(rows, []string{
+			sr.Size.Label,
+			fmtPct(stats.Mean(sr.BSTCAccuraciesWhereRCBTFinished())),
+			rcbtCell,
+			note,
+		})
+	}
+	textplot.Table(w, []string{"Training", "BSTC", "RCBT", "basis"}, rows)
+}

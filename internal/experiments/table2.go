@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"bstc/internal/synth"
+	"bstc/internal/textplot"
+)
+
+// Table2 regenerates the paper's Table 2: the gene expression dataset
+// inventory (gene counts, class labels, per-class sample counts) — here for
+// the synthetic stand-ins at the configured scale.
+func Table2(w io.Writer, cfg Config) error {
+	line(w, "Table 2: Gene Expression Datasets (synthetic profiles, scale=%s)", cfg.Scale)
+	var rows [][]string
+	for _, p := range synth.PaperProfiles(cfg.Scale) {
+		d, err := p.Generate()
+		if err != nil {
+			return err
+		}
+		counts := d.ClassCounts()
+		rows = append(rows, []string{
+			p.Name,
+			fmt.Sprintf("%d", d.NumGenes()),
+			d.ClassNames[0], d.ClassNames[1],
+			fmt.Sprintf("%d", counts[0]),
+			fmt.Sprintf("%d", counts[1]),
+		})
+	}
+	textplot.Table(w, []string{
+		"Dataset", "# Genes", "Class 1 label", "Class 0 label",
+		"# Class 1 samples", "# Class 0 samples",
+	}, rows)
+	return nil
+}

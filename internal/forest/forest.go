@@ -1,0 +1,103 @@
+// Package forest implements Breiman's random forest over continuous
+// features: CART trees (Gini splits) grown on bootstrap resamples with
+// sqrt(#features) feature sampling at every split, aggregated by majority
+// vote.
+//
+// The BSTC paper's §6.1 benchmarks against "randomForest version 4.5 ... run
+// with its default 500 trees for ALL, LC, and OC" and 1000 trees for PC;
+// NumTrees mirrors that knob.
+package forest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"bstc/internal/dataset"
+	"bstc/internal/tree"
+)
+
+// Config tunes forest training. Zero values take randomForest-like
+// defaults: 500 trees, mtry = floor(sqrt(#features)), unlimited depth.
+type Config struct {
+	NumTrees int
+	MTry     int
+	MaxDepth int
+	MinLeaf  int
+	Seed     int64
+}
+
+// Classifier is a trained random forest.
+type Classifier struct {
+	Trees      []*tree.Tree
+	numClasses int
+}
+
+// Train fits a random forest on a continuous dataset.
+func Train(d *dataset.Continuous, cfg Config) (*Classifier, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if d.NumSamples() == 0 {
+		return nil, fmt.Errorf("forest: no training samples")
+	}
+	if cfg.NumTrees == 0 {
+		cfg.NumTrees = 500
+	}
+	if cfg.NumTrees < 0 {
+		return nil, fmt.Errorf("forest: NumTrees = %d", cfg.NumTrees)
+	}
+	if cfg.MTry == 0 {
+		cfg.MTry = int(math.Sqrt(float64(d.NumGenes())))
+		if cfg.MTry < 1 {
+			cfg.MTry = 1
+		}
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	cl := &Classifier{numClasses: d.NumClasses()}
+	n := d.NumSamples()
+	for t := 0; t < cfg.NumTrees; t++ {
+		bx := make([][]float64, n)
+		by := make([]int, n)
+		for i := 0; i < n; i++ {
+			j := r.Intn(n)
+			bx[i], by[i] = d.Values[j], d.Classes[j]
+		}
+		tr, err := tree.Grow(bx, by, d.NumClasses(), nil, tree.Options{
+			Criterion: tree.Gini,
+			MaxDepth:  cfg.MaxDepth,
+			MinLeaf:   cfg.MinLeaf,
+			MTry:      cfg.MTry,
+			Rand:      rand.New(rand.NewSource(r.Int63())),
+		})
+		if err != nil {
+			return nil, err
+		}
+		cl.Trees = append(cl.Trees, tr)
+	}
+	return cl, nil
+}
+
+// Predict returns the majority-vote class for x.
+func (cl *Classifier) Predict(x []float64) int {
+	votes := make([]int, cl.numClasses)
+	for _, t := range cl.Trees {
+		votes[t.Predict(x)]++
+	}
+	best := 0
+	for c, v := range votes {
+		if v > votes[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// PredictBatch classifies every sample of a continuous dataset.
+func (cl *Classifier) PredictBatch(d *dataset.Continuous) []int {
+	out := make([]int, d.NumSamples())
+	for i, x := range d.Values {
+		out[i] = cl.Predict(x)
+	}
+	return out
+}

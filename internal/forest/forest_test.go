@@ -1,0 +1,87 @@
+package forest
+
+import (
+	"math/rand"
+	"testing"
+
+	"bstc/internal/dataset"
+)
+
+func blobData(r *rand.Rand, nPer int, sep float64) *dataset.Continuous {
+	d := &dataset.Continuous{
+		GeneNames:  []string{"f1", "f2", "f3"},
+		ClassNames: []string{"A", "B"},
+	}
+	for i := 0; i < nPer; i++ {
+		d.Values = append(d.Values, []float64{r.NormFloat64(), r.NormFloat64(), r.NormFloat64()})
+		d.Classes = append(d.Classes, 0)
+		d.Values = append(d.Values, []float64{sep + r.NormFloat64(), sep + r.NormFloat64(), r.NormFloat64()})
+		d.Classes = append(d.Classes, 1)
+	}
+	return d
+}
+
+func TestForestSeparable(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	train := blobData(r, 30, 5)
+	cl, err := Train(train, Config{NumTrees: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := blobData(r, 20, 5)
+	correct := 0
+	for i, p := range cl.PredictBatch(test) {
+		if p == test.Classes[i] {
+			correct++
+		}
+	}
+	if correct < test.NumSamples()*9/10 {
+		t.Errorf("forest test accuracy %d/%d too low", correct, test.NumSamples())
+	}
+	if len(cl.Trees) != 50 {
+		t.Errorf("got %d trees, want 50", len(cl.Trees))
+	}
+}
+
+func TestForestDefaults(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	train := blobData(r, 5, 6)
+	cl, err := Train(train, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.Trees) != 500 {
+		t.Errorf("default NumTrees should be 500, got %d", len(cl.Trees))
+	}
+}
+
+func TestForestDeterministicWithSeed(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	train := blobData(r, 20, 3)
+	test := blobData(r, 10, 3)
+	a, err := Train(train, Config{NumTrees: 20, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(train, Config{NumTrees: 20, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, pb := a.PredictBatch(test), b.PredictBatch(test)
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatal("same seed should give identical predictions")
+		}
+	}
+}
+
+func TestForestErrors(t *testing.T) {
+	empty := &dataset.Continuous{GeneNames: []string{"f"}, ClassNames: []string{"A"}}
+	if _, err := Train(empty, Config{}); err == nil {
+		t.Error("empty dataset should error")
+	}
+	r := rand.New(rand.NewSource(4))
+	if _, err := Train(blobData(r, 3, 1), Config{NumTrees: -1}); err == nil {
+		t.Error("negative NumTrees should error")
+	}
+}

@@ -1,0 +1,326 @@
+package rules
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"bstc/internal/bitset"
+	"bstc/internal/dataset"
+)
+
+func row(n int, genes ...int) *bitset.Set { return bitset.FromIndices(n, genes...) }
+
+func TestConstEval(t *testing.T) {
+	r := row(3)
+	if !Const(true).Eval(r) || Const(false).Eval(r) {
+		t.Error("Const evaluation broken")
+	}
+}
+
+func TestLitEval(t *testing.T) {
+	r := row(4, 1, 3)
+	cases := []struct {
+		lit  Lit
+		want bool
+	}{
+		{Lit{Gene: 1}, true},
+		{Lit{Gene: 0}, false},
+		{Lit{Gene: 1, Neg: true}, false},
+		{Lit{Gene: 0, Neg: true}, true},
+	}
+	for _, tc := range cases {
+		if got := tc.lit.Eval(r); got != tc.want {
+			t.Errorf("%+v.Eval = %v, want %v", tc.lit, got, tc.want)
+		}
+	}
+}
+
+func TestAndOrEval(t *testing.T) {
+	r := row(4, 0, 2)
+	// (g1 AND g3) OR (g2 AND g4): the paper's example B-hat over Table 1 shape.
+	e := NewOr(
+		NewAnd(Lit{Gene: 0}, Lit{Gene: 2}),
+		NewAnd(Lit{Gene: 1}, Lit{Gene: 3}),
+	)
+	if !e.Eval(r) {
+		t.Error("(g1 AND g3) should hold for row {g1,g3}")
+	}
+	if e.Eval(row(4, 0, 1)) {
+		t.Error("neither conjunct holds for {g1,g2}")
+	}
+	if (And{}).Eval(r) != true {
+		t.Error("empty And is true")
+	}
+	if (Or{}).Eval(r) != false {
+		t.Error("empty Or is false")
+	}
+}
+
+func TestPaperBHatOverTable1(t *testing.T) {
+	// §2.1: B̂ = (x1 ∧ x3) ∨ (x2 ∧ x4) evaluates true exactly on the Cancer
+	// samples of Table 1, so BAR B̂ ⇒ Cancer has support 3 and confidence 1.
+	d := dataset.PaperTable1()
+	b := BAR{
+		Antecedent: NewOr(
+			NewAnd(Lit{Gene: 0}, Lit{Gene: 2}),
+			NewAnd(Lit{Gene: 1}, Lit{Gene: 3}),
+		),
+		Class: 0,
+	}
+	if got := b.Support(d).Count(); got != 3 {
+		t.Errorf("support = %d, want 3", got)
+	}
+	if got := b.Confidence(d); got != 1 {
+		t.Errorf("confidence = %v, want 1", got)
+	}
+}
+
+func TestPaperCARG1G3(t *testing.T) {
+	// §2: CAR g1,g3 ⇒ Cancer has support 2 (s1, s2) and confidence 1.
+	d := dataset.PaperTable1()
+	c := CAR{Genes: row(6, 0, 2), Class: 0}
+	supp, conf := CARSupportConfidence(d, c)
+	if supp != 2 || conf != 1 {
+		t.Errorf("supp=%d conf=%v, want 2, 1", supp, conf)
+	}
+	// And the CAR's Expr view agrees with the subset-based computation.
+	b := BAR{Antecedent: c.Expr(), Class: 0}
+	if got := b.Support(d).Count(); got != 2 {
+		t.Errorf("Expr support = %d, want 2", got)
+	}
+}
+
+func TestTheorem2ExampleConfidence(t *testing.T) {
+	// §4.3: (g3 AND [g1 OR (-g2 OR -g5)]) ⇒ Cancer has support {s1,s2} and
+	// confidence 2/3 over Table 1 (matched additionally by s5).
+	d := dataset.PaperTable1()
+	b := BAR{
+		Antecedent: NewAnd(
+			Lit{Gene: 2},
+			NewOr(Lit{Gene: 0}, NewOr(Lit{Gene: 1, Neg: true}, Lit{Gene: 4, Neg: true})),
+		),
+		Class: 0,
+	}
+	if got := b.Support(d).Indices(); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Errorf("support = %v, want [0 1]", got)
+	}
+	if got := b.Confidence(d); got != 2.0/3.0 {
+		t.Errorf("confidence = %v, want 2/3", got)
+	}
+	if got := b.Matches(d).Indices(); !reflect.DeepEqual(got, []int{0, 1, 4}) {
+		t.Errorf("matches = %v, want [0 1 4]", got)
+	}
+}
+
+func TestNewAndSimplification(t *testing.T) {
+	if got := NewAnd(); got != Const(true) {
+		t.Errorf("empty NewAnd = %v, want true", got)
+	}
+	if got := NewAnd(Const(false), Lit{Gene: 0}); got != Const(false) {
+		t.Errorf("NewAnd with false = %v", got)
+	}
+	if got := NewAnd(Const(true), Lit{Gene: 0}); got != (Lit{Gene: 0}) {
+		t.Errorf("NewAnd(true, g1) = %v, want g1", got)
+	}
+	// Nested Ands flatten.
+	e := NewAnd(NewAnd(Lit{Gene: 0}, Lit{Gene: 1}), Lit{Gene: 2})
+	if a, ok := e.(And); !ok || len(a) != 3 {
+		t.Errorf("nested NewAnd should flatten to 3 operands, got %#v", e)
+	}
+}
+
+func TestNewOrSimplification(t *testing.T) {
+	if got := NewOr(); got != Const(false) {
+		t.Errorf("empty NewOr = %v, want false", got)
+	}
+	if got := NewOr(Const(true), Lit{Gene: 0}); got != Const(true) {
+		t.Errorf("NewOr with true = %v", got)
+	}
+	if got := NewOr(Const(false), Lit{Gene: 0}); got != (Lit{Gene: 0}) {
+		t.Errorf("NewOr(false, g1) = %v, want g1", got)
+	}
+	e := NewOr(NewOr(Lit{Gene: 0}, Lit{Gene: 1}), Lit{Gene: 2})
+	if o, ok := e.(Or); !ok || len(o) != 3 {
+		t.Errorf("nested NewOr should flatten to 3 operands, got %#v", e)
+	}
+}
+
+func TestNewAndOrDeduplicate(t *testing.T) {
+	a := NewOr(Lit{Gene: 0, Neg: true}, Lit{Gene: 1, Neg: true})
+	if e, ok := NewAnd(a, a, a).(Expr); !ok || Render(e, nil) != Render(a, nil) {
+		t.Errorf("NewAnd(A, A, A) = %v, want A", Render(e, nil))
+	}
+	b := Lit{Gene: 2}
+	if e := NewOr(b, b); e != b {
+		t.Errorf("NewOr(B, B) = %v, want B", e)
+	}
+	// Distinct operands are preserved in order.
+	e := NewAnd(Lit{Gene: 0}, Lit{Gene: 1}, Lit{Gene: 0})
+	if got, ok := e.(And); !ok || len(got) != 2 {
+		t.Errorf("NewAnd with one duplicate = %#v, want 2 operands", e)
+	}
+}
+
+func TestClauseSatisfied(t *testing.T) {
+	// Negative clause (-g4 OR -g6): satisfied unless the row expresses both.
+	neg := Clause{Genes: row(6, 3, 5), Neg: true}
+	if !neg.Satisfied(row(6, 3)) {
+		t.Error("row lacking g6 satisfies (-g4 OR -g6)")
+	}
+	if neg.Satisfied(row(6, 3, 5)) {
+		t.Error("row with both g4,g6 must not satisfy (-g4 OR -g6)")
+	}
+	// Positive clause (g1): satisfied iff g1 expressed.
+	pos := Clause{Genes: row(6, 0)}
+	if !pos.Satisfied(row(6, 0, 1)) || pos.Satisfied(row(6, 1)) {
+		t.Error("positive clause satisfaction broken")
+	}
+	// Empty clause can never be satisfied.
+	empty := Clause{Genes: bitset.New(6), Neg: true}
+	if empty.Satisfied(row(6, 0)) {
+		t.Error("empty clause must be unsatisfiable")
+	}
+}
+
+func TestClauseSatisfactionFractionWorkedExample(t *testing.T) {
+	// §5.4: Q = {g1, g4, g5}. Exclusion list (s4: g1) is totally satisfied
+	// (V=1); (s5: -g4, -g6) is half satisfied (V=1/2).
+	q := row(6, 0, 3, 4)
+	pos := Clause{Genes: row(6, 0)}
+	if got := pos.SatisfactionFraction(q); got != 1 {
+		t.Errorf("V(s4: g1) = %v, want 1", got)
+	}
+	neg := Clause{Genes: row(6, 3, 5), Neg: true}
+	if got := neg.SatisfactionFraction(q); got != 0.5 {
+		t.Errorf("V(s5: -g4,-g6) = %v, want 0.5", got)
+	}
+	empty := Clause{Genes: bitset.New(6)}
+	if got := empty.SatisfactionFraction(q); got != 0 {
+		t.Errorf("V(empty) = %v, want 0", got)
+	}
+}
+
+func TestClauseExprAgreesWithSatisfied(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(10)
+		genes := bitset.New(n)
+		for i := 0; i < n; i++ {
+			if r.Intn(3) == 0 {
+				genes.Add(i)
+			}
+		}
+		c := Clause{Genes: genes, Neg: r.Intn(2) == 0}
+		sample := bitset.New(n)
+		for i := 0; i < n; i++ {
+			if r.Intn(2) == 0 {
+				sample.Add(i)
+			}
+		}
+		return c.Satisfied(sample) == c.Expr().Eval(sample)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClauseFractionOneImpliesSatisfied(t *testing.T) {
+	// Property: V_e ∈ [0,1]; V_e > 0 ⇔ Satisfied (for non-empty clauses).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(12)
+		genes := bitset.New(n)
+		for i := 0; i < n; i++ {
+			if r.Intn(2) == 0 {
+				genes.Add(i)
+			}
+		}
+		c := Clause{Genes: genes, Neg: r.Intn(2) == 0}
+		sample := bitset.New(n)
+		for i := 0; i < n; i++ {
+			if r.Intn(2) == 0 {
+				sample.Add(i)
+			}
+		}
+		v := c.SatisfactionFraction(sample)
+		if v < 0 || v > 1 {
+			return false
+		}
+		if genes.IsEmpty() {
+			return v == 0 && !c.Satisfied(sample)
+		}
+		return (v > 0) == c.Satisfied(sample)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRender(t *testing.T) {
+	names := []string{"g1", "g2", "g3"}
+	e := NewAnd(Lit{Gene: 0}, NewOr(Lit{Gene: 1, Neg: true}, Lit{Gene: 2}))
+	got := Render(e, names)
+	want := "(g1 AND (-g2 OR g3))"
+	if got != want {
+		t.Errorf("Render = %q, want %q", got, want)
+	}
+	if got := Render(Const(true), nil); got != "true" {
+		t.Errorf("Render(true) = %q", got)
+	}
+	if got := Render(And{}, nil); got != "true" {
+		t.Errorf("Render(empty And) = %q", got)
+	}
+	if got := Render(Or{}, nil); got != "false" {
+		t.Errorf("Render(empty Or) = %q", got)
+	}
+	// Fallback naming without a names slice.
+	if got := Render(Lit{Gene: 4}, nil); got != "g5" {
+		t.Errorf("Render(Lit g5) = %q", got)
+	}
+}
+
+func TestCARString(t *testing.T) {
+	c := CAR{Genes: row(6, 0, 2), Class: 0}
+	if got := c.String(); got != "g1, g3 => class 0" {
+		t.Errorf("CAR.String = %q", got)
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	// De Morgan over 3 genes.
+	a := NewOr(Lit{Gene: 0, Neg: true}, Lit{Gene: 1, Neg: true})
+	// a ≡ NOT(g1 AND g2); compare to explicit truth: check non-equivalence too.
+	b := NewAnd(Lit{Gene: 0, Neg: true}, Lit{Gene: 1, Neg: true})
+	if Equivalent(a, b, 3) {
+		t.Error("OR of negations is not AND of negations")
+	}
+	if !Equivalent(a, a, 3) {
+		t.Error("expression must be equivalent to itself")
+	}
+}
+
+func TestEquivalentPanicsOnLargeUniverse(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Equivalent over 21 genes should panic")
+		}
+	}()
+	Equivalent(Const(true), Const(true), 21)
+}
+
+func TestGenesOf(t *testing.T) {
+	e := NewAnd(Lit{Gene: 3}, NewOr(Lit{Gene: 1, Neg: true}, Lit{Gene: 3}), Const(true))
+	if got := GenesOf(e); !reflect.DeepEqual(got, []int{1, 3}) {
+		t.Errorf("GenesOf = %v, want [1 3]", got)
+	}
+}
+
+func TestBARConfidenceNoMatches(t *testing.T) {
+	d := dataset.PaperTable1()
+	b := BAR{Antecedent: Const(false), Class: 0}
+	if got := b.Confidence(d); got != 0 {
+		t.Errorf("confidence of unmatched rule = %v, want 0", got)
+	}
+}

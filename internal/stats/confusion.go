@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Confusion is a multi-class confusion matrix: Counts[truth][predicted].
+type Confusion struct {
+	ClassNames []string
+	Counts     [][]int
+}
+
+// NewConfusion tallies predictions against labels.
+func NewConfusion(classNames []string, predictions, labels []int) (*Confusion, error) {
+	if len(predictions) != len(labels) {
+		return nil, fmt.Errorf("stats: %d predictions for %d labels", len(predictions), len(labels))
+	}
+	n := len(classNames)
+	c := &Confusion{ClassNames: classNames, Counts: make([][]int, n)}
+	for i := range c.Counts {
+		c.Counts[i] = make([]int, n)
+	}
+	for i, p := range predictions {
+		t := labels[i]
+		if t < 0 || t >= n || p < 0 || p >= n {
+			return nil, fmt.Errorf("stats: sample %d has class %d/%d outside [0,%d)", i, t, p, n)
+		}
+		c.Counts[t][p]++
+	}
+	return c, nil
+}
+
+// Total returns the number of tallied samples.
+func (c *Confusion) Total() int {
+	n := 0
+	for _, row := range c.Counts {
+		for _, v := range row {
+			n += v
+		}
+	}
+	return n
+}
+
+// Accuracy returns the trace fraction, NaN when empty.
+func (c *Confusion) Accuracy() float64 {
+	total := c.Total()
+	if total == 0 {
+		return math.NaN()
+	}
+	diag := 0
+	for i := range c.Counts {
+		diag += c.Counts[i][i]
+	}
+	return float64(diag) / float64(total)
+}
+
+// Precision returns TP / (TP + FP) for one class; NaN when the class is
+// never predicted.
+func (c *Confusion) Precision(class int) float64 {
+	tp, fp := c.Counts[class][class], 0
+	for t := range c.Counts {
+		if t != class {
+			fp += c.Counts[t][class]
+		}
+	}
+	if tp+fp == 0 {
+		return math.NaN()
+	}
+	return float64(tp) / float64(tp+fp)
+}
+
+// Recall returns TP / (TP + FN) for one class; NaN when the class never
+// occurs.
+func (c *Confusion) Recall(class int) float64 {
+	tp, fn := c.Counts[class][class], 0
+	for p := range c.Counts[class] {
+		if p != class {
+			fn += c.Counts[class][p]
+		}
+	}
+	if tp+fn == 0 {
+		return math.NaN()
+	}
+	return float64(tp) / float64(tp+fn)
+}
+
+// F1 returns the harmonic mean of precision and recall for one class.
+func (c *Confusion) F1(class int) float64 {
+	p, r := c.Precision(class), c.Recall(class)
+	if math.IsNaN(p) || math.IsNaN(r) || p+r == 0 {
+		return math.NaN()
+	}
+	return 2 * p * r / (p + r)
+}
+
+// MacroF1 averages F1 over classes, skipping NaN classes.
+func (c *Confusion) MacroF1() float64 {
+	sum, n := 0.0, 0
+	for class := range c.Counts {
+		if f := c.F1(class); !math.IsNaN(f) {
+			sum += f
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// String renders the matrix with truth rows and prediction columns.
+func (c *Confusion) String() string {
+	var b strings.Builder
+	w := 8
+	for _, n := range c.ClassNames {
+		if len(n)+1 > w {
+			w = len(n) + 1
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", w, "truth\\pred")
+	if w < 11 {
+		b.Reset()
+		fmt.Fprintf(&b, "%-11s", "truth\\pred")
+	}
+	for _, n := range c.ClassNames {
+		fmt.Fprintf(&b, "%*s", w, n)
+	}
+	b.WriteByte('\n')
+	for t, row := range c.Counts {
+		label := fmt.Sprintf("%-11s", c.ClassNames[t])
+		if w > 11 {
+			label = fmt.Sprintf("%-*s", w, c.ClassNames[t])
+		}
+		b.WriteString(label)
+		for _, v := range row {
+			fmt.Fprintf(&b, "%*d", w, v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

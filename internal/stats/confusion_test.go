@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func twoClassConfusion(t *testing.T) *Confusion {
+	t.Helper()
+	//                 truth:  A A A A A B B B
+	labels := []int{0, 0, 0, 0, 0, 1, 1, 1}
+	preds := []int{0, 0, 0, 1, 1, 1, 1, 0}
+	c, err := NewConfusion([]string{"A", "B"}, preds, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfusionCounts(t *testing.T) {
+	c := twoClassConfusion(t)
+	if c.Counts[0][0] != 3 || c.Counts[0][1] != 2 || c.Counts[1][1] != 2 || c.Counts[1][0] != 1 {
+		t.Fatalf("counts = %v", c.Counts)
+	}
+	if c.Total() != 8 {
+		t.Errorf("Total = %d", c.Total())
+	}
+	if got := c.Accuracy(); got != 5.0/8 {
+		t.Errorf("Accuracy = %v", got)
+	}
+}
+
+func TestPrecisionRecallF1(t *testing.T) {
+	c := twoClassConfusion(t)
+	// Class A: TP 3, FP 1, FN 2.
+	if got := c.Precision(0); got != 0.75 {
+		t.Errorf("Precision(A) = %v", got)
+	}
+	if got := c.Recall(0); got != 0.6 {
+		t.Errorf("Recall(A) = %v", got)
+	}
+	wantF1 := 2 * 0.75 * 0.6 / (0.75 + 0.6)
+	if got := c.F1(0); math.Abs(got-wantF1) > 1e-12 {
+		t.Errorf("F1(A) = %v, want %v", got, wantF1)
+	}
+	if macro := c.MacroF1(); math.IsNaN(macro) || macro <= 0 || macro > 1 {
+		t.Errorf("MacroF1 = %v", macro)
+	}
+}
+
+func TestConfusionDegenerates(t *testing.T) {
+	c, err := NewConfusion([]string{"A", "B"}, []int{0, 0}, []int{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(c.Precision(1)) {
+		t.Error("never-predicted class precision should be NaN")
+	}
+	if !math.IsNaN(c.Recall(1)) {
+		t.Error("never-occurring class recall should be NaN")
+	}
+	if !math.IsNaN(c.F1(1)) {
+		t.Error("F1 of empty class should be NaN")
+	}
+	empty, err := NewConfusion([]string{"A"}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(empty.Accuracy()) || !math.IsNaN(empty.MacroF1()) {
+		t.Error("empty confusion should be NaN everywhere")
+	}
+}
+
+func TestConfusionErrors(t *testing.T) {
+	if _, err := NewConfusion([]string{"A"}, []int{0}, []int{0, 0}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := NewConfusion([]string{"A"}, []int{1}, []int{0}); err == nil {
+		t.Error("out-of-range prediction should error")
+	}
+}
+
+func TestConfusionString(t *testing.T) {
+	s := twoClassConfusion(t).String()
+	for _, want := range []string{"truth\\pred", "A", "B", "3", "2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered confusion missing %q:\n%s", want, s)
+		}
+	}
+}

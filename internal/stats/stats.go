@@ -1,0 +1,160 @@
+// Package stats provides the descriptive statistics the experiment harness
+// reports, including the exact boxplot model the BSTC paper describes in
+// §6.2: median diamond, first/third quartile box, whiskers to the extreme
+// values within 1.5×IQR, near outliers (within 3×IQR) drawn as circles and
+// far outliers as asterisks.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean, or NaN for empty input.
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, v := range values {
+		s += v
+	}
+	return s / float64(len(values))
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator), or NaN
+// when fewer than two values are given.
+func StdDev(values []float64) float64 {
+	if len(values) < 2 {
+		return math.NaN()
+	}
+	m := Mean(values)
+	s := 0.0
+	for _, v := range values {
+		d := v - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(values)-1))
+}
+
+// Quantile returns the p-quantile (0 ≤ p ≤ 1) using linear interpolation
+// between order statistics (R's default type-7 method). It returns NaN for
+// empty input.
+func Quantile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 1 {
+		return s[len(s)-1]
+	}
+	h := p * float64(len(s)-1)
+	lo := int(math.Floor(h))
+	hi := lo + 1
+	if hi >= len(s) {
+		return s[lo]
+	}
+	frac := h - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Median returns the 0.5-quantile.
+func Median(values []float64) float64 { return Quantile(values, 0.5) }
+
+// Boxplot is the paper's §6.2 boxplot summary of a measurement series.
+type Boxplot struct {
+	N            int
+	Mean         float64
+	Median       float64
+	Q1, Q3       float64
+	IQR          float64
+	WhiskerLow   float64 // most extreme value within 1.5×IQR below Q1
+	WhiskerHigh  float64 // most extreme value within 1.5×IQR above Q3
+	NearOutliers []float64
+	FarOutliers  []float64
+	Min, Max     float64
+}
+
+// NewBoxplot summarizes values. It panics on empty input: a boxplot of
+// nothing is a caller bug.
+func NewBoxplot(values []float64) Boxplot {
+	if len(values) == 0 {
+		panic("stats: boxplot of empty series")
+	}
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	b := Boxplot{
+		N:      len(s),
+		Mean:   Mean(s),
+		Median: Median(s),
+		Q1:     Quantile(s, 0.25),
+		Q3:     Quantile(s, 0.75),
+		Min:    s[0],
+		Max:    s[len(s)-1],
+	}
+	b.IQR = b.Q3 - b.Q1
+	loFence, hiFence := b.Q1-1.5*b.IQR, b.Q3+1.5*b.IQR
+	loFar, hiFar := b.Q1-3*b.IQR, b.Q3+3*b.IQR
+	b.WhiskerLow, b.WhiskerHigh = b.Q1, b.Q3
+	first := true
+	for _, v := range s {
+		switch {
+		case v < loFar:
+			b.FarOutliers = append(b.FarOutliers, v)
+		case v < loFence:
+			b.NearOutliers = append(b.NearOutliers, v)
+		case v > hiFar:
+			b.FarOutliers = append(b.FarOutliers, v)
+		case v > hiFence:
+			b.NearOutliers = append(b.NearOutliers, v)
+		default:
+			if first || v < b.WhiskerLow {
+				b.WhiskerLow = v
+			}
+			if first || v > b.WhiskerHigh {
+				b.WhiskerHigh = v
+			}
+			first = false
+		}
+	}
+	// With tiny samples an interpolated quartile can fall below every
+	// in-fence value (e.g. n=4 with an outlying minimum); whiskers never
+	// retract inside the box, matching standard boxplot rendering.
+	if b.WhiskerLow > b.Q1 {
+		b.WhiskerLow = b.Q1
+	}
+	if b.WhiskerHigh < b.Q3 {
+		b.WhiskerHigh = b.Q3
+	}
+	return b
+}
+
+// String renders a compact one-line summary.
+func (b Boxplot) String() string {
+	return fmt.Sprintf("n=%d mean=%.4f median=%.4f box=[%.4f,%.4f] whiskers=[%.4f,%.4f] outliers=%d near, %d far",
+		b.N, b.Mean, b.Median, b.Q1, b.Q3, b.WhiskerLow, b.WhiskerHigh,
+		len(b.NearOutliers), len(b.FarOutliers))
+}
+
+// Accuracy returns the fraction of predictions matching labels. It panics
+// on length mismatch and returns NaN for empty input.
+func Accuracy(predictions, labels []int) float64 {
+	if len(predictions) != len(labels) {
+		panic(fmt.Sprintf("stats: %d predictions for %d labels", len(predictions), len(labels)))
+	}
+	if len(labels) == 0 {
+		return math.NaN()
+	}
+	c := 0
+	for i, p := range predictions {
+		if p == labels[i] {
+			c++
+		}
+	}
+	return float64(c) / float64(len(labels))
+}

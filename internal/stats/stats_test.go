@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean of empty should be NaN")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); !almost(got, math.Sqrt(32.0/7)) {
+		t.Errorf("StdDev = %v", got)
+	}
+	if !math.IsNaN(StdDev([]float64{1})) {
+		t.Error("StdDev of one value should be NaN")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.1, 1.4},
+	}
+	for _, tc := range cases {
+		if got := Quantile(vals, tc.p); !almost(got, tc.want) {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile of empty should be NaN")
+	}
+	// Input must not be mutated.
+	vals2 := []float64{3, 1, 2}
+	Quantile(vals2, 0.5)
+	if vals2[0] != 3 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestMedianEven(t *testing.T) {
+	if got := Median([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Median = %v, want 2.5", got)
+	}
+}
+
+func TestBoxplotNoOutliers(t *testing.T) {
+	b := NewBoxplot([]float64{1, 2, 3, 4, 5, 6, 7})
+	if b.Median != 4 || b.Q1 != 2.5 || b.Q3 != 5.5 {
+		t.Errorf("box = %v", b)
+	}
+	// Whiskers reach the extremes when no outliers exist.
+	if b.WhiskerLow != 1 || b.WhiskerHigh != 7 {
+		t.Errorf("whiskers = [%v, %v], want [1, 7]", b.WhiskerLow, b.WhiskerHigh)
+	}
+	if len(b.NearOutliers)+len(b.FarOutliers) != 0 {
+		t.Errorf("unexpected outliers: %v %v", b.NearOutliers, b.FarOutliers)
+	}
+}
+
+func TestBoxplotOutlierClasses(t *testing.T) {
+	// A large tight cluster on [10, 12] keeps Q1/Q3 essentially fixed when
+	// two extra points are appended: Q3 ≈ 11.5, IQR ≈ 1, so 14 falls between
+	// the 1.5×IQR and 3×IQR fences (near) and 30 beyond 3×IQR (far).
+	var vals []float64
+	for i := 0; i <= 100; i++ {
+		vals = append(vals, 10+2*float64(i)/100)
+	}
+	near, far := 14.0, 30.0
+	b := NewBoxplot(append(append([]float64{}, vals...), near, far))
+	foundNear, foundFar := false, false
+	for _, v := range b.NearOutliers {
+		if v == near {
+			foundNear = true
+		}
+	}
+	for _, v := range b.FarOutliers {
+		if v == far {
+			foundFar = true
+		}
+	}
+	if !foundNear {
+		t.Errorf("near outlier %v not classified: %+v", near, b)
+	}
+	if !foundFar {
+		t.Errorf("far outlier %v not classified: %+v", far, b)
+	}
+	// Whiskers must not extend to the outliers.
+	if b.WhiskerHigh >= near {
+		t.Errorf("whisker %v reaches outlier %v", b.WhiskerHigh, near)
+	}
+}
+
+func TestBoxplotSingleValue(t *testing.T) {
+	b := NewBoxplot([]float64{0.9})
+	if b.Median != 0.9 || b.WhiskerLow != 0.9 || b.WhiskerHigh != 0.9 || b.N != 1 {
+		t.Errorf("degenerate boxplot = %+v", b)
+	}
+}
+
+func TestBoxplotWhiskersNeverInsideBox(t *testing.T) {
+	// Regression: with n=4 and an outlying minimum, every in-fence value can
+	// exceed the interpolated Q1; the whisker must clamp to the box edge.
+	b := NewBoxplot([]float64{1.5, 7.57, 7.94, 9.16})
+	if b.WhiskerLow > b.Q1 {
+		t.Errorf("whisker low %v retracted above Q1 %v", b.WhiskerLow, b.Q1)
+	}
+	if b.WhiskerHigh < b.Q3 {
+		t.Errorf("whisker high %v retracted below Q3 %v", b.WhiskerHigh, b.Q3)
+	}
+}
+
+func TestBoxplotEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewBoxplot(nil) should panic")
+		}
+	}()
+	NewBoxplot(nil)
+}
+
+func TestBoxplotInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(100)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = r.NormFloat64() * 10
+		}
+		b := NewBoxplot(vals)
+		ordered := b.Min <= b.WhiskerLow && b.WhiskerLow <= b.Q1 &&
+			b.Q1 <= b.Median && b.Median <= b.Q3 &&
+			b.Q3 <= b.WhiskerHigh && b.WhiskerHigh <= b.Max
+		counted := b.N == n
+		// Every point is inside whiskers or an outlier.
+		outliers := len(b.NearOutliers) + len(b.FarOutliers)
+		inside := 0
+		for _, v := range vals {
+			if v >= b.WhiskerLow && v <= b.WhiskerHigh {
+				inside++
+			}
+		}
+		return ordered && counted && inside+outliers >= n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoxplotString(t *testing.T) {
+	if NewBoxplot([]float64{1, 2, 3}).String() == "" {
+		t.Error("String() empty")
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	if got := Accuracy([]int{1, 0, 1, 1}, []int{1, 0, 0, 1}); got != 0.75 {
+		t.Errorf("Accuracy = %v, want 0.75", got)
+	}
+	if !math.IsNaN(Accuracy(nil, nil)) {
+		t.Error("Accuracy of empty should be NaN")
+	}
+}
+
+func TestAccuracyMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch should panic")
+		}
+	}()
+	Accuracy([]int{1}, []int{1, 2})
+}

@@ -1,0 +1,288 @@
+// Package svm implements a support vector machine trained with a simplified
+// SMO solver (Platt 1998), with RBF and linear kernels.
+//
+// The BSTC paper's §6.1 benchmarks BSTC against the R e1071 SVM "run on the
+// same genes selected by our entropy discretization except with their
+// original undiscretized gene expression values", with the default radial
+// kernel. This package mirrors that setup: binary classification over
+// continuous feature vectors, RBF kernel with e1071's default gamma
+// (1/#features) and cost C=1, plus a one-vs-rest wrapper for multi-class
+// data.
+package svm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"bstc/internal/dataset"
+)
+
+// Kernel computes k(x, y) for feature vectors.
+type Kernel func(x, y []float64) float64
+
+// RBF returns the radial basis kernel exp(-gamma·||x-y||²).
+func RBF(gamma float64) Kernel {
+	return func(x, y []float64) float64 {
+		s := 0.0
+		for i := range x {
+			d := x[i] - y[i]
+			s += d * d
+		}
+		return math.Exp(-gamma * s)
+	}
+}
+
+// Linear returns the dot-product kernel.
+func Linear() Kernel {
+	return func(x, y []float64) float64 {
+		s := 0.0
+		for i := range x {
+			s += x[i] * y[i]
+		}
+		return s
+	}
+}
+
+// Config tunes training. The zero value is completed by defaults matching
+// e1071: C=1, RBF with gamma=1/#features, tol=1e-3, MaxPasses=10.
+type Config struct {
+	C         float64
+	Kernel    Kernel
+	Tol       float64
+	MaxPasses int
+	Seed      int64
+}
+
+func (c Config) withDefaults(numFeatures int) Config {
+	if c.C == 0 {
+		c.C = 1
+	}
+	if c.Kernel == nil {
+		c.Kernel = RBF(1 / float64(max(1, numFeatures)))
+	}
+	if c.Tol == 0 {
+		c.Tol = 1e-3
+	}
+	if c.MaxPasses == 0 {
+		c.MaxPasses = 10
+	}
+	return c
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Binary is a trained two-class SVM. Labels are ±1 internally; Predict
+// returns 0 for the negative class and 1 for the positive.
+type Binary struct {
+	alphas  []float64
+	b       float64
+	X       [][]float64
+	y       []float64 // ±1
+	kernel  Kernel
+	support []int // indices with alpha > 0, for reporting
+}
+
+// TrainBinary fits a binary SVM on X with labels y01 in {0, 1}.
+func TrainBinary(X [][]float64, y01 []int, cfg Config) (*Binary, error) {
+	n := len(X)
+	if n == 0 || len(y01) != n {
+		return nil, fmt.Errorf("svm: %d samples with %d labels", n, len(y01))
+	}
+	cfg = cfg.withDefaults(len(X[0]))
+	pos, neg := 0, 0
+	y := make([]float64, n)
+	for i, l := range y01 {
+		switch l {
+		case 0:
+			y[i] = -1
+			neg++
+		case 1:
+			y[i] = 1
+			pos++
+		default:
+			return nil, fmt.Errorf("svm: label %d at sample %d, want 0 or 1", l, i)
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return nil, fmt.Errorf("svm: training data has a single class (%d pos, %d neg)", pos, neg)
+	}
+
+	// Precomputed kernel matrix: the paper's datasets have at most a few
+	// hundred samples, so O(n²) memory is fine.
+	k := make([][]float64, n)
+	for i := range k {
+		k[i] = make([]float64, n)
+		for j := 0; j <= i; j++ {
+			v := cfg.Kernel(X[i], X[j])
+			k[i][j] = v
+			k[j][i] = v
+		}
+	}
+
+	m := &Binary{
+		alphas: make([]float64, n),
+		X:      X,
+		y:      y,
+		kernel: cfg.Kernel,
+	}
+	r := rand.New(rand.NewSource(cfg.Seed + 1))
+
+	f := func(i int) float64 {
+		s := m.b
+		for j := 0; j < n; j++ {
+			if m.alphas[j] != 0 {
+				s += m.alphas[j] * y[j] * k[i][j]
+			}
+		}
+		return s
+	}
+
+	passes := 0
+	for passes < cfg.MaxPasses {
+		changed := 0
+		for i := 0; i < n; i++ {
+			ei := f(i) - y[i]
+			if !((y[i]*ei < -cfg.Tol && m.alphas[i] < cfg.C) || (y[i]*ei > cfg.Tol && m.alphas[i] > 0)) {
+				continue
+			}
+			j := r.Intn(n - 1)
+			if j >= i {
+				j++
+			}
+			ej := f(j) - y[j]
+			ai, aj := m.alphas[i], m.alphas[j]
+			var lo, hi float64
+			if y[i] != y[j] {
+				lo = math.Max(0, aj-ai)
+				hi = math.Min(cfg.C, cfg.C+aj-ai)
+			} else {
+				lo = math.Max(0, ai+aj-cfg.C)
+				hi = math.Min(cfg.C, ai+aj)
+			}
+			if lo == hi {
+				continue
+			}
+			eta := 2*k[i][j] - k[i][i] - k[j][j]
+			if eta >= 0 {
+				continue
+			}
+			ajNew := aj - y[j]*(ei-ej)/eta
+			ajNew = math.Min(hi, math.Max(lo, ajNew))
+			if math.Abs(ajNew-aj) < 1e-5 {
+				continue
+			}
+			aiNew := ai + y[i]*y[j]*(aj-ajNew)
+			b1 := m.b - ei - y[i]*(aiNew-ai)*k[i][i] - y[j]*(ajNew-aj)*k[i][j]
+			b2 := m.b - ej - y[i]*(aiNew-ai)*k[i][j] - y[j]*(ajNew-aj)*k[j][j]
+			switch {
+			case aiNew > 0 && aiNew < cfg.C:
+				m.b = b1
+			case ajNew > 0 && ajNew < cfg.C:
+				m.b = b2
+			default:
+				m.b = (b1 + b2) / 2
+			}
+			m.alphas[i], m.alphas[j] = aiNew, ajNew
+			changed++
+		}
+		if changed == 0 {
+			passes++
+		} else {
+			passes = 0
+		}
+	}
+	for i, a := range m.alphas {
+		if a > 0 {
+			m.support = append(m.support, i)
+		}
+	}
+	return m, nil
+}
+
+// Decision returns the signed decision value for x.
+func (m *Binary) Decision(x []float64) float64 {
+	s := m.b
+	for _, i := range m.support {
+		s += m.alphas[i] * m.y[i] * m.kernel(m.X[i], x)
+	}
+	return s
+}
+
+// Predict returns 1 when the decision value is positive, else 0.
+func (m *Binary) Predict(x []float64) int {
+	if m.Decision(x) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// NumSupportVectors reports the number of support vectors.
+func (m *Binary) NumSupportVectors() int { return len(m.support) }
+
+// Classifier wraps one-vs-rest binaries for N-class continuous data.
+type Classifier struct {
+	binaries []*Binary
+	binary   *Binary // fast path when N == 2
+}
+
+// Train fits an SVM on a continuous dataset: a single binary machine for
+// two classes, one-vs-rest otherwise.
+func Train(d *dataset.Continuous, cfg Config) (*Classifier, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	switch d.NumClasses() {
+	case 0, 1:
+		return nil, fmt.Errorf("svm: need at least 2 classes, have %d", d.NumClasses())
+	case 2:
+		m, err := TrainBinary(d.Values, d.Classes, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &Classifier{binary: m}, nil
+	}
+	cl := &Classifier{}
+	for c := 0; c < d.NumClasses(); c++ {
+		y := make([]int, d.NumSamples())
+		for i, l := range d.Classes {
+			if l == c {
+				y[i] = 1
+			}
+		}
+		m, err := TrainBinary(d.Values, y, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("svm: one-vs-rest class %d: %w", c, err)
+		}
+		cl.binaries = append(cl.binaries, m)
+	}
+	return cl, nil
+}
+
+// Predict returns the class index for x.
+func (cl *Classifier) Predict(x []float64) int {
+	if cl.binary != nil {
+		return cl.binary.Predict(x)
+	}
+	best, bestV := 0, math.Inf(-1)
+	for c, m := range cl.binaries {
+		if v := m.Decision(x); v > bestV {
+			best, bestV = c, v
+		}
+	}
+	return best
+}
+
+// PredictBatch classifies every sample of a continuous dataset.
+func (cl *Classifier) PredictBatch(d *dataset.Continuous) []int {
+	out := make([]int, d.NumSamples())
+	for i, x := range d.Values {
+		out[i] = cl.Predict(x)
+	}
+	return out
+}

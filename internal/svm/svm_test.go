@@ -1,0 +1,195 @@
+package svm
+
+import (
+	"math/rand"
+	"testing"
+
+	"bstc/internal/dataset"
+)
+
+// blobs2 generates two Gaussian blobs, one per class.
+func blobs2(r *rand.Rand, nPer int, sep float64) ([][]float64, []int) {
+	var X [][]float64
+	var y []int
+	for i := 0; i < nPer; i++ {
+		X = append(X, []float64{r.NormFloat64(), r.NormFloat64()})
+		y = append(y, 0)
+		X = append(X, []float64{sep + r.NormFloat64(), sep + r.NormFloat64()})
+		y = append(y, 1)
+	}
+	return X, y
+}
+
+func TestBinaryLinearlySeparable(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	X, y := blobs2(r, 30, 6)
+	m, err := TrainBinary(X, y, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, x := range X {
+		if m.Predict(x) == y[i] {
+			correct++
+		}
+	}
+	if correct < len(X)*95/100 {
+		t.Errorf("training accuracy %d/%d too low for separable blobs", correct, len(X))
+	}
+	if m.NumSupportVectors() == 0 {
+		t.Error("no support vectors found")
+	}
+}
+
+func TestBinaryGeneralizes(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	X, y := blobs2(r, 40, 5)
+	m, err := TrainBinary(X, y, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	testX, testY := blobs2(r, 25, 5)
+	correct := 0
+	for i, x := range testX {
+		if m.Predict(x) == testY[i] {
+			correct++
+		}
+	}
+	if correct < len(testX)*9/10 {
+		t.Errorf("test accuracy %d/%d too low", correct, len(testX))
+	}
+}
+
+func TestRBFNonlinear(t *testing.T) {
+	// XOR-like pattern: linearly inseparable, RBF must handle it.
+	r := rand.New(rand.NewSource(3))
+	var X [][]float64
+	var y []int
+	for i := 0; i < 120; i++ {
+		a := float64(r.Intn(2))*8 - 4
+		b := float64(r.Intn(2))*8 - 4
+		x := []float64{a + r.NormFloat64()*0.5, b + r.NormFloat64()*0.5}
+		X = append(X, x)
+		if (a > 0) == (b > 0) {
+			y = append(y, 0)
+		} else {
+			y = append(y, 1)
+		}
+	}
+	m, err := TrainBinary(X, y, Config{Kernel: RBF(0.5), C: 10, MaxPasses: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, x := range X {
+		if m.Predict(x) == y[i] {
+			correct++
+		}
+	}
+	if correct < len(X)*9/10 {
+		t.Errorf("RBF accuracy on XOR %d/%d too low", correct, len(X))
+	}
+}
+
+func TestLinearKernel(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	X, y := blobs2(r, 30, 8)
+	m, err := TrainBinary(X, y, Config{Kernel: Linear(), C: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, x := range X {
+		if m.Predict(x) == y[i] {
+			correct++
+		}
+	}
+	if correct < len(X)*9/10 {
+		t.Errorf("linear kernel accuracy %d/%d too low", correct, len(X))
+	}
+}
+
+func TestTrainBinaryErrors(t *testing.T) {
+	if _, err := TrainBinary(nil, nil, Config{}); err == nil {
+		t.Error("empty input should error")
+	}
+	X := [][]float64{{1}, {2}}
+	if _, err := TrainBinary(X, []int{0, 0}, Config{}); err == nil {
+		t.Error("single-class input should error")
+	}
+	if _, err := TrainBinary(X, []int{0, 7}, Config{}); err == nil {
+		t.Error("non-binary label should error")
+	}
+	if _, err := TrainBinary(X, []int{0}, Config{}); err == nil {
+		t.Error("label count mismatch should error")
+	}
+}
+
+func TestTrainOnDataset(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	X, y := blobs2(r, 25, 6)
+	d := &dataset.Continuous{
+		GeneNames:  []string{"f1", "f2"},
+		ClassNames: []string{"neg", "pos"},
+		Classes:    y,
+		Values:     X,
+	}
+	cl, err := Train(d, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := cl.PredictBatch(d)
+	correct := 0
+	for i, p := range preds {
+		if p == y[i] {
+			correct++
+		}
+	}
+	if correct < len(X)*9/10 {
+		t.Errorf("dataset accuracy %d/%d too low", correct, len(X))
+	}
+}
+
+func TestTrainMulticlassOneVsRest(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	var X [][]float64
+	var y []int
+	centers := [][2]float64{{0, 0}, {8, 0}, {0, 8}}
+	for c, ctr := range centers {
+		for i := 0; i < 25; i++ {
+			X = append(X, []float64{ctr[0] + r.NormFloat64(), ctr[1] + r.NormFloat64()})
+			y = append(y, c)
+		}
+	}
+	d := &dataset.Continuous{
+		GeneNames:  []string{"f1", "f2"},
+		ClassNames: []string{"A", "B", "C"},
+		Classes:    y,
+		Values:     X,
+	}
+	cl, err := Train(d, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, x := range X {
+		if cl.Predict(x) == y[i] {
+			correct++
+		}
+	}
+	if correct < len(X)*9/10 {
+		t.Errorf("one-vs-rest accuracy %d/%d too low", correct, len(X))
+	}
+}
+
+func TestTrainRejectsSingleClassDataset(t *testing.T) {
+	d := &dataset.Continuous{
+		GeneNames:  []string{"f"},
+		ClassNames: []string{"only"},
+		Classes:    []int{0, 0},
+		Values:     [][]float64{{1}, {2}},
+	}
+	if _, err := Train(d, Config{}); err == nil {
+		t.Error("single-class dataset should error")
+	}
+}

@@ -1,0 +1,302 @@
+// Package synth generates synthetic microarray datasets with the structure
+// the BSTC paper's evaluation depends on.
+//
+// The four real datasets of Table 2 (ALL/AML, Lung Cancer, Prostate Cancer,
+// Ovarian Cancer) were distributed from a now-defunct server and cannot be
+// fetched offline, so this package substitutes class-conditional Gaussian
+// expression matrices with the same sample counts and class proportions and
+// a configurable gene axis:
+//
+//   - a fraction of genes are informative: their class-conditional means are
+//     shifted, so entropy-MDL discretization keeps them and they generate
+//     the 100%-confidence CARs/BARs both classifier families feed on;
+//   - the rest are noise genes that the discretizer drops (Table 3's
+//     "Genes After Discretization" behaviour);
+//   - dropout scrambles a fraction of informative values per sample, which
+//     controls how many distinct closed rule groups exist — the knob that
+//     makes Top-k's row enumeration and RCBT's lower-bound BFS expensive on
+//     the larger profiles, as in the paper's Tables 4 and 6.
+//
+// All generation is deterministic in Profile.Seed.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bstc/internal/dataset"
+)
+
+// Profile describes one synthetic dataset.
+type Profile struct {
+	Name       string
+	NumGenes   int
+	ClassNames []string
+	ClassSizes []int
+	// InformativeFrac is the fraction of genes with class-conditional
+	// signal.
+	InformativeFrac float64
+	// Separation is the base class-mean shift of informative genes, in
+	// units of the within-class standard deviation; each informative gene
+	// draws its own shift around this value.
+	Separation float64
+	// Dropout is the probability that an informative value is drawn from
+	// the wrong class's distribution (sample-level noise).
+	Dropout float64
+	// BleedThrough is the probability that a sample OUTSIDE an informative
+	// gene's up-class still draws from the elevated distribution. High
+	// bleed-through makes informative items individually weak (present in
+	// all up-class rows but also many others) while their combinations
+	// remain discriminative — the structure that drives rule-group upper
+	// bounds to hundreds of antecedent genes and pushes minimal generators
+	// deep into the subset lattice, reproducing RCBT's lower-bound blowup
+	// on the Prostate Cancer profile (§6.2.3).
+	BleedThrough float64
+	// BlockDropout is the probability that a whole sample degrades: a
+	// random contiguous block covering half the informative genes flips to
+	// the wrong mode at once. Correlated degradation keeps the closed-set
+	// lattice small (a degraded row either matches the typical pattern or
+	// misses a large chunk) while keeping rule-group generators shallow
+	// (an excluded row misses many items, so one or two items distinguish
+	// it) — the structure of the paper's Lung Cancer dataset, where every
+	// phase of every miner finishes.
+	BlockDropout float64
+	Seed         int64
+}
+
+// Validate reports the first configuration problem.
+func (p Profile) Validate() error {
+	if p.NumGenes <= 0 {
+		return fmt.Errorf("synth: NumGenes = %d", p.NumGenes)
+	}
+	if len(p.ClassNames) < 2 || len(p.ClassNames) != len(p.ClassSizes) {
+		return fmt.Errorf("synth: %d class names with %d sizes", len(p.ClassNames), len(p.ClassSizes))
+	}
+	for c, n := range p.ClassSizes {
+		if n <= 0 {
+			return fmt.Errorf("synth: class %q has size %d", p.ClassNames[c], n)
+		}
+	}
+	if p.InformativeFrac < 0 || p.InformativeFrac > 1 {
+		return fmt.Errorf("synth: InformativeFrac = %v", p.InformativeFrac)
+	}
+	if p.Dropout < 0 || p.Dropout >= 1 {
+		return fmt.Errorf("synth: Dropout = %v", p.Dropout)
+	}
+	if p.BleedThrough < 0 || p.BleedThrough >= 1 {
+		return fmt.Errorf("synth: BleedThrough = %v", p.BleedThrough)
+	}
+	if p.BlockDropout < 0 || p.BlockDropout >= 1 {
+		return fmt.Errorf("synth: BlockDropout = %v", p.BlockDropout)
+	}
+	return nil
+}
+
+// NumSamples returns the total sample count.
+func (p Profile) NumSamples() int {
+	n := 0
+	for _, s := range p.ClassSizes {
+		n += s
+	}
+	return n
+}
+
+// Generate produces the continuous expression matrix.
+func (p Profile) Generate() (*dataset.Continuous, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(p.Seed))
+	numClasses := len(p.ClassNames)
+	numInformative := int(float64(p.NumGenes) * p.InformativeFrac)
+
+	// Per-gene distributions. Noise genes have one mean; informative genes
+	// have a low mode (base) and a high mode (base + shift) with one
+	// designated up-class, varying per gene so every class has markers.
+	baseMean := make([]float64, p.NumGenes)
+	shift := make([]float64, p.NumGenes)
+	upClass := make([]int, p.NumGenes)
+	informative := make([]bool, p.NumGenes)
+	for g := 0; g < p.NumGenes; g++ {
+		baseMean[g] = r.NormFloat64() * 2
+		if g < numInformative {
+			informative[g] = true
+			upClass[g] = r.Intn(numClasses)
+			shift[g] = p.Separation * (0.5 + r.Float64())
+		}
+	}
+
+	d := &dataset.Continuous{
+		GeneNames:  make([]string, p.NumGenes),
+		ClassNames: append([]string(nil), p.ClassNames...),
+	}
+	for g := range d.GeneNames {
+		d.GeneNames[g] = fmt.Sprintf("g%d", g+1)
+	}
+	si := 0
+	for c, size := range p.ClassSizes {
+		for k := 0; k < size; k++ {
+			si++
+			// Correlated degradation: decide once per sample whether a
+			// contiguous block of informative genes flips to the wrong mode.
+			blockLo, blockHi := -1, -1
+			if numInformative > 0 && p.BlockDropout > 0 && r.Float64() < p.BlockDropout {
+				blockLo = r.Intn(numInformative)
+				blockHi = blockLo + (numInformative+1)/2 // wraps modulo numInformative
+			}
+			inBlock := func(g int) bool {
+				if blockLo < 0 {
+					return false
+				}
+				if g >= blockLo && g < blockHi {
+					return true
+				}
+				return blockHi > numInformative && g < blockHi-numInformative
+			}
+			row := make([]float64, p.NumGenes)
+			for g := 0; g < p.NumGenes; g++ {
+				mean := baseMean[g]
+				if informative[g] {
+					high := c == upClass[g]
+					if !high && p.BleedThrough > 0 && r.Float64() < p.BleedThrough {
+						high = true // non-up-class sample bleeds into the high mode
+					}
+					if p.Dropout > 0 && r.Float64() < p.Dropout {
+						high = !high // symmetric scrambling
+					}
+					if inBlock(g) {
+						high = !high // sample-level correlated degradation
+					}
+					if high {
+						mean += shift[g]
+					}
+				}
+				row[g] = mean + r.NormFloat64()
+			}
+			d.SampleNames = append(d.SampleNames, fmt.Sprintf("%s_%d", p.ClassNames[c], k+1))
+			d.Classes = append(d.Classes, c)
+			d.Values = append(d.Values, row)
+		}
+	}
+	return d, nil
+}
+
+// Scale selects how large the paper-calibrated profiles are along the gene
+// axis. Sample counts always match Table 2 exactly (the classifier-family
+// comparison depends on them); genes scale because they dominate memory and
+// discretization time, not the algorithmic story.
+type Scale int
+
+// Supported scales.
+const (
+	// Small divides Table 2's gene counts by 40 — seconds-per-experiment
+	// territory, the default for `go test -bench` runs.
+	Small Scale = iota
+	// Medium divides by 10.
+	Medium
+	// Paper keeps Table 2's gene counts.
+	Paper
+)
+
+func (s Scale) divisor() int {
+	switch s {
+	case Medium:
+		return 10
+	case Paper:
+		return 1
+	default:
+		return 40
+	}
+}
+
+func (s Scale) String() string {
+	switch s {
+	case Medium:
+		return "medium"
+	case Paper:
+		return "paper"
+	default:
+		return "small"
+	}
+}
+
+// ParseScale parses "small", "medium" or "paper".
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "small":
+		return Small, nil
+	case "medium":
+		return Medium, nil
+	case "paper":
+		return Paper, nil
+	}
+	return Small, fmt.Errorf("synth: unknown scale %q (want small, medium or paper)", s)
+}
+
+// PaperProfiles returns the four Table 2 dataset profiles at the given
+// scale. The noise knobs differ per profile to reproduce each dataset's
+// role in the evaluation: ALL is small and unbalanced (the overfitting
+// discussion of §6.1), LC is clean and easy, PC has wide strong signal
+// (hundreds of items in rule-group upper bounds — RCBT's lower-bound
+// blowup), OC is the largest with moderate noise (Top-k's row-enumeration
+// blowup).
+func PaperProfiles(scale Scale) []Profile {
+	div := scale.divisor()
+	return []Profile{
+		{
+			Name: "ALL", NumGenes: 7129 / div,
+			ClassNames: []string{"ALL", "AML"}, ClassSizes: []int{47, 25},
+			InformativeFrac: 0.08, Separation: 2.0, Dropout: 0.15, BleedThrough: 0.05, Seed: 1001,
+		},
+		{
+			Name: "LC", NumGenes: 12533 / div,
+			ClassNames: []string{"MPM", "ADCA"}, ClassSizes: []int{31, 150},
+			InformativeFrac: 0.08, Separation: 8.0, BlockDropout: 0.15, Seed: 1002,
+		},
+		{
+			// PC: wide near-deterministic class signal with heavy
+			// bleed-through — items are individually weak but jointly
+			// discriminative, so rule-group upper bounds carry hundreds of
+			// antecedent genes and RCBT's lower-bound BFS blows up while
+			// Top-k itself finishes (§6.2.3's story).
+			Name: "PC", NumGenes: 12600 / div,
+			ClassNames: []string{"tumor", "normal"}, ClassSizes: []int{77, 59},
+			InformativeFrac: 0.20, Separation: 6.0, Dropout: 0.005, BleedThrough: 0.78, Seed: 1003,
+		},
+		{
+			// OC: the largest sample count with moderate symmetric noise —
+			// many distinct closed rule groups, so Top-k's row enumeration
+			// itself becomes the bottleneck (§6.2.4's story).
+			Name: "OC", NumGenes: 15154 / div,
+			ClassNames: []string{"tumor", "normal"}, ClassSizes: []int{162, 91},
+			InformativeFrac: 0.06, Separation: 2.4, Dropout: 0.15, BleedThrough: 0.10, Seed: 1004,
+		},
+	}
+}
+
+// ProfileByName returns the named paper profile at the given scale.
+func ProfileByName(name string, scale Scale) (Profile, error) {
+	for _, p := range PaperProfiles(scale) {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("synth: unknown profile %q (want ALL, LC, PC or OC)", name)
+}
+
+// GivenTrainingCounts returns Table 3's clinically-determined training set
+// sizes (class 1 count, class 0 count) for a paper profile name. Class 1 is
+// the profile's first class, matching Table 2's column order.
+func GivenTrainingCounts(name string) ([2]int, error) {
+	switch name {
+	case "ALL":
+		return [2]int{27, 11}, nil
+	case "LC":
+		return [2]int{16, 16}, nil
+	case "PC":
+		return [2]int{52, 50}, nil
+	case "OC":
+		return [2]int{133, 77}, nil
+	}
+	return [2]int{}, fmt.Errorf("synth: unknown profile %q", name)
+}

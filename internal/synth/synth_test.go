@@ -1,0 +1,265 @@
+package synth
+
+import (
+	"testing"
+
+	"bstc/internal/discretize"
+)
+
+func TestGenerateShape(t *testing.T) {
+	p := Profile{
+		Name: "toy", NumGenes: 50,
+		ClassNames: []string{"A", "B"}, ClassSizes: []int{10, 15},
+		InformativeFrac: 0.2, Separation: 2, Dropout: 0.1, Seed: 7,
+	}
+	d, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumSamples() != 25 || d.NumGenes() != 50 || d.NumClasses() != 2 {
+		t.Fatalf("shape: %d samples, %d genes, %d classes", d.NumSamples(), d.NumGenes(), d.NumClasses())
+	}
+	counts := d.ClassCounts()
+	if counts[0] != 10 || counts[1] != 15 {
+		t.Errorf("class counts = %v, want [10 15]", counts)
+	}
+	if p.NumSamples() != 25 {
+		t.Errorf("NumSamples = %d", p.NumSamples())
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Profile{
+		Name: "toy", NumGenes: 20,
+		ClassNames: []string{"A", "B"}, ClassSizes: []int{5, 5},
+		InformativeFrac: 0.5, Separation: 2, Seed: 42,
+	}
+	a, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Values {
+		for j := range a.Values[i] {
+			if a.Values[i][j] != b.Values[i][j] {
+				t.Fatal("same seed must generate identical data")
+			}
+		}
+	}
+	p.Seed = 43
+	c, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Values {
+		for j := range a.Values[i] {
+			if a.Values[i][j] != c.Values[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds should generate different data")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Profile{
+		{NumGenes: 0, ClassNames: []string{"A", "B"}, ClassSizes: []int{1, 1}},
+		{NumGenes: 5, ClassNames: []string{"A"}, ClassSizes: []int{1}},
+		{NumGenes: 5, ClassNames: []string{"A", "B"}, ClassSizes: []int{1}},
+		{NumGenes: 5, ClassNames: []string{"A", "B"}, ClassSizes: []int{1, 0}},
+		{NumGenes: 5, ClassNames: []string{"A", "B"}, ClassSizes: []int{1, 1}, InformativeFrac: 2},
+		{NumGenes: 5, ClassNames: []string{"A", "B"}, ClassSizes: []int{1, 1}, Dropout: 1},
+		{NumGenes: 5, ClassNames: []string{"A", "B"}, ClassSizes: []int{1, 1}, BleedThrough: 1},
+		{NumGenes: 5, ClassNames: []string{"A", "B"}, ClassSizes: []int{1, 1}, BlockDropout: -0.1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("profile %d should fail validation", i)
+		}
+		if _, err := p.Generate(); err == nil {
+			t.Errorf("profile %d should fail generation", i)
+		}
+	}
+}
+
+func TestInformativeGenesSurviveDiscretization(t *testing.T) {
+	// The MDL discretizer should keep (mostly) informative genes and drop
+	// (mostly) noise genes — the Table 3 "Genes After Discretization"
+	// behaviour the substitution relies on.
+	p := Profile{
+		Name: "toy", NumGenes: 200,
+		ClassNames: []string{"A", "B"}, ClassSizes: []int{30, 30},
+		InformativeFrac: 0.2, Separation: 2.5, Dropout: 0.05, Seed: 11,
+	}
+	d, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := discretize.Fit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	numInformative := 40 // 0.2 × 200; generator puts them first
+	keptInf, keptNoise := 0, 0
+	for _, g := range m.Selected {
+		if g < numInformative {
+			keptInf++
+		} else {
+			keptNoise++
+		}
+	}
+	if keptInf < numInformative*3/4 {
+		t.Errorf("only %d/%d informative genes survived discretization", keptInf, numInformative)
+	}
+	if keptNoise > (p.NumGenes-numInformative)/5 {
+		t.Errorf("%d/%d noise genes survived discretization", keptNoise, p.NumGenes-numInformative)
+	}
+}
+
+func TestBlockDropoutDegradesSamples(t *testing.T) {
+	// With BlockDropout ≈ 1 every sample flips half its informative genes;
+	// the per-sample mean informative value must differ markedly from the
+	// undegraded profile.
+	base := Profile{
+		Name: "b", NumGenes: 100,
+		ClassNames: []string{"A", "B"}, ClassSizes: []int{20, 20},
+		InformativeFrac: 0.5, Separation: 6, Seed: 3,
+	}
+	clean, err := base.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	degradedProfile := base
+	// Half the samples degrade, so the class-majority pattern itself stays
+	// clean and deviation is measured against the true signal.
+	degradedProfile.BlockDropout = 0.5
+	degraded, err := degradedProfile.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Degradation flips half of each sample's informative genes away from
+	// its class-majority pattern, so count samples deviating from their
+	// class majority on ≥ 25% of informative genes: near zero clean,
+	// nearly all degraded. (Elevated-value totals alone would not move:
+	// block flips are symmetric between up- and down-mode genes.)
+	deviants := func(c [][]float64, classes []int) int {
+		elevated := func(row []float64, g int) bool { return row[g] > 2 }
+		// Majority pattern per class and informative gene.
+		major := make([][]bool, 2)
+		for cl := 0; cl < 2; cl++ {
+			major[cl] = make([]bool, 50)
+			for g := 0; g < 50; g++ {
+				n := 0
+				total := 0
+				for i, row := range c {
+					if classes[i] == cl {
+						total++
+						if elevated(row, g) {
+							n++
+						}
+					}
+				}
+				major[cl][g] = n*2 > total
+			}
+		}
+		out := 0
+		for i, row := range c {
+			mis := 0
+			for g := 0; g < 50; g++ {
+				if elevated(row, g) != major[classes[i]][g] {
+					mis++
+				}
+			}
+			if mis >= 13 { // 25% of 50
+				out++
+			}
+		}
+		return out
+	}
+	cd := deviants(clean.Values, clean.Classes)
+	dd := deviants(degraded.Values, degraded.Classes)
+	if cd > 2 {
+		t.Errorf("clean data has %d deviant samples, want ~0", cd)
+	}
+	// Roughly half the 40 samples should be deviant (binomially spread).
+	if dd < 10 || dd > 32 {
+		t.Errorf("degraded data has %d/40 deviant samples, want roughly half", dd)
+	}
+}
+
+func TestPaperProfiles(t *testing.T) {
+	for _, scale := range []Scale{Small, Medium, Paper} {
+		profiles := PaperProfiles(scale)
+		if len(profiles) != 4 {
+			t.Fatalf("scale %v: %d profiles", scale, len(profiles))
+		}
+		wantSamples := map[string]int{"ALL": 72, "LC": 181, "PC": 136, "OC": 253}
+		for _, p := range profiles {
+			if err := p.Validate(); err != nil {
+				t.Errorf("%s/%v: %v", p.Name, scale, err)
+			}
+			if got := p.NumSamples(); got != wantSamples[p.Name] {
+				t.Errorf("%s: %d samples, want %d (Table 2)", p.Name, got, wantSamples[p.Name])
+			}
+		}
+	}
+	// Paper scale matches Table 2's gene counts exactly.
+	wantGenes := map[string]int{"ALL": 7129, "LC": 12533, "PC": 12600, "OC": 15154}
+	for _, p := range PaperProfiles(Paper) {
+		if p.NumGenes != wantGenes[p.Name] {
+			t.Errorf("%s: %d genes at paper scale, want %d", p.Name, p.NumGenes, wantGenes[p.Name])
+		}
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	p, err := ProfileByName("PC", Small)
+	if err != nil || p.Name != "PC" {
+		t.Errorf("ProfileByName(PC) = %+v, %v", p, err)
+	}
+	if _, err := ProfileByName("XX", Small); err == nil {
+		t.Error("unknown profile should error")
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Scale
+	}{{"small", Small}, {"medium", Medium}, {"paper", Paper}} {
+		got, err := ParseScale(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseScale(%q) = %v, %v", tc.in, got, err)
+		}
+		if got.String() != tc.in {
+			t.Errorf("Scale.String() = %q, want %q", got.String(), tc.in)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Error("unknown scale should error")
+	}
+}
+
+func TestGivenTrainingCounts(t *testing.T) {
+	want := map[string][2]int{
+		"ALL": {27, 11}, "LC": {16, 16}, "PC": {52, 50}, "OC": {133, 77},
+	}
+	for name, w := range want {
+		got, err := GivenTrainingCounts(name)
+		if err != nil || got != w {
+			t.Errorf("GivenTrainingCounts(%s) = %v, %v; want %v", name, got, err, w)
+		}
+	}
+	if _, err := GivenTrainingCounts("nope"); err == nil {
+		t.Error("unknown name should error")
+	}
+}

@@ -1,0 +1,138 @@
+// Package textplot renders the experiment harness's outputs as text: the
+// paper's Figures 4-7 become ASCII boxplot panels, and Tables 2-7 become
+// aligned text tables.
+package textplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"bstc/internal/stats"
+)
+
+// Boxplots renders one labeled horizontal boxplot per series over the value
+// range [lo, hi], using the paper's glyphs: ◆ median, [=] box, - whiskers,
+// o near outliers, * far outliers.
+func Boxplots(w io.Writer, title string, labels []string, plots []stats.Boxplot, lo, hi float64, width int) {
+	if len(labels) != len(plots) {
+		panic(fmt.Sprintf("textplot: %d labels for %d plots", len(labels), len(plots)))
+	}
+	if width < 20 {
+		width = 20
+	}
+	if !(hi > lo) {
+		hi = lo + 1
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	fmt.Fprintf(w, "%s\n", title)
+	col := func(v float64) int {
+		p := (v - lo) / (hi - lo)
+		if p < 0 {
+			p = 0
+		}
+		if p > 1 {
+			p = 1
+		}
+		return int(p * float64(width-1))
+	}
+	for i, b := range plots {
+		row := make([]byte, width)
+		for j := range row {
+			row[j] = ' '
+		}
+		for j := col(b.WhiskerLow); j <= col(b.Q1); j++ {
+			row[j] = '-'
+		}
+		for j := col(b.Q3); j <= col(b.WhiskerHigh); j++ {
+			row[j] = '-'
+		}
+		for j := col(b.Q1); j <= col(b.Q3); j++ {
+			row[j] = '='
+		}
+		row[col(b.Q1)] = '['
+		row[col(b.Q3)] = ']'
+		for _, v := range b.NearOutliers {
+			row[col(v)] = 'o'
+		}
+		for _, v := range b.FarOutliers {
+			row[col(v)] = '*'
+		}
+		row[col(b.Median)] = '+' // the paper's median diamond
+		fmt.Fprintf(w, "  %-*s |%s| mean=%.4f n=%d\n", labelW, labels[i], string(row), b.Mean, b.N)
+	}
+	// Axis line with lo/hi ticks.
+	axis := make([]byte, width)
+	for j := range axis {
+		axis[j] = ' '
+	}
+	loS := fmt.Sprintf("%.2f", lo)
+	hiS := fmt.Sprintf("%.2f", hi)
+	fmt.Fprintf(w, "  %-*s %s%s%s\n", labelW, "", loS,
+		strings.Repeat(" ", maxInt(1, width-len(loS)-len(hiS)+2)), hiS)
+}
+
+// AutoRange returns a padded [lo, hi] covering every plot's full extent.
+func AutoRange(plots []stats.Boxplot) (float64, float64) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, b := range plots {
+		lo = math.Min(lo, b.Min)
+		hi = math.Max(hi, b.Max)
+	}
+	if math.IsInf(lo, 1) {
+		return 0, 1
+	}
+	pad := (hi - lo) * 0.05
+	if pad == 0 {
+		pad = 0.05
+	}
+	return lo - pad, hi + pad
+}
+
+// Table renders rows as an aligned table with a header and separator.
+func Table(w io.Writer, headers []string, rows [][]string) {
+	widths := make([]int, len(headers))
+	for c, h := range headers {
+		widths[c] = len(h)
+	}
+	for _, r := range rows {
+		for c, cell := range r {
+			if c < len(widths) && len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(headers))
+		for c := range headers {
+			cell := ""
+			if c < len(cells) {
+				cell = cells[c]
+			}
+			parts[c] = fmt.Sprintf("%-*s", widths[c], cell)
+		}
+		fmt.Fprintf(w, "| %s |\n", strings.Join(parts, " | "))
+	}
+	line(headers)
+	seps := make([]string, len(headers))
+	for c := range seps {
+		seps[c] = strings.Repeat("-", widths[c])
+	}
+	line(seps)
+	for _, r := range rows {
+		line(r)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,113 @@
+package textplot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bstc/internal/stats"
+)
+
+func TestBoxplotsRenders(t *testing.T) {
+	var buf bytes.Buffer
+	plots := []stats.Boxplot{
+		stats.NewBoxplot([]float64{0.8, 0.85, 0.9, 0.95, 1.0}),
+		stats.NewBoxplot([]float64{0.5, 0.6, 0.7}),
+	}
+	Boxplots(&buf, "Accuracy", []string{"BSTC", "RCBT"}, plots, 0, 1, 60)
+	out := buf.String()
+	for _, want := range []string{"Accuracy", "BSTC", "RCBT", "+", "[", "]", "mean="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title + 2 rows + axis
+		t.Errorf("got %d lines, want 4:\n%s", len(lines), out)
+	}
+}
+
+func TestBoxplotsOutlierGlyphs(t *testing.T) {
+	var buf bytes.Buffer
+	var vals []float64
+	for i := 0; i <= 100; i++ {
+		vals = append(vals, 10+2*float64(i)/100)
+	}
+	withOut := append(vals, 14, 30) // near and far outlier (see stats tests)
+	Boxplots(&buf, "t", []string{"x"}, []stats.Boxplot{stats.NewBoxplot(withOut)}, 5, 40, 70)
+	out := buf.String()
+	if !strings.Contains(out, "o") {
+		t.Errorf("near outlier glyph missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Errorf("far outlier glyph missing:\n%s", out)
+	}
+}
+
+func TestBoxplotsMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("label/plot mismatch should panic")
+		}
+	}()
+	Boxplots(&bytes.Buffer{}, "t", []string{"a", "b"}, []stats.Boxplot{stats.NewBoxplot([]float64{1})}, 0, 1, 40)
+}
+
+func TestBoxplotsDegenerateRange(t *testing.T) {
+	var buf bytes.Buffer
+	// hi == lo must not divide by zero.
+	Boxplots(&buf, "t", []string{"x"}, []stats.Boxplot{stats.NewBoxplot([]float64{1, 1, 1})}, 1, 1, 40)
+	if buf.Len() == 0 {
+		t.Error("nothing rendered")
+	}
+}
+
+func TestAutoRange(t *testing.T) {
+	plots := []stats.Boxplot{
+		stats.NewBoxplot([]float64{0.2, 0.4}),
+		stats.NewBoxplot([]float64{0.6, 0.9}),
+	}
+	lo, hi := AutoRange(plots)
+	if lo >= 0.2 || hi <= 0.9 {
+		t.Errorf("range [%v, %v] does not pad [0.2, 0.9]", lo, hi)
+	}
+	lo, hi = AutoRange(nil)
+	if lo != 0 || hi != 1 {
+		t.Errorf("empty AutoRange = [%v, %v], want [0, 1]", lo, hi)
+	}
+	// Constant series still produce a non-degenerate range.
+	lo, hi = AutoRange([]stats.Boxplot{stats.NewBoxplot([]float64{5, 5})})
+	if !(hi > lo) {
+		t.Errorf("constant AutoRange degenerate: [%v, %v]", lo, hi)
+	}
+}
+
+func TestTable(t *testing.T) {
+	var buf bytes.Buffer
+	Table(&buf, []string{"Training", "BSTC", "RCBT"}, [][]string{
+		{"40%", "2.13", "418.81"},
+		{"60%", "4.93", ">= 7110.00"},
+	})
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), out)
+	}
+	// All lines align to the same width.
+	for _, l := range lines[1:] {
+		if len(l) != len(lines[0]) {
+			t.Errorf("misaligned line %q vs header %q", l, lines[0])
+		}
+	}
+	if !strings.Contains(out, ">= 7110.00") {
+		t.Error("cell content lost")
+	}
+}
+
+func TestTableShortRow(t *testing.T) {
+	var buf bytes.Buffer
+	Table(&buf, []string{"a", "b"}, [][]string{{"only"}})
+	if !strings.Contains(buf.String(), "only") {
+		t.Error("short row not rendered")
+	}
+}

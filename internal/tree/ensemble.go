@@ -1,0 +1,153 @@
+package tree
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Bagged is a bootstrap-aggregated ensemble of trees voting by majority.
+type Bagged struct {
+	Trees      []*Tree
+	numClasses int
+}
+
+// Bag fits b trees, each on a bootstrap resample of the training data, and
+// aggregates them by majority vote (Breiman's bagging, the Weka comparison
+// of §6.1).
+func Bag(X [][]float64, y []int, numClasses, b int, opt Options, seed int64) (*Bagged, error) {
+	if b <= 0 {
+		return nil, fmt.Errorf("tree: bag size %d", b)
+	}
+	r := rand.New(rand.NewSource(seed))
+	ens := &Bagged{numClasses: numClasses}
+	for t := 0; t < b; t++ {
+		bx, by := bootstrap(r, X, y)
+		opt := opt
+		if opt.MTry > 0 {
+			opt.Rand = rand.New(rand.NewSource(r.Int63()))
+		}
+		tr, err := Grow(bx, by, numClasses, nil, opt)
+		if err != nil {
+			return nil, err
+		}
+		ens.Trees = append(ens.Trees, tr)
+	}
+	return ens, nil
+}
+
+// Predict returns the majority-vote class for x.
+func (e *Bagged) Predict(x []float64) int {
+	votes := make([]int, e.numClasses)
+	for _, t := range e.Trees {
+		votes[t.Predict(x)]++
+	}
+	best := 0
+	for c, v := range votes {
+		if v > votes[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+func bootstrap(r *rand.Rand, X [][]float64, y []int) ([][]float64, []int) {
+	n := len(X)
+	bx := make([][]float64, n)
+	by := make([]int, n)
+	for i := 0; i < n; i++ {
+		j := r.Intn(n)
+		bx[i], by[i] = X[j], y[j]
+	}
+	return bx, by
+}
+
+// Boosted is an AdaBoost.M1 ensemble: weak trees weighted by log((1-ε)/ε).
+type Boosted struct {
+	Trees      []*Tree
+	Alphas     []float64
+	numClasses int
+}
+
+// Boost runs AdaBoost.M1 for up to rounds iterations with weighted trees as
+// the weak learner. Rounds stop early when a learner reaches zero error
+// (its weight would be unbounded) or error ≥ 1 - 1/numClasses (no longer a
+// weak learner, per Freund & Schapire).
+func Boost(X [][]float64, y []int, numClasses, rounds int, opt Options, seed int64) (*Boosted, error) {
+	if rounds <= 0 {
+		return nil, fmt.Errorf("tree: boosting rounds %d", rounds)
+	}
+	n := len(X)
+	if n == 0 || len(y) != n {
+		return nil, fmt.Errorf("tree: %d samples with %d labels", n, len(y))
+	}
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / float64(n)
+	}
+	ens := &Boosted{numClasses: numClasses}
+	if opt.MTry > 0 {
+		opt.Rand = rand.New(rand.NewSource(seed))
+	}
+	for round := 0; round < rounds; round++ {
+		tr, err := Grow(X, y, numClasses, w, opt)
+		if err != nil {
+			return nil, err
+		}
+		eps := 0.0
+		miss := make([]bool, n)
+		for i, x := range X {
+			if tr.Predict(x) != y[i] {
+				eps += w[i]
+				miss[i] = true
+			}
+		}
+		if eps <= 0 {
+			// Perfect learner: give it a large finite weight and stop.
+			ens.Trees = append(ens.Trees, tr)
+			ens.Alphas = append(ens.Alphas, math.Log(1e9))
+			break
+		}
+		if eps >= 1-1/float64(numClasses) {
+			if len(ens.Trees) == 0 {
+				// Keep one (poor) learner so the ensemble can predict.
+				ens.Trees = append(ens.Trees, tr)
+				ens.Alphas = append(ens.Alphas, 1e-9)
+			}
+			break
+		}
+		alpha := math.Log((1 - eps) / eps)
+		ens.Trees = append(ens.Trees, tr)
+		ens.Alphas = append(ens.Alphas, alpha)
+		// Reweight: misclassified up, correct down, then normalize.
+		total := 0.0
+		for i := range w {
+			if miss[i] {
+				w[i] *= math.Exp(alpha)
+			}
+			total += w[i]
+		}
+		for i := range w {
+			w[i] /= total
+		}
+	}
+	if len(ens.Trees) == 0 {
+		return nil, fmt.Errorf("tree: boosting produced no learners")
+	}
+	return ens, nil
+}
+
+// Predict returns the alpha-weighted vote winner for x.
+func (e *Boosted) Predict(x []float64) int {
+	votes := make([]float64, e.numClasses)
+	for i, t := range e.Trees {
+		votes[t.Predict(x)] += e.Alphas[i]
+	}
+	best := 0
+	for c, v := range votes {
+		if v > votes[best] {
+			best = c
+		}
+	}
+	return best
+}

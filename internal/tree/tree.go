@@ -1,0 +1,280 @@
+// Package tree implements decision-tree classifiers over continuous
+// features: a single C4.5-family tree (gain-ratio splits), CART-style trees
+// (Gini splits, used by package forest), bootstrap bagging and AdaBoost.M1
+// boosting — the Weka 3.2 "C4.5 family single tree / bagging / boosting"
+// comparison of the BSTC paper's §6.1.
+package tree
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Criterion selects the split quality measure.
+type Criterion int
+
+// Split criteria.
+const (
+	// GainRatio is C4.5's information gain normalized by split information.
+	GainRatio Criterion = iota
+	// Gini is CART's impurity decrease, used by random forests.
+	Gini
+)
+
+// Options tunes tree growth. The zero value grows an unlimited-depth
+// gain-ratio tree considering every feature at every split.
+type Options struct {
+	Criterion Criterion
+	// MaxDepth limits tree depth; 0 means unlimited.
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf (default 1).
+	MinLeaf int
+	// MTry, when > 0, samples that many candidate features uniformly at
+	// every split (random forest's feature bagging). Requires Rand.
+	MTry int
+	// Rand supplies randomness for MTry; required when MTry > 0.
+	Rand *rand.Rand
+}
+
+// Tree is a fitted binary decision tree.
+type Tree struct {
+	root       *node
+	numClasses int
+}
+
+type node struct {
+	feature   int
+	threshold float64
+	left      *node
+	right     *node
+	class     int // leaf prediction
+	leaf      bool
+}
+
+// Grow fits a tree on X (samples × features) with class labels y over
+// numClasses classes. Weights, when non-nil, weight each sample's
+// contribution to impurity and leaf votes (used by boosting); nil means
+// uniform.
+func Grow(X [][]float64, y []int, numClasses int, weights []float64, opt Options) (*Tree, error) {
+	if len(X) == 0 || len(X) != len(y) {
+		return nil, fmt.Errorf("tree: %d samples with %d labels", len(X), len(y))
+	}
+	if numClasses < 1 {
+		return nil, fmt.Errorf("tree: numClasses = %d", numClasses)
+	}
+	if weights != nil && len(weights) != len(X) {
+		return nil, fmt.Errorf("tree: %d weights for %d samples", len(weights), len(X))
+	}
+	if opt.MinLeaf <= 0 {
+		opt.MinLeaf = 1
+	}
+	if opt.MTry > 0 && opt.Rand == nil {
+		return nil, fmt.Errorf("tree: MTry requires Rand")
+	}
+	if weights == nil {
+		weights = make([]float64, len(X))
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	t := &Tree{numClasses: numClasses}
+	t.root = grow(X, y, weights, idx, numClasses, opt, 0)
+	return t, nil
+}
+
+func grow(X [][]float64, y []int, w []float64, idx []int, numClasses int, opt Options, depth int) *node {
+	counts := make([]float64, numClasses)
+	for _, i := range idx {
+		counts[y[i]] += w[i]
+	}
+	majority, pure := majorityOf(counts)
+	if pure || len(idx) < 2*opt.MinLeaf || (opt.MaxDepth > 0 && depth >= opt.MaxDepth) {
+		return &node{leaf: true, class: majority}
+	}
+
+	numFeatures := len(X[idx[0]])
+	features := allFeatures(numFeatures)
+	if opt.MTry > 0 && opt.MTry < numFeatures {
+		opt.Rand.Shuffle(numFeatures, func(i, j int) { features[i], features[j] = features[j], features[i] })
+		features = features[:opt.MTry]
+	}
+
+	bestScore := 0.0
+	bestFeature, found := -1, false
+	var bestThreshold float64
+	for _, f := range features {
+		thr, score, ok := bestSplit(X, y, w, idx, f, numClasses, opt)
+		if ok && (!found || score > bestScore) {
+			bestScore, bestFeature, bestThreshold, found = score, f, thr, true
+		}
+	}
+	if !found {
+		return &node{leaf: true, class: majority}
+	}
+
+	var li, ri []int
+	for _, i := range idx {
+		if X[i][bestFeature] <= bestThreshold {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	if len(li) < opt.MinLeaf || len(ri) < opt.MinLeaf {
+		return &node{leaf: true, class: majority}
+	}
+	return &node{
+		feature:   bestFeature,
+		threshold: bestThreshold,
+		left:      grow(X, y, w, li, numClasses, opt, depth+1),
+		right:     grow(X, y, w, ri, numClasses, opt, depth+1),
+	}
+}
+
+// bestSplit scans the sorted values of feature f for the best threshold.
+func bestSplit(X [][]float64, y []int, w []float64, idx []int, f, numClasses int, opt Options) (float64, float64, bool) {
+	order := append([]int(nil), idx...)
+	sort.Slice(order, func(a, b int) bool { return X[order[a]][f] < X[order[b]][f] })
+
+	total := make([]float64, numClasses)
+	totalW := 0.0
+	for _, i := range order {
+		total[y[i]] += w[i]
+		totalW += w[i]
+	}
+	parentImp := impurity(total, totalW, opt.Criterion)
+
+	left := make([]float64, numClasses)
+	leftW := 0.0
+	bestScore, bestThr, found := 0.0, 0.0, false
+	for pos := 0; pos < len(order)-1; pos++ {
+		i := order[pos]
+		left[y[i]] += w[i]
+		leftW += w[i]
+		if X[i][f] == X[order[pos+1]][f] {
+			continue
+		}
+		if pos+1 < opt.MinLeaf || len(order)-pos-1 < opt.MinLeaf {
+			continue
+		}
+		rightW := totalW - leftW
+		right := make([]float64, numClasses)
+		for c := range right {
+			right[c] = total[c] - left[c]
+		}
+		gain := parentImp - (leftW*impurity(left, leftW, opt.Criterion)+
+			rightW*impurity(right, rightW, opt.Criterion))/totalW
+		score := gain
+		if opt.Criterion == GainRatio {
+			splitInfo := binaryEntropy(leftW / totalW)
+			if splitInfo <= 0 {
+				continue
+			}
+			score = gain / splitInfo
+		}
+		if gain <= 1e-12 {
+			continue
+		}
+		if !found || score > bestScore {
+			bestScore = score
+			bestThr = (X[i][f] + X[order[pos+1]][f]) / 2
+			found = true
+		}
+	}
+	return bestThr, bestScore, found
+}
+
+func impurity(counts []float64, total float64, crit Criterion) float64 {
+	if total <= 0 {
+		return 0
+	}
+	switch crit {
+	case Gini:
+		g := 1.0
+		for _, c := range counts {
+			p := c / total
+			g -= p * p
+		}
+		return g
+	default: // entropy for GainRatio
+		e := 0.0
+		for _, c := range counts {
+			if c > 0 {
+				p := c / total
+				e -= p * math.Log2(p)
+			}
+		}
+		return e
+	}
+}
+
+func binaryEntropy(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}
+
+func majorityOf(counts []float64) (int, bool) {
+	best, nonZero := 0, 0
+	for c, n := range counts {
+		if n > counts[best] {
+			best = c
+		}
+		if n > 0 {
+			nonZero++
+		}
+	}
+	return best, nonZero <= 1
+}
+
+func allFeatures(n int) []int {
+	fs := make([]int, n)
+	for i := range fs {
+		fs[i] = i
+	}
+	return fs
+}
+
+// Predict returns the class of x.
+func (t *Tree) Predict(x []float64) int {
+	n := t.root
+	for !n.leaf {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.class
+}
+
+// Depth returns the tree's depth (a single leaf has depth 0).
+func (t *Tree) Depth() int { return depthOf(t.root) }
+
+func depthOf(n *node) int {
+	if n.leaf {
+		return 0
+	}
+	l, r := depthOf(n.left), depthOf(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// NumLeaves counts the tree's leaves.
+func (t *Tree) NumLeaves() int { return leavesOf(t.root) }
+
+func leavesOf(n *node) int {
+	if n.leaf {
+		return 1
+	}
+	return leavesOf(n.left) + leavesOf(n.right)
+}

@@ -1,0 +1,248 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// threshold1D builds a 1-feature dataset split cleanly at 0.5.
+func threshold1D(n int, r *rand.Rand) ([][]float64, []int) {
+	var X [][]float64
+	var y []int
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		X = append(X, []float64{v})
+		if v > 0.5 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	return X, y
+}
+
+func TestGrowSimpleThreshold(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	X, y := threshold1D(100, r)
+	tr, err := Grow(X, y, 2, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range X {
+		if got := tr.Predict(x); got != y[i] {
+			t.Fatalf("sample %d (%v) predicted %d, want %d", i, x, got, y[i])
+		}
+	}
+	if tr.Depth() != 1 {
+		t.Errorf("clean threshold should need depth 1, got %d", tr.Depth())
+	}
+	if tr.NumLeaves() != 2 {
+		t.Errorf("clean threshold should need 2 leaves, got %d", tr.NumLeaves())
+	}
+}
+
+func TestGrowPureLeaf(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}}
+	y := []int{1, 1, 1}
+	tr, err := Grow(X, y, 2, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Depth() != 0 {
+		t.Errorf("pure data should give a single leaf, depth %d", tr.Depth())
+	}
+	if tr.Predict([]float64{99}) != 1 {
+		t.Error("pure leaf must predict the single class")
+	}
+}
+
+func TestGrowConjunctionNeedsDepth2(t *testing.T) {
+	// class = (x > 0.5) AND (y > 0.5): one split cannot express it, two can.
+	// (Exact XOR is deliberately not tested: every greedy entropy tree —
+	// including real C4.5 — sees zero gain at the root there.)
+	X := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	y := []int{0, 0, 0, 1}
+	var bx [][]float64
+	var by []int
+	for rep := 0; rep < 5; rep++ {
+		bx = append(bx, X...)
+		by = append(by, y...)
+	}
+	tr, err := Grow(bx, by, 2, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range bx {
+		if tr.Predict(x) != by[i] {
+			t.Fatalf("AND sample %v predicted wrong", x)
+		}
+	}
+	if tr.Depth() != 2 {
+		t.Errorf("AND needs depth 2, got %d", tr.Depth())
+	}
+}
+
+func TestMaxDepthRespected(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	var X [][]float64
+	var y []int
+	for i := 0; i < 200; i++ {
+		X = append(X, []float64{r.Float64(), r.Float64(), r.Float64()})
+		y = append(y, r.Intn(2))
+	}
+	tr, err := Grow(X, y, 2, nil, Options{MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Depth() > 3 {
+		t.Errorf("depth %d exceeds MaxDepth 3", tr.Depth())
+	}
+}
+
+func TestGrowErrors(t *testing.T) {
+	if _, err := Grow(nil, nil, 2, nil, Options{}); err == nil {
+		t.Error("empty input should error")
+	}
+	X := [][]float64{{1}}
+	if _, err := Grow(X, []int{0}, 0, nil, Options{}); err == nil {
+		t.Error("numClasses=0 should error")
+	}
+	if _, err := Grow(X, []int{0}, 2, []float64{1, 2}, Options{}); err == nil {
+		t.Error("weight length mismatch should error")
+	}
+	if _, err := Grow(X, []int{0}, 2, nil, Options{MTry: 1}); err == nil {
+		t.Error("MTry without Rand should error")
+	}
+}
+
+func TestWeightedGrowthFollowsWeights(t *testing.T) {
+	// Two overlapping points with conflicting labels: the heavier one wins.
+	X := [][]float64{{1}, {1}}
+	y := []int{0, 1}
+	tr, err := Grow(X, y, 2, []float64{0.9, 0.1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Predict([]float64{1}) != 0 {
+		t.Error("heavier sample's class should win the leaf")
+	}
+	tr, err = Grow(X, y, 2, []float64{0.1, 0.9}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Predict([]float64{1}) != 1 {
+		t.Error("heavier sample's class should win the leaf (flipped)")
+	}
+}
+
+func TestGiniCriterion(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	X, y := threshold1D(100, r)
+	tr, err := Grow(X, y, 2, nil, Options{Criterion: Gini})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range X {
+		if tr.Predict(x) != y[i] {
+			t.Fatal("Gini tree failed a clean threshold")
+		}
+	}
+}
+
+func TestBagImprovesOnNoise(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	var X [][]float64
+	var y []int
+	for i := 0; i < 150; i++ {
+		v := []float64{r.NormFloat64(), r.NormFloat64()}
+		label := 0
+		if v[0]+v[1] > 0 {
+			label = 1
+		}
+		if r.Intn(10) == 0 { // 10% label noise
+			label = 1 - label
+		}
+		X = append(X, v)
+		y = append(y, label)
+	}
+	ens, err := Bag(X, y, 2, 25, Options{MaxDepth: 4}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := 0; i < 100; i++ {
+		v := []float64{r.NormFloat64(), r.NormFloat64()}
+		want := 0
+		if v[0]+v[1] > 0 {
+			want = 1
+		}
+		if ens.Predict(v) == want {
+			correct++
+		}
+	}
+	if correct < 80 {
+		t.Errorf("bagged accuracy %d/100 too low", correct)
+	}
+	if len(ens.Trees) != 25 {
+		t.Errorf("got %d trees, want 25", len(ens.Trees))
+	}
+}
+
+func TestBagErrors(t *testing.T) {
+	if _, err := Bag([][]float64{{1}}, []int{0}, 2, 0, Options{}, 1); err == nil {
+		t.Error("b=0 should error")
+	}
+}
+
+func TestBoostFitsHardPattern(t *testing.T) {
+	// Depth-1 stumps boosted on class = (x > 0.5) AND (y > 0.5): no single
+	// stump can fit it, a weighted combination can.
+	X := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	y := []int{0, 0, 0, 1}
+	var bx [][]float64
+	var by []int
+	for rep := 0; rep < 10; rep++ {
+		bx = append(bx, X...)
+		by = append(by, y...)
+	}
+	ens, err := Boost(bx, by, 2, 20, Options{MaxDepth: 1}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, x := range bx {
+		if ens.Predict(x) == by[i] {
+			correct++
+		}
+	}
+	if correct < len(bx)*9/10 {
+		t.Errorf("boosted accuracy %d/%d too low", correct, len(bx))
+	}
+}
+
+func TestBoostStopsOnPerfectLearner(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	X, y := threshold1D(50, r)
+	ens, err := Boost(X, y, 2, 50, Options{}, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first tree is perfect, so boosting should stop after one round.
+	if len(ens.Trees) != 1 {
+		t.Errorf("perfect learner should stop boosting, got %d rounds", len(ens.Trees))
+	}
+	for i, x := range X {
+		if ens.Predict(x) != y[i] {
+			t.Fatal("boosted perfect learner misclassifies")
+		}
+	}
+}
+
+func TestBoostErrors(t *testing.T) {
+	if _, err := Boost([][]float64{{1}}, []int{0}, 2, 0, Options{}, 1); err == nil {
+		t.Error("rounds=0 should error")
+	}
+	if _, err := Boost(nil, nil, 2, 5, Options{}, 1); err == nil {
+		t.Error("empty input should error")
+	}
+}
