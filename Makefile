@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+# The tier-1 gate plus the race-sensitive packages: the obs counters are
+# hit concurrently by parallel batch classification, and eval threads the
+# registry through every miner.
+check: vet build race test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+race:
+	$(GO) test -race ./internal/obs/... ./internal/eval/...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem

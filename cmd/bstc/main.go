@@ -29,6 +29,14 @@
 //	    K-fold cross validation on a continuous matrix (TSV, or ARFF when
 //	    the file ends in .arff), discretizing each fold's training half.
 //
+// Global flags, accepted before the subcommand:
+//
+//	bstc -cpuprofile cpu.out -memprofile mem.out eval -in expr.tsv
+//	    Profile the run (written when the subcommand finishes).
+//
+//	bstc -debug-addr localhost:6060 eval -in expr.tsv
+//	    Serve /debug/vars (expvar) and /debug/pprof while running.
+//
 // File formats are documented in internal/dataset (TSV for continuous
 // data, tab-separated item lists for boolean data, plus Weka ARFF).
 package main
@@ -41,6 +49,7 @@ import (
 	"bstc"
 	"bstc/internal/dataset"
 	"bstc/internal/discretize"
+	"bstc/internal/obs"
 )
 
 func main() {
@@ -50,10 +59,37 @@ func main() {
 	}
 }
 
-func run(args []string) error {
-	if len(args) == 0 {
-		return fmt.Errorf("usage: bstc <discretize|train|classify|mine|table|eval> [flags]")
+func run(args []string) (err error) {
+	// Global flags come before the subcommand; flag parsing stops at the
+	// first non-flag argument, which is the subcommand name.
+	fs := flag.NewFlagSet("bstc", flag.ContinueOnError)
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	debugAddr := fs.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
+	args = fs.Args()
+	if len(args) == 0 {
+		return fmt.Errorf("usage: bstc [-cpuprofile f] [-memprofile f] [-debug-addr a] <discretize|train|classify|mine|table|eval> [flags]")
+	}
+	if *debugAddr != "" {
+		srv, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "bstc: debug endpoints on http://%s/debug/\n", srv.Addr)
+	}
+	prof := obs.Profiler{CPUPath: *cpuProfile, MemPath: *memProfile}
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		if perr := prof.Stop(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
+
 	switch args[0] {
 	case "discretize":
 		return cmdDiscretize(args[1:])

@@ -188,6 +188,24 @@ func writeContinuousBig(t *testing.T) string {
 	return path
 }
 
+func TestGlobalProfilingFlags(t *testing.T) {
+	path := writeTable1(t)
+	mem := filepath.Join(t.TempDir(), "mem.out")
+	if err := run([]string{"-memprofile", mem, "table", "-train", path, "-class", "Cancer"}); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := os.Stat(mem); err != nil || st.Size() == 0 {
+		t.Errorf("heap profile missing or empty: %v", err)
+	}
+	cpu := filepath.Join(t.TempDir(), "cpu.out")
+	if err := run([]string{"-cpuprofile", cpu, "classify", "-train", path, "-test", path}); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := os.Stat(cpu); err != nil || st.Size() == 0 {
+		t.Errorf("cpu profile missing or empty: %v", err)
+	}
+}
+
 func TestClassifyVocabularyMismatch(t *testing.T) {
 	a := writeTable1(t)
 	in := writeContinuous(t)

@@ -7,21 +7,35 @@
 //	bstcbench -exp all                 # everything, small scale
 //	bstcbench -exp table4 -scale small # one artifact
 //	bstcbench -exp fig6 -tests 25 -cutoff 30s
+//	bstcbench -exp table4 -runlog runs.jsonl   # per-test JSONL telemetry
+//	bstcbench -exp all -quiet                  # summary lines only
+//	bstcbench -exp table6 -cpuprofile cpu.out -memprofile mem.out
+//	bstcbench -exp table4 -debug-addr localhost:6060  # expvar + pprof
 //
-// Experiments: table2, table3, fig4, fig5, fig6, fig7, table4, table5,
-// table6, table7, tuning, ablation, all. Figures and their runtime and
-// accuracy tables for the same dataset share one cross-validation study, so
-// asking for "fig6 table4 table5" computes the PC study once.
+// Experiments: table2, table3, prelim, fig4, fig5, fig6, fig7, table4,
+// table5, table6, table7, tuning, ablation, related, all. Figures and
+// their runtime and accuracy tables for the same dataset share one
+// cross-validation study, so asking for "fig6 table4 table5" computes the
+// PC study once.
+//
+// Every experiment finishes with a one-line summary carrying its wall time
+// and instrumentation highlights (miner nodes and prunes, clause-cache hit
+// rate); -quiet suppresses the rendered artifacts and keeps only those
+// lines. -runlog additionally writes one JSON object per cross-validation
+// test — the schema is documented in EXPERIMENTS.md ("Run telemetry").
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
+	"bstc/internal/eval"
 	"bstc/internal/experiments"
+	"bstc/internal/obs"
 	"bstc/internal/synth"
 )
 
@@ -32,13 +46,19 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("bstcbench", flag.ContinueOnError)
-	expFlag := fs.String("exp", "all", "comma-separated experiments (table2,table3,fig4..fig7,table4..table7,tuning,ablation,all)")
+	expFlag := fs.String("exp", "all", "comma-separated experiments (table2,table3,prelim,fig4..fig7,table4..table7,tuning,ablation,related,all)")
 	scaleFlag := fs.String("scale", "small", "dataset scale: small, medium or paper")
 	testsFlag := fs.Int("tests", 0, "cross-validation tests per training size (0 = scale default)")
 	cutoffFlag := fs.Duration("cutoff", 0, "per-phase mining cutoff (0 = scale default)")
 	seedFlag := fs.Int64("seed", 0, "random seed (0 = default)")
+	runlogFlag := fs.String("runlog", "", "write one JSONL record per cross-validation test to this file")
+	quietFlag := fs.Bool("quiet", false, "suppress rendered artifacts, print only per-experiment summary lines")
+	obsFlag := fs.Bool("obs", true, "instrument the pipeline (miner counters, phase histograms)")
+	cpuProfileFlag := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfileFlag := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	debugAddrFlag := fs.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -84,29 +104,82 @@ func run(args []string) error {
 		}
 	}
 
-	w := os.Stdout
+	var reg *obs.Registry
+	if *obsFlag {
+		reg = obs.NewRegistry()
+	}
+	eval.SetMetrics(reg)
+	defer eval.SetMetrics(nil)
+
+	if *debugAddrFlag != "" {
+		obs.PublishExpvar("bstc", reg)
+		srv, err := obs.ServeDebug(*debugAddrFlag)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "bstcbench: debug endpoints on http://%s/debug/\n", srv.Addr)
+	}
+	prof := obs.Profiler{CPUPath: *cpuProfileFlag, MemPath: *memProfileFlag}
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		if perr := prof.Stop(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
+	if *runlogFlag != "" {
+		rl, err := obs.OpenRunLog(*runlogFlag)
+		if err != nil {
+			return err
+		}
+		defer rl.Close()
+		cfg.RunLog = rl
+	}
+
+	// Artifacts render to w; summary lines go to stdout regardless.
+	var w io.Writer = os.Stdout
+	if *quietFlag {
+		w = io.Discard
+	}
 	fmt.Fprintf(w, "BSTC evaluation suite — scale=%s tests=%d cutoff=%v seed=%d\n\n",
 		scale, cfg.Tests, cfg.Cutoff, cfg.Seed)
 
-	if wanted["table2"] {
-		if err := experiments.Table2(w, cfg); err != nil {
+	// runExp snapshots counters around one experiment and prints its
+	// one-line summary.
+	runExp := func(label string, f func() error) error {
+		before := reg.Snapshot()
+		start := time.Now()
+		if err := f(); err != nil {
 			return err
 		}
+		summaryLine(os.Stdout, label, time.Since(start), reg.Snapshot().DeltaFrom(before))
 		fmt.Fprintln(w)
+		return nil
+	}
+
+	if wanted["table2"] {
+		if err := runExp("table2", func() error { return experiments.Table2(w, cfg) }); err != nil {
+			return err
+		}
 	}
 	if wanted["table3"] {
-		start := time.Now()
-		if _, err := experiments.Table3(w, cfg); err != nil {
+		err := runExp("table3", func() error {
+			_, err := experiments.Table3(w, cfg)
+			return err
+		})
+		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "(table3 took %v)\n\n", time.Since(start).Round(time.Millisecond))
 	}
 	if wanted["prelim"] {
-		start := time.Now()
-		if _, err := experiments.Preliminary(w, cfg); err != nil {
+		err := runExp("prelim", func() error {
+			_, err := experiments.Preliminary(w, cfg)
+			return err
+		})
+		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "(prelim took %v)\n\n", time.Since(start).Round(time.Millisecond))
 	}
 
 	// Cross-validation studies, shared between each dataset's figure and
@@ -130,47 +203,79 @@ func run(args []string) error {
 		if !needFig && !needRT && !needAcc {
 			continue
 		}
-		start := time.Now()
-		study, err := experiments.RunStudy(cfg, name, true)
+		err := runExp(name+" study", func() error {
+			study, err := experiments.RunStudy(cfg, name, true)
+			if err != nil {
+				return err
+			}
+			if needFig {
+				study.RenderFigure(w, "Figure "+strings.TrimPrefix(plan.figure, "fig"))
+				fmt.Fprintln(w)
+			}
+			cutoffNote := fmt.Sprintf("Cutoff time is %v, default nl value is %d; \"(+)\" marks nl lowered to %d.",
+				cfg.Cutoff, cfg.RCBT.NL, cfg.NLFallback)
+			if needRT {
+				study.RenderRuntimeTable(w, "Table "+strings.TrimPrefix(plan.runtimeTable, "table"), cutoffNote)
+				fmt.Fprintln(w)
+			}
+			if needAcc {
+				study.RenderAccuracyTable(w, "Table "+strings.TrimPrefix(plan.accuracyTable, "table"))
+				fmt.Fprintln(w)
+			}
+			return nil
+		})
 		if err != nil {
 			return err
 		}
-		if needFig {
-			study.RenderFigure(w, "Figure "+strings.TrimPrefix(plan.figure, "fig"))
-			fmt.Fprintln(w)
-		}
-		cutoffNote := fmt.Sprintf("Cutoff time is %v, default nl value is %d; \"(+)\" marks nl lowered to %d.",
-			cfg.Cutoff, cfg.RCBT.NL, cfg.NLFallback)
-		if needRT {
-			study.RenderRuntimeTable(w, "Table "+strings.TrimPrefix(plan.runtimeTable, "table"), cutoffNote)
-			fmt.Fprintln(w)
-		}
-		if needAcc {
-			study.RenderAccuracyTable(w, "Table "+strings.TrimPrefix(plan.accuracyTable, "table"))
-			fmt.Fprintln(w)
-		}
-		fmt.Fprintf(w, "(%s study took %v)\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
 
 	if wanted["tuning"] {
-		if err := experiments.Tuning(w, cfg); err != nil {
+		if err := runExp("tuning", func() error { return experiments.Tuning(w, cfg) }); err != nil {
 			return err
 		}
-		fmt.Fprintln(w)
 	}
 	if wanted["ablation"] {
-		if _, err := experiments.Ablation(w, cfg, "PC"); err != nil {
+		err := runExp("ablation", func() error {
+			_, err := experiments.Ablation(w, cfg, "PC")
+			return err
+		})
+		if err != nil {
 			return err
 		}
-		fmt.Fprintln(w)
 	}
 	if wanted["related"] {
-		if err := experiments.Related(w, cfg); err != nil {
+		if err := runExp("related", func() error { return experiments.Related(w, cfg) }); err != nil {
 			return err
 		}
-		fmt.Fprintln(w)
 	}
 	return nil
+}
+
+// summaryLine prints one experiment's wall time with counter highlights:
+// the Top-k search volume and prune counts, the BSTCE clause-cache hit
+// rate, lower-bound mining effort, and DNF-relevant deadline expiries.
+// Counters absent from the delta (experiment didn't exercise them, or
+// instrumentation is off) are simply omitted.
+func summaryLine(w io.Writer, label string, elapsed time.Duration, delta obs.Snapshot) {
+	fmt.Fprintf(w, "[%s] %v", label, elapsed.Round(time.Millisecond))
+	c := delta.Flat()
+	if n := c["core.bst.builds"]; n > 0 {
+		fmt.Fprintf(w, " bst-builds=%d cells=%d", n, c["core.bst.cells"])
+	}
+	if hits, misses := c["core.clause_cache.hits"], c["core.clause_cache.misses"]; hits+misses > 0 {
+		fmt.Fprintf(w, " clause-hit=%.1f%%", 100*float64(hits)/float64(hits+misses))
+	}
+	if n := c["carminer.topk.nodes"]; n > 0 {
+		pruned := c["carminer.topk.pruned_support"] + c["carminer.topk.pruned_confidence"]
+		fmt.Fprintf(w, " topk-nodes=%d pruned=%d groups=%d", n, pruned, c["carminer.topk.groups"])
+	}
+	if n := c["carminer.lb.steps"]; n > 0 {
+		fmt.Fprintf(w, " lb-steps=%d bounds=%d", n, c["carminer.lb.bounds"])
+	}
+	if n := c["carminer.deadline.expired"]; n > 0 {
+		fmt.Fprintf(w, " deadline-expired=%d", n)
+	}
+	fmt.Fprintln(w)
 }
 
 func knownExperiment(e string) bool {

@@ -35,11 +35,13 @@ func MineLowerBounds(d *dataset.Bool, g *RuleGroup, nl int, budget Budget) ([]*b
 	steps := 0
 	expired := func() bool {
 		steps++
+		met.lbSteps.Inc()
 		return steps%256 == 0 && budget.Expired()
 	}
 
 	var found []*bitset.Set
 	emit := func(gs []int) bool {
+		met.lbBounds.Inc()
 		found = append(found, bitset.FromIndices(d.NumGenes(), gs...))
 		return len(found) >= nl
 	}
@@ -79,6 +81,7 @@ func MineLowerBounds(d *dataset.Bool, g *RuleGroup, nl int, budget Budget) ([]*b
 	// (l-1)-prefix. A joined candidate's support is the intersection of its
 	// parents'; it is a lower bound when that support hits the target.
 	for len(frontier) > 0 && len(found) < nl {
+		met.lbFrontierPeak.SetMax(int64(len(frontier)))
 		var next []cand
 		for i := 0; i < len(frontier); i++ {
 			for j := i + 1; j < len(frontier); j++ {

@@ -20,6 +20,7 @@ import (
 
 	"bstc/internal/bitset"
 	"bstc/internal/dataset"
+	"bstc/internal/obs"
 )
 
 // ErrBudgetExceeded reports that mining hit its deadline; partial results
@@ -32,9 +33,19 @@ type Budget struct {
 	Deadline time.Time
 }
 
-// Expired reports whether the budget deadline has passed.
+// Expired reports whether the budget deadline has passed. Time is read
+// through obs.Now so deterministic-clock tests cover budgeted runs too; a
+// zero Deadline never touches the clock.
 func (b Budget) Expired() bool {
-	return !b.Deadline.IsZero() && time.Now().After(b.Deadline)
+	if b.Deadline.IsZero() {
+		return false
+	}
+	met.deadlinePolls.Inc()
+	if obs.Now().After(b.Deadline) {
+		met.deadlineExpired.Inc()
+		return true
+	}
+	return false
 }
 
 // RuleGroup is an interesting rule group's upper bound: the maximal (closed)
@@ -179,6 +190,7 @@ func (m *topkMiner) run() error {
 // gene set at the synthetic root).
 func (m *topkMiner) dfs(itemset *bitset.Set, idx int) error {
 	m.nodes++
+	met.nodes.Inc()
 	if m.nodes%64 == 0 && m.budget.Expired() {
 		m.retainCovering()
 		return ErrBudgetExceeded
@@ -204,6 +216,7 @@ func (m *topkMiner) dfs(itemset *bitset.Set, idx int) error {
 	st, revisit := m.states[key]
 	if revisit {
 		if idx >= st.exploredFrom {
+			met.revisitSkips.Inc()
 			return nil // subtree already covered from an earlier index
 		}
 	} else {
@@ -225,10 +238,12 @@ func (m *topkMiner) dfs(itemset *bitset.Set, idx int) error {
 			}
 		}
 		if support+remaining < m.minSup {
+			met.prunedSup.Inc()
 			return nil
 		}
 	}
 	if m.prunable(total - support) {
+		met.prunedConf.Inc()
 		// No descendant can improve any row's top-k. Leave exploredFrom
 		// untouched: covers only improve over time, so this prune stays
 		// valid for revisits.
@@ -252,6 +267,7 @@ func (m *topkMiner) dfs(itemset *bitset.Set, idx int) error {
 // record builds the group and offers it to the top-k list of every covered
 // row.
 func (m *topkMiner) record(itemset, classSet *bitset.Set, key string, support, total int) {
+	met.groups.Inc()
 	g := &RuleGroup{
 		Class:      m.ci,
 		UpperBound: itemset.Clone(),

@@ -119,6 +119,26 @@ func NewBST(d *dataset.Bool, ci int) (*BST, error) {
 		}
 	}
 	t.buildCullOrders()
+
+	met.bstBuilds.Inc()
+	if met.bstCells != nil {
+		// Non-blank cells: each column sample contributes one cell per
+		// expressed gene. The exclusion-list size accounting walks every
+		// shared pair list once, so it only runs when instrumented.
+		cells := int64(0)
+		for _, cg := range t.colGenes {
+			cells += int64(cg.Count())
+		}
+		met.bstCells.Add(cells)
+		met.pairClauses.Add(int64(len(t.ClassSamples)) * int64(len(t.OutsideSamples)))
+		genes := int64(0)
+		for c := range t.pairList {
+			for h := range t.pairList[c] {
+				genes += int64(t.pairList[c][h].Genes.Count())
+			}
+		}
+		met.exclGenes.Add(genes)
+	}
 	return t, nil
 }
 
@@ -181,7 +201,10 @@ func (t *BST) pairClauseExpr(c, h int) rules.Expr {
 		t.pairExpr[c] = make([]rules.Expr, len(t.OutsideSamples))
 	}
 	if t.pairExpr[c][h] == nil {
+		met.clauseExprMisses.Inc()
 		t.pairExpr[c][h] = t.pairList[c][h].Expr()
+	} else {
+		met.clauseExprHits.Inc()
 	}
 	return t.pairExpr[c][h]
 }

@@ -61,6 +61,7 @@ func (t *BST) Evaluate(q *bitset.Set, opts EvalOptions) Evaluation {
 	if q.Len() != t.numGenes {
 		panic("core: query gene universe does not match BST")
 	}
+	met.evals.Inc()
 	// pairV[c][h] is V_e for the shared (c, h) exclusion list, computed
 	// lazily: a cell only forces the pairs of its own outside expressers.
 	pairV := make([][]float64, len(t.ClassSamples))
@@ -164,7 +165,10 @@ func (t *BST) cellValue(q *bitset.Set, pairV [][]float64, g, c int, opts EvalOpt
 
 func (t *BST) pairValue(q *bitset.Set, pv []float64, c, h int) float64 {
 	if math.IsNaN(pv[h]) {
+		met.clauseCacheMiss.Inc()
 		pv[h] = t.pairList[c][h].SatisfactionFraction(q)
+	} else {
+		met.clauseCacheHits.Inc()
 	}
 	return pv[h]
 }

@@ -62,6 +62,7 @@ func (cl *Classifier) Values(q *bitset.Set) []float64 {
 // Classify implements Algorithm 6: it returns the smallest class index whose
 // classification value is maximal.
 func (cl *Classifier) Classify(q *bitset.Set) int {
+	met.queries.Inc()
 	best, bestV := 0, math.Inf(-1)
 	for i, t := range cl.Tables {
 		if v := t.Evaluate(q, cl.Opts).Value; v > bestV {

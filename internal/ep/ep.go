@@ -37,6 +37,7 @@ type JEP struct {
 // This is Dong & Li's BORDER-DIFF, the core of MBD-LLBORDER; its output
 // (and runtime) can be exponential in |base|.
 func BorderDiff(base *bitset.Set, bounds []*bitset.Set, budget carminer.Budget) ([]*bitset.Set, error) {
+	met.borderCalls.Inc()
 	// X ⊄ bound ⟺ X intersects base \ bound, so the minimal X are the
 	// minimal hitting sets of the difference sets, built incrementally.
 	if len(bounds) == 0 {
@@ -63,9 +64,11 @@ func BorderDiff(base *bitset.Set, bounds []*bitset.Set, budget carminer.Budget) 
 			})
 			continue
 		}
+		met.frontierPeak.SetMax(int64(len(frontier)))
 		var next []*bitset.Set
 		for _, x := range frontier {
 			steps++
+			met.borderSteps.Inc()
 			if steps%256 == 0 && budget.Expired() {
 				return nil, carminer.ErrBudgetExceeded
 			}
@@ -156,6 +159,7 @@ func MineJEPs(d *dataset.Bool, ci int, budget carminer.Budget) ([]JEP, error) {
 			}
 		}
 		out = append(out, JEP{Genes: genes, Support: supp})
+		met.jepsMined.Inc()
 	}
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].Support != out[j].Support {

@@ -1,0 +1,21 @@
+package ep
+
+import "bstc/internal/obs"
+
+// met holds this package's instrumentation handles; nil fields (the
+// default) are no-ops. SetMetrics must not race with an active mining run.
+var met struct {
+	borderSteps  *obs.Counter // ep.border_diff.steps — frontier sets examined
+	borderCalls  *obs.Counter // ep.border_diff.calls
+	jepsMined    *obs.Counter // ep.jeps.mined — minimal JEPs returned
+	frontierPeak *obs.Gauge   // ep.border_diff.frontier_peak — widest frontier
+}
+
+// SetMetrics binds this package's counters to r (nil restores the no-op
+// default).
+func SetMetrics(r *obs.Registry) {
+	met.borderSteps = r.Counter("ep.border_diff.steps")
+	met.borderCalls = r.Counter("ep.border_diff.calls")
+	met.jepsMined = r.Counter("ep.jeps.mined")
+	met.frontierPeak = r.Gauge("ep.border_diff.frontier_peak")
+}

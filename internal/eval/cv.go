@@ -7,6 +7,7 @@ import (
 
 	"bstc/internal/core"
 	"bstc/internal/dataset"
+	"bstc/internal/obs"
 	"bstc/internal/rcbt"
 )
 
@@ -56,6 +57,30 @@ type CVConfig struct {
 	Cutoff time.Duration
 	// NLFallback retries a DNF'd RCBT build with this nl (the paper's 2).
 	NLFallback int
+
+	// Dataset labels run-log records with the profile under study (ALL,
+	// LC, PC, OC, or an input file name).
+	Dataset string
+	// RunLog, when non-nil, receives one JSONL record per (size, test):
+	// config, per-phase milliseconds, counter deltas (when SetMetrics has
+	// installed a registry), accuracies and DNF state. Errors that abort
+	// the study are recorded on the failing test's line before RunCV
+	// returns them.
+	RunLog *obs.RunLog
+}
+
+// recordConfig flattens the numeric protocol parameters for run records.
+func (cfg CVConfig) recordConfig() map[string]float64 {
+	m := map[string]float64{
+		"tests":     float64(cfg.Tests),
+		"cutoff_ms": float64(cfg.Cutoff) / float64(time.Millisecond),
+	}
+	if cfg.RunRCBT {
+		m["min_support"] = cfg.RCBT.MinSupport
+		m["k"] = float64(cfg.RCBT.K)
+		m["nl"] = float64(cfg.RCBT.NL)
+	}
+	return m
 }
 
 // SizeResult aggregates one training size's tests.
@@ -77,27 +102,63 @@ func RunCV(cfg CVConfig) ([]SizeResult, error) {
 		return nil, fmt.Errorf("eval: no training sizes")
 	}
 	r := rand.New(rand.NewSource(cfg.Seed))
+	protoCfg := cfg.recordConfig()
 	var out []SizeResult
 	for _, size := range cfg.Sizes {
 		sr := SizeResult{Size: size}
 		for test := 0; test < cfg.Tests; test++ {
+			rec := obs.RunRecord{
+				Experiment: "cv",
+				Dataset:    cfg.Dataset,
+				Size:       size.Label,
+				Test:       test,
+				Seed:       cfg.Seed,
+				Config:     protoCfg,
+			}
+			before := reg.Snapshot()
+			fail := func(err error) ([]SizeResult, error) {
+				rec.Error = err.Error()
+				cfg.RunLog.Emit(rec)
+				return nil, err
+			}
 			sp, err := size.split(r, cfg.Data)
 			if err != nil {
-				return nil, fmt.Errorf("eval: size %s test %d: %w", size.Label, test, err)
+				return fail(fmt.Errorf("eval: size %s test %d: %w", size.Label, test, err))
 			}
+			ph := obs.NewPhasesIn(reg)
+			span := ph.Start("discretize")
 			ps, err := Prepare(cfg.Data, sp)
+			span.End()
 			if err != nil {
-				return nil, fmt.Errorf("eval: size %s test %d: %w", size.Label, test, err)
+				return fail(fmt.Errorf("eval: size %s test %d: %w", size.Label, test, err))
 			}
+			rec.GenesAfterDiscretization = ps.GenesAfterDiscretization
+			rec.PhasesMS = ph.AddTo(rec.PhasesMS)
 			sr.GenesAfter = append(sr.GenesAfter, ps.GenesAfterDiscretization)
 			b, err := RunBSTC(ps, cfg.BSTCOpts)
 			if err != nil {
-				return nil, fmt.Errorf("eval: size %s test %d: BSTC: %w", size.Label, test, err)
+				return fail(fmt.Errorf("eval: size %s test %d: BSTC: %w", size.Label, test, err))
 			}
+			rec.BSTCAccuracy = obs.Float64Ptr(b.Accuracy)
+			rec.PhasesMS = b.Phases.AddTo(rec.PhasesMS)
 			sr.BSTC = append(sr.BSTC, b)
 			if cfg.RunRCBT {
-				sr.RCBT = append(sr.RCBT, RunRCBT(ps, cfg.RCBT, cfg.Cutoff, cfg.NLFallback))
+				rc, err := RunRCBT(ps, cfg.RCBT, cfg.Cutoff, cfg.NLFallback)
+				rec.PhasesMS = rc.Phases.AddTo(rec.PhasesMS)
+				if err != nil {
+					return fail(fmt.Errorf("eval: size %s test %d: %w", size.Label, test, err))
+				}
+				rec.TopkDNF = rc.TopkDNF
+				rec.RCBTDNF = rc.RCBTDNF
+				rec.NLUsed = rc.NLUsed
+				rec.NLFallback = rc.NLFallback
+				if rc.Finished() {
+					rec.RCBTAccuracy = obs.Float64Ptr(rc.Accuracy)
+				}
+				sr.RCBT = append(sr.RCBT, rc)
 			}
+			rec.Counters = reg.Snapshot().DeltaFrom(before).Flat()
+			cfg.RunLog.Emit(rec)
 		}
 		out = append(out, sr)
 	}

@@ -90,7 +90,10 @@ func TestRunBSTCAccuracy(t *testing.T) {
 
 func TestRunRCBTFinishes(t *testing.T) {
 	ps := preparedToy(t)
-	out := RunRCBT(ps, rcbt.Config{MinSupport: 0.7, K: 3, NL: 5}, time.Minute, 2)
+	out, err := RunRCBT(ps, rcbt.Config{MinSupport: 0.7, K: 3, NL: 5}, time.Minute, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !out.Finished() {
 		t.Fatalf("RCBT did not finish on toy data: %+v", out)
 	}
@@ -104,7 +107,10 @@ func TestRunRCBTFinishes(t *testing.T) {
 
 func TestRunRCBTCutoffDNF(t *testing.T) {
 	ps := preparedToy(t)
-	out := RunRCBT(ps, rcbt.Config{MinSupport: 0.01, K: 10, NL: 20}, time.Nanosecond, 2)
+	out, err := RunRCBT(ps, rcbt.Config{MinSupport: 0.01, K: 10, NL: 20}, time.Nanosecond, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if out.Finished() {
 		t.Error("nanosecond cutoff should DNF")
 	}

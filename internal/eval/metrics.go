@@ -1,0 +1,28 @@
+package eval
+
+import (
+	"bstc/internal/carminer"
+	"bstc/internal/core"
+	"bstc/internal/ep"
+	"bstc/internal/obs"
+)
+
+// reg is the registry the evaluation pipeline's phase timers and counter
+// snapshots use. nil (the default) keeps every metric a no-op; spans still
+// measure, so outcomes carry phase durations either way.
+var reg *obs.Registry
+
+// SetMetrics binds the whole pipeline — this package's phase histograms
+// plus the core, carminer and ep miner counters — to one registry. Pass nil
+// to restore the uninstrumented default. Not safe to call concurrently with
+// a running study.
+func SetMetrics(r *obs.Registry) {
+	reg = r
+	core.SetMetrics(r)
+	carminer.SetMetrics(r)
+	ep.SetMetrics(r)
+}
+
+// Metrics returns the currently bound registry (nil when uninstrumented),
+// for harnesses that snapshot counters around runs.
+func Metrics() *obs.Registry { return reg }

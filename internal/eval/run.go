@@ -10,6 +10,7 @@ import (
 	"bstc/internal/core"
 	"bstc/internal/ep"
 	"bstc/internal/forest"
+	"bstc/internal/obs"
 	"bstc/internal/rcbt"
 	"bstc/internal/stats"
 	"bstc/internal/svm"
@@ -23,19 +24,28 @@ import (
 type BSTCOutcome struct {
 	Accuracy float64
 	Elapsed  time.Duration
+	// Phases breaks Elapsed into bstc/train and bstc/classify.
+	Phases *obs.Phases
 }
 
 // RunBSTC trains and evaluates BSTC on a prepared split.
 func RunBSTC(ps *Prepared, opts *core.EvalOptions) (BSTCOutcome, error) {
-	start := time.Now()
+	ph := obs.NewPhasesIn(reg)
+	run := ph.Start("bstc")
+	train := run.Child("train")
 	cl, err := core.Train(ps.TrainBool, opts)
+	train.End()
 	if err != nil {
+		run.End()
 		return BSTCOutcome{}, err
 	}
+	classify := run.Child("classify")
 	preds := cl.ClassifyBatch(ps.TestBool)
+	classify.End()
 	return BSTCOutcome{
 		Accuracy: stats.Accuracy(preds, ps.TestBool.Classes),
-		Elapsed:  time.Since(start),
+		Elapsed:  run.End(),
+		Phases:   ph,
 	}, nil
 }
 
@@ -57,6 +67,11 @@ type RCBTOutcome struct {
 
 	// Accuracy is valid only when both phases finished.
 	Accuracy float64
+
+	// Phases holds the raw measured spans (rcbt/topk, rcbt/build,
+	// rcbt/classify). Unlike TopkTime/RCBTTime these are never clamped to
+	// the cutoff and include abandoned nl-fallback attempts.
+	Phases *obs.Phases
 }
 
 // Finished reports whether both phases completed within their cutoffs.
@@ -66,55 +81,73 @@ func (o RCBTOutcome) Finished() bool { return !o.TopkDNF && !o.RCBTDNF }
 // per-phase cutoff. When cutoff is 0 the run is unbounded. nlFallback, when
 // > 0, retries a DNF'd build phase once with that smaller nl (the paper's
 // nl=20 → nl=2 adjustment).
-func RunRCBT(ps *Prepared, cfg rcbt.Config, cutoff time.Duration, nlFallback int) RCBTOutcome {
-	out := RCBTOutcome{NLUsed: cfg.NL}
+//
+// A phase stopping at its cutoff is not an error: it is reported through
+// the outcome's DNF flags with the phase time clamped to the cutoff (the
+// tables' "≥" convention). The returned error is reserved for real
+// failures — invalid configuration, degenerate training data — which
+// previously drowned in the DNF bookkeeping.
+func RunRCBT(ps *Prepared, cfg rcbt.Config, cutoff time.Duration, nlFallback int) (RCBTOutcome, error) {
+	ph := obs.NewPhasesIn(reg)
+	out := RCBTOutcome{NLUsed: cfg.NL, Phases: ph}
 
 	budget := func() carminer.Budget {
 		if cutoff <= 0 {
 			return carminer.Budget{}
 		}
-		return carminer.Budget{Deadline: time.Now().Add(cutoff)}
+		return carminer.Budget{Deadline: obs.Now().Add(cutoff)}
 	}
 
 	// Phase 1: Top-k covering rule group mining.
 	mineCfg := cfg
 	mineCfg.Budget = budget()
-	start := time.Now()
+	span := ph.Start("rcbt/topk")
 	mined, err := rcbt.Mine(ps.TrainBool, mineCfg)
-	out.TopkTime = time.Since(start)
+	out.TopkTime = span.End()
 	if err != nil {
+		if !errors.Is(err, carminer.ErrBudgetExceeded) {
+			return out, fmt.Errorf("eval: top-k mining: %w", err)
+		}
 		out.TopkDNF = true
-		if cutoff > 0 && errors.Is(err, carminer.ErrBudgetExceeded) {
+		if cutoff > 0 {
 			out.TopkTime = cutoff
 		}
-		return out
+		return out, nil
 	}
 
 	// Phase 2: lower-bound mining + classifier assembly + classification.
+	// On an nl fallback the build timer restarts: the reported RCBT time
+	// covers only the attempt that produced the classifier, as in the
+	// paper's † runs (the abandoned attempt still shows up in Phases).
 	buildCfg := cfg
 	buildCfg.Budget = budget()
-	start = time.Now()
+	span = ph.Start("rcbt/build")
 	cl, err := rcbt.Build(ps.TrainBool, mined, buildCfg)
 	if err != nil && nlFallback > 0 && nlFallback < cfg.NL && errors.Is(err, carminer.ErrBudgetExceeded) {
+		span.End()
 		out.NLUsed = nlFallback
 		out.NLFallback = true
 		buildCfg.NL = nlFallback
 		buildCfg.Budget = budget()
-		start = time.Now()
+		span = ph.Start("rcbt/build")
 		cl, err = rcbt.Build(ps.TrainBool, mined, buildCfg)
 	}
-	out.RCBTTime = time.Since(start)
+	out.RCBTTime = span.End()
 	if err != nil {
+		if !errors.Is(err, carminer.ErrBudgetExceeded) {
+			return out, fmt.Errorf("eval: rcbt build: %w", err)
+		}
 		out.RCBTDNF = true
-		if cutoff > 0 && errors.Is(err, carminer.ErrBudgetExceeded) {
+		if cutoff > 0 {
 			out.RCBTTime = cutoff
 		}
-		return out
+		return out, nil
 	}
+	span = ph.Start("rcbt/classify")
 	preds := cl.ClassifyBatch(ps.TestBool)
-	out.RCBTTime = time.Since(start)
+	out.RCBTTime += span.End()
 	out.Accuracy = stats.Accuracy(preds, ps.TestBool.Classes)
-	return out
+	return out, nil
 }
 
 // RunSVM trains and evaluates the SVM baseline on the continuous selected

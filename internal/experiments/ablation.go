@@ -9,6 +9,7 @@ import (
 	"bstc/internal/core"
 	"bstc/internal/dataset"
 	"bstc/internal/eval"
+	"bstc/internal/obs"
 	"bstc/internal/stats"
 	"bstc/internal/synth"
 	"bstc/internal/textplot"
@@ -71,9 +72,9 @@ func Ablation(w io.Writer, cfg Config, profileName string) ([]AblationRow, error
 			if err != nil {
 				return nil, err
 			}
-			start := time.Now()
+			start := obs.Now()
 			preds := cl.ClassifyBatch(ps.TestBool)
-			perQuery[vi] += time.Since(start)
+			perQuery[vi] += obs.Now().Sub(start)
 			accs[vi] = append(accs[vi], stats.Accuracy(preds, ps.TestBool.Classes))
 			var conf float64
 			for _, row := range ps.TestBool.Rows {
@@ -87,9 +88,9 @@ func Ablation(w io.Writer, cfg Config, profileName string) ([]AblationRow, error
 			return nil, err
 		}
 		ai := len(variants)
-		start := time.Now()
+		start := obs.Now()
 		preds := ad.ClassifyBatch(ps.TestBool)
-		perQuery[ai] += time.Since(start)
+		perQuery[ai] += obs.Now().Sub(start)
 		accs[ai] = append(accs[ai], stats.Accuracy(preds, ps.TestBool.Classes))
 		var conf float64
 		for _, row := range ps.TestBool.Rows {
@@ -134,11 +135,12 @@ func Ablation(w io.Writer, cfg Config, profileName string) ([]AblationRow, error
 	if err != nil {
 		return nil, err
 	}
+	ph := obs.NewPhasesIn(eval.Metrics())
 	for _, tie := range []bool{false, true} {
-		start := time.Now()
+		span := ph.Start("ablation/mine_mcmcbar")
 		mined := bst.MineMCMCBAR(cfg.RCBT.K, core.MineOptions{TieBreakFewerExcluded: tie})
 		line(w, "Mine-MCMCBAR top-%d (tie-break fewer-excluded=%v): %d rules in %s",
-			cfg.RCBT.K, tie, len(mined), fmtDuration(time.Since(start)))
+			cfg.RCBT.K, tie, len(mined), fmtDuration(span.End()))
 	}
 
 	// §4.2's rule-explicit MCBAR classifier: k sensitivity vs parameter-free

@@ -17,6 +17,7 @@ import (
 
 	"bstc/internal/core"
 	"bstc/internal/eval"
+	"bstc/internal/obs"
 	"bstc/internal/rcbt"
 	"bstc/internal/synth"
 )
@@ -34,6 +35,9 @@ type Config struct {
 	RCBT rcbt.Config
 	// NLFallback is the paper's lowered nl (2).
 	NLFallback int
+	// RunLog, when non-nil, receives one JSONL record per cross-validation
+	// test (see obs.RunRecord).
+	RunLog *obs.RunLog
 }
 
 // Default returns scale-appropriate settings: the paper's parameter values
@@ -124,6 +128,8 @@ func RunStudy(cfg Config, name string, withRCBT bool) (*Study, error) {
 		RCBT:       cfg.RCBT,
 		Cutoff:     cfg.Cutoff,
 		NLFallback: cfg.NLFallback,
+		Dataset:    name,
+		RunLog:     cfg.RunLog,
 	})
 	if err != nil {
 		return nil, err

@@ -5,12 +5,12 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
-	"time"
 
 	"bstc/internal/carminer"
 	"bstc/internal/cba"
 	"bstc/internal/dataset"
 	"bstc/internal/eval"
+	"bstc/internal/obs"
 	"bstc/internal/stats"
 	"bstc/internal/svm"
 	"bstc/internal/synth"
@@ -82,7 +82,7 @@ func Preliminary(w io.Writer, cfg Config) ([]PreliminaryRow, error) {
 		}
 		// JEP mining (the §7 TOP-RULES family) is exponential; a cutoff
 		// turns blowups into a DNF cell.
-		row.JEP, err = eval.RunJEP(ps, carminer.Budget{Deadline: time.Now().Add(cfg.Cutoff)})
+		row.JEP, err = eval.RunJEP(ps, carminer.Budget{Deadline: obs.Now().Add(cfg.Cutoff)})
 		if errors.Is(err, carminer.ErrBudgetExceeded) {
 			row.JEPDNF = true
 		} else if err != nil {

@@ -5,13 +5,13 @@ import (
 	"io"
 	"math/rand"
 	"strconv"
-	"time"
 
 	"bstc/internal/carminer"
 	"bstc/internal/core"
 	"bstc/internal/dataset"
 	"bstc/internal/ep"
 	"bstc/internal/eval"
+	"bstc/internal/obs"
 	"bstc/internal/synth"
 	"bstc/internal/textplot"
 )
@@ -46,19 +46,21 @@ func Related(w io.Writer, cfg Config) error {
 			return err
 		}
 
-		start := time.Now()
+		ph := obs.NewPhasesIn(eval.Metrics())
+		span := ph.Start("related/bst_build")
 		for ci := 0; ci < ps.TrainBool.NumClasses(); ci++ {
 			if _, err := core.NewBST(ps.TrainBool, ci); err != nil {
 				return err
 			}
 		}
-		bstTime := time.Since(start)
+		bstTime := span.End()
 
-		start = time.Now()
+		span = ph.Start("related/jep_mine")
+		deadline := obs.Now().Add(cfg.Cutoff)
 		jepCell := ""
 		patterns := 0
 		for ci := 0; ci < ps.TrainBool.NumClasses(); ci++ {
-			jeps, err := ep.MineJEPs(ps.TrainBool, ci, carminer.Budget{Deadline: start.Add(cfg.Cutoff)})
+			jeps, err := ep.MineJEPs(ps.TrainBool, ci, carminer.Budget{Deadline: deadline})
 			if errors.Is(err, carminer.ErrBudgetExceeded) {
 				jepCell = ">= " + fmtDuration(cfg.Cutoff) + " (DNF)"
 				break
@@ -68,8 +70,8 @@ func Related(w io.Writer, cfg Config) error {
 			}
 			patterns += len(jeps)
 		}
-		if jepCell == "" {
-			jepCell = fmtDuration(time.Since(start))
+		if jepDur := span.End(); jepCell == "" {
+			jepCell = fmtDuration(jepDur)
 		}
 		rows = append(rows, []string{
 			sizeLabel(frac),

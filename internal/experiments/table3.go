@@ -64,7 +64,10 @@ func Table3(w io.Writer, cfg Config) ([]Table3Row, error) {
 		// The paper's preliminary experiments ran to completion (the 2-hour
 		// cutoffs only govern the §6.2 cross-validation studies), so Table 3
 		// gets a generous multiple of the study cutoff.
-		rc := eval.RunRCBT(ps, cfg.RCBT, 8*cfg.Cutoff, cfg.NLFallback)
+		rc, err := eval.RunRCBT(ps, cfg.RCBT, 8*cfg.Cutoff, cfg.NLFallback)
+		if err != nil {
+			return nil, err
+		}
 		row.RCBT, row.RCBTDNF = rc.Accuracy, !rc.Finished()
 
 		if row.SVM, err = eval.RunSVM(ps, svm.Config{Seed: cfg.Seed}); err != nil {

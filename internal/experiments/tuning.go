@@ -47,7 +47,10 @@ func Tuning(w io.Writer, cfg Config) error {
 	for _, support := range []float64{0.7, 0.9} {
 		rcfg := cfg.RCBT
 		rcfg.MinSupport = support
-		out := eval.RunRCBT(ps, rcfg, cfg.Cutoff, cfg.NLFallback)
+		out, err := eval.RunRCBT(ps, rcfg, cfg.Cutoff, cfg.NLFallback)
+		if err != nil {
+			return err
+		}
 		status := func(dnf bool, d time.Duration) string {
 			if dnf {
 				return ">= " + fmtDuration(d) + " (DNF)"

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime/metrics"
+	"sync"
+)
+
+// published maps expvar names to the registry currently backing them.
+// expvar.Publish panics on duplicate names, so re-publishing under the
+// same name just swaps the backing registry.
+var published = struct {
+	sync.Mutex
+	regs map[string]*Registry
+}{regs: map[string]*Registry{}}
+
+// PublishExpvar exposes r's live snapshot as the named expvar (visible on
+// /debug/vars). Calling it again with the same name rebinds the variable
+// to the new registry; a nil registry publishes empty snapshots.
+func PublishExpvar(name string, r *Registry) {
+	published.Lock()
+	defer published.Unlock()
+	if _, ok := published.regs[name]; !ok {
+		expvar.Publish(name, expvar.Func(func() any {
+			published.Lock()
+			reg := published.regs[name]
+			published.Unlock()
+			return reg.Snapshot()
+		}))
+	}
+	published.regs[name] = r
+}
+
+// RuntimeStats is a small digest of runtime/metrics, cheap enough to
+// sample per experiment.
+type RuntimeStats struct {
+	HeapBytes  uint64 `json:"heap_bytes"`
+	GCCycles   uint64 `json:"gc_cycles"`
+	Goroutines uint64 `json:"goroutines"`
+}
+
+// ReadRuntimeStats samples the runtime/metrics the debug endpoints and
+// experiment summaries report.
+func ReadRuntimeStats() RuntimeStats {
+	samples := []metrics.Sample{
+		{Name: "/memory/classes/heap/objects:bytes"},
+		{Name: "/gc/cycles/total:gc-cycles"},
+		{Name: "/sched/goroutines:goroutines"},
+	}
+	metrics.Read(samples)
+	var rs RuntimeStats
+	if samples[0].Value.Kind() == metrics.KindUint64 {
+		rs.HeapBytes = samples[0].Value.Uint64()
+	}
+	if samples[1].Value.Kind() == metrics.KindUint64 {
+		rs.GCCycles = samples[1].Value.Uint64()
+	}
+	if samples[2].Value.Kind() == metrics.KindUint64 {
+		rs.Goroutines = samples[2].Value.Uint64()
+	}
+	return rs
+}
+
+// ServeDebug starts an HTTP server on addr exposing /debug/vars (expvar,
+// including anything published via PublishExpvar) and /debug/pprof/*
+// (net/http/pprof). It returns the server, whose Addr is resolved (useful
+// with ":0"), serving in a background goroutine; callers own shutdown.
+func ServeDebug(addr string) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Addr: ln.Addr().String(), Handler: mux}
+	go srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on shutdown
+	return srv, nil
+}

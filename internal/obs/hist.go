@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram accumulates non-negative int64 observations (typically
+// durations in nanoseconds) into power-of-two buckets: bucket i holds the
+// values whose bit length is i, i.e. [2^(i-1), 2^i). Recording is
+// lock-free and allocation-free; quantiles are approximate, answered at
+// bucket granularity. The nil *Histogram is a valid no-op receiver.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [65]atomic.Int64 // bits.Len64 of a uint64 is at most 64
+}
+
+// Record adds one observation. Negative values clamp to zero.
+func (h *Histogram) Record(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.max.Load()
+}
+
+// Quantile returns an upper bound for the q-quantile at bucket
+// granularity: the largest value of the bucket containing the q·Count-th
+// observation. q is clamped to [0, 1]; an empty histogram returns 0.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank of the target observation, 1-based; q=0 maps to the first.
+	rank := int64(q*float64(total-1)) + 1
+	var seen int64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			if i == 0 {
+				return 0
+			}
+			upper := int64(1)<<uint(i) - 1
+			if m := h.max.Load(); upper > m {
+				return m // never report beyond the observed max
+			}
+			return upper
+		}
+	}
+	return h.max.Load()
+}
+
+// HistSummary is the JSON-friendly digest of a histogram.
+type HistSummary struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	Max   int64 `json:"max"`
+	P50   int64 `json:"p50"`
+	P90   int64 `json:"p90"`
+	P99   int64 `json:"p99"`
+}
+
+// Summary digests the histogram's current state.
+func (h *Histogram) Summary() HistSummary {
+	if h == nil {
+		return HistSummary{}
+	}
+	return HistSummary{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		Max:   h.Max(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+	}
+}

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiler bundles the -cpuprofile/-memprofile plumbing shared by
+// cmd/bstc and cmd/bstcbench: start before the workload, Stop (usually
+// deferred) when it finishes. The zero Profiler with empty paths is a
+// no-op, so CLIs can call Start/Stop unconditionally.
+type Profiler struct {
+	CPUPath string
+	MemPath string
+
+	cpuFile *os.File
+}
+
+// Start begins CPU profiling if CPUPath is set.
+func (p *Profiler) Start() error {
+	if p.CPUPath == "" {
+		return nil
+	}
+	f, err := os.Create(p.CPUPath)
+	if err != nil {
+		return fmt.Errorf("obs: cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: cpu profile: %w", err)
+	}
+	p.cpuFile = f
+	return nil
+}
+
+// Stop finishes the CPU profile and writes the heap profile if MemPath is
+// set. Safe to call when Start did nothing.
+func (p *Profiler) Stop() error {
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil {
+			return err
+		}
+		p.cpuFile = nil
+	}
+	if p.MemPath == "" {
+		return nil
+	}
+	f, err := os.Create(p.MemPath)
+	if err != nil {
+		return fmt.Errorf("obs: mem profile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC() // the heap profile should reflect live objects
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("obs: mem profile: %w", err)
+	}
+	return f.Close()
+}

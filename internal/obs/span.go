@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// PhaseEntry is one finished phase: its name and measured duration, in the
+// order spans ended.
+type PhaseEntry struct {
+	Name     string
+	Duration time.Duration
+}
+
+// Phases collects named phase durations for one logical run (one
+// cross-validation test, one experiment). It replaces ad-hoc
+// time.Now()/time.Since() pairs: a Span always measures, and when the
+// collector is bound to a registry each phase duration also lands in the
+// histogram "phase.<name>". A nil *Phases still hands out working spans —
+// they time but record nowhere — so call sites need no nil checks.
+type Phases struct {
+	mu      sync.Mutex
+	reg     *Registry
+	entries []PhaseEntry
+}
+
+// NewPhases returns an unbound collector.
+func NewPhases() *Phases { return &Phases{} }
+
+// NewPhasesIn returns a collector that additionally records every phase
+// duration into r's "phase.<name>" histogram. A nil r behaves like
+// NewPhases.
+func NewPhasesIn(r *Registry) *Phases { return &Phases{reg: r} }
+
+// Span is one in-flight phase timer. Obtain spans from Phases.Start or
+// Span.Child; End stops the clock, records the duration, and returns it.
+type Span struct {
+	p     *Phases
+	name  string
+	start time.Time
+}
+
+// Start opens a span named name. Works on a nil receiver (the span then
+// only measures).
+func (p *Phases) Start(name string) *Span {
+	return &Span{p: p, name: name, start: Now()}
+}
+
+// Child opens a nested span whose name is parent/name, recording into the
+// same collector. Nesting is by naming convention: the caller ends the
+// child before (or after) the parent as the phases actually overlap.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return &Span{name: name, start: Now()}
+	}
+	return &Span{p: s.p, name: s.name + "/" + name, start: Now()}
+}
+
+// End stops the span and returns its duration. Safe on a nil span
+// (returns 0). Ending the same span twice records two phases; don't.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := Now().Sub(s.start)
+	if s.p != nil {
+		s.p.record(s.name, d)
+	}
+	return d
+}
+
+func (p *Phases) record(name string, d time.Duration) {
+	p.mu.Lock()
+	p.entries = append(p.entries, PhaseEntry{Name: name, Duration: d})
+	reg := p.reg
+	p.mu.Unlock()
+	reg.Histogram("phase." + name).Record(int64(d))
+}
+
+// Entries returns the finished phases in end order. Safe on nil (returns
+// nil).
+func (p *Phases) Entries() []PhaseEntry {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]PhaseEntry, len(p.entries))
+	copy(out, p.entries)
+	return out
+}
+
+// Map sums the finished phases by name. Safe on nil (returns nil).
+func (p *Phases) Map() map[string]time.Duration {
+	entries := p.Entries()
+	if len(entries) == 0 {
+		return nil
+	}
+	out := make(map[string]time.Duration, len(entries))
+	for _, e := range entries {
+		out[e.Name] += e.Duration
+	}
+	return out
+}
+
+// MillisMap is Map with durations in fractional milliseconds — the run
+// record form.
+func (p *Phases) MillisMap() map[string]float64 {
+	m := p.Map()
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]float64, len(m))
+	for name, d := range m {
+		out[name] = float64(d) / float64(time.Millisecond)
+	}
+	return out
+}
+
+// AddTo folds this collector's phases into a millisecond map, creating it
+// when needed — convenience for merging several collectors into one run
+// record.
+func (p *Phases) AddTo(ms map[string]float64) map[string]float64 {
+	for name, d := range p.Map() {
+		if ms == nil {
+			ms = map[string]float64{}
+		}
+		ms[name] += float64(d) / float64(time.Millisecond)
+	}
+	return ms
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock installs a deterministic Now that advances step per call and
+// returns a restore func.
+func fakeClock(t *testing.T, step time.Duration) {
+	t.Helper()
+	base := time.Unix(0, 0)
+	var calls int64
+	Now = func() time.Time {
+		calls++
+		return base.Add(time.Duration(calls) * step)
+	}
+	t.Cleanup(func() { Now = time.Now })
+}
+
+func TestSpanMeasuresAndRecords(t *testing.T) {
+	fakeClock(t, time.Millisecond)
+	p := NewPhases()
+	s := p.Start("build")
+	d := s.End()
+	if d != time.Millisecond {
+		t.Errorf("span duration = %v, want 1ms under the fake clock", d)
+	}
+	entries := p.Entries()
+	if len(entries) != 1 || entries[0].Name != "build" || entries[0].Duration != d {
+		t.Errorf("entries = %+v", entries)
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	fakeClock(t, time.Millisecond)
+	p := NewPhases()
+	parent := p.Start("rcbt")
+	child := parent.Child("topk")
+	grand := child.Child("dfs")
+	grand.End()
+	child.End()
+	parent.End()
+	entries := p.Entries()
+	if len(entries) != 3 {
+		t.Fatalf("got %d entries", len(entries))
+	}
+	// Children end first; names carry the full nesting path.
+	wantNames := []string{"rcbt/topk/dfs", "rcbt/topk", "rcbt"}
+	for i, want := range wantNames {
+		if entries[i].Name != want {
+			t.Errorf("entry %d = %q, want %q", i, entries[i].Name, want)
+		}
+	}
+	// An outer span's duration covers its children's.
+	if entries[2].Duration < entries[1].Duration || entries[1].Duration < entries[0].Duration {
+		t.Errorf("nesting durations not monotone: %+v", entries)
+	}
+}
+
+func TestNilPhasesAndNilSpan(t *testing.T) {
+	var p *Phases
+	s := p.Start("x")
+	if d := s.End(); d < 0 {
+		t.Errorf("nil-collector span duration = %v", d)
+	}
+	var ns *Span
+	if d := ns.End(); d != 0 {
+		t.Errorf("nil span End = %v, want 0", d)
+	}
+	if c := ns.Child("y"); c == nil {
+		t.Error("nil span Child should still return a working span")
+	}
+	if p.Entries() != nil || p.Map() != nil || p.MillisMap() != nil {
+		t.Error("nil phases should report nothing")
+	}
+}
+
+func TestPhasesMapSumsRepeats(t *testing.T) {
+	fakeClock(t, time.Millisecond)
+	p := NewPhases()
+	p.Start("mine").End()
+	p.Start("mine").End()
+	m := p.Map()
+	if m["mine"] != 2*time.Millisecond {
+		t.Errorf("summed duration = %v, want 2ms", m["mine"])
+	}
+	ms := p.MillisMap()
+	if ms["mine"] != 2 {
+		t.Errorf("millis = %v, want 2", ms["mine"])
+	}
+	merged := p.AddTo(nil)
+	merged = p.AddTo(merged)
+	if merged["mine"] != 4 {
+		t.Errorf("AddTo merged = %v, want 4", merged["mine"])
+	}
+}
+
+func TestPhasesBoundToRegistryRecordsHistograms(t *testing.T) {
+	fakeClock(t, time.Millisecond)
+	r := NewRegistry()
+	p := NewPhasesIn(r)
+	p.Start("classify").End()
+	h := r.Histogram("phase.classify")
+	if h.Count() != 1 {
+		t.Fatalf("phase histogram count = %d, want 1", h.Count())
+	}
+	if h.Sum() != int64(time.Millisecond) {
+		t.Errorf("phase histogram sum = %d", h.Sum())
+	}
+}
