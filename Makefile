@@ -3,8 +3,9 @@ GO ?= go
 .PHONY: check vet build test race bench
 
 # The tier-1 gate plus the race-sensitive packages: the obs counters are
-# hit concurrently by parallel batch classification, and eval threads the
-# registry through every miner.
+# hit concurrently by parallel batch classification, eval threads the
+# registry through every miner, and the fold pool stripes discretization
+# and classification across workers.
 check: vet build race test
 
 vet:
@@ -14,7 +15,9 @@ build:
 	$(GO) build ./...
 
 race:
-	$(GO) test -race ./internal/obs/... ./internal/eval/...
+	$(GO) test -race ./internal/obs/... ./internal/eval/... \
+		./internal/discretize/... ./internal/core/... \
+		./internal/experiments/...
 
 test:
 	$(GO) test ./...

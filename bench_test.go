@@ -29,6 +29,7 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"runtime"
 	"strconv"
 	"sync"
 	"testing"
@@ -202,6 +203,32 @@ func BenchmarkAblationArithmetization(b *testing.B) {
 				b.ReportMetric(r.Accuracy, "min-acc")
 			}
 		}
+	}
+}
+
+// BenchmarkRunCVWorkers measures the fold-level worker pool on a BSTC-only
+// multi-test cross-validation study: workers=1 is the exact legacy serial
+// path, workers=GOMAXPROCS the pool. Both produce identical studies (the
+// determinism tests pin that); the interesting number here is the
+// wall-clock ratio, which should approach min(GOMAXPROCS, tests·sizes) on
+// an otherwise idle machine.
+func BenchmarkRunCVWorkers(b *testing.B) {
+	cfg := experiments.Default(synth.Small)
+	cfg.Tests = 8
+	counts := []int{1, 4}
+	if n := runtime.GOMAXPROCS(0); n != 1 && n != 4 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run("workers-"+strconv.Itoa(workers), func(b *testing.B) {
+			c := cfg
+			c.Workers = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.RunStudy(c, "LC", false); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"strings"
 
 	"bstc/internal/cba"
@@ -27,6 +28,7 @@ func cmdEval(args []string) error {
 	folds := fs.Int("folds", 5, "number of cross-validation folds")
 	seed := fs.Int64("seed", 1, "shuffle seed")
 	classifiers := fs.String("classifiers", "bstc,svm,forest", "comma-separated: bstc, svm, forest, cba")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "goroutines for discretization and BSTC batch classification (1 = serial; results are identical)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -71,12 +73,12 @@ func cmdEval(args []string) error {
 	}
 	accs := map[string][]float64{}
 	for fold, sp := range splits {
-		ps, err := eval.Prepare(cont, sp)
+		ps, err := eval.PrepareWorkers(cont, sp, *workers)
 		if err != nil {
 			return fmt.Errorf("eval: fold %d: %w", fold, err)
 		}
 		if wanted["bstc"] {
-			out, err := eval.RunBSTC(ps, nil)
+			out, err := eval.RunBSTCWorkers(ps, nil, *workers)
 			if err != nil {
 				return err
 			}

@@ -45,6 +45,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"bstc"
 	"bstc/internal/dataset"
@@ -205,6 +206,7 @@ func cmdClassify(args []string) error {
 	testPath := fs.String("test", "", "test item-list file (required)")
 	explain := fs.Int("explain", 0, "print up to N supporting cell rules per sample")
 	minSat := fs.Float64("min-sat", 0.8, "minimum satisfaction level for explanations")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "goroutines for batch classification (1 = serial; predictions are identical)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -240,9 +242,15 @@ func cmdClassify(args []string) error {
 	if test.NumGenes() != len(cl.GeneNames) {
 		return fmt.Errorf("test file has %d items, model has %d", test.NumGenes(), len(cl.GeneNames))
 	}
+	var preds []int
+	if *workers > 1 {
+		preds = cl.ClassifyBatchParallel(test, *workers)
+	} else {
+		preds = cl.ClassifyBatch(test)
+	}
 	correct, labeled := 0, 0
 	for i, row := range test.Rows {
-		pred := cl.Classify(row)
+		pred := preds[i]
 		name := fmt.Sprintf("s%d", i+1)
 		if len(test.SampleNames) > 0 {
 			name = test.SampleNames[i]

@@ -11,6 +11,7 @@
 //	bstcbench -exp all -quiet                  # summary lines only
 //	bstcbench -exp table6 -cpuprofile cpu.out -memprofile mem.out
 //	bstcbench -exp table4 -debug-addr localhost:6060  # expvar + pprof
+//	bstcbench -exp fig6 -workers 1             # exact serial evaluation
 //
 // Experiments: table2, table3, prelim, fig4, fig5, fig6, fig7, table4,
 // table5, table6, table7, tuning, ablation, related, all. Figures and
@@ -23,6 +24,13 @@
 // rate); -quiet suppresses the rendered artifacts and keeps only those
 // lines. -runlog additionally writes one JSON object per cross-validation
 // test — the schema is documented in EXPERIMENTS.md ("Run telemetry").
+//
+// Cross-validation tests run concurrently on a -workers pool (default
+// GOMAXPROCS). Splits are pre-drawn from the study seed, so accuracy
+// artifacts are byte-identical for any worker count; DNF cells report
+// real elapsed time against the cutoff and so can flip near the boundary
+// under CPU contention, as on any loaded machine. -workers 1 restores
+// the exact serial path with precise per-test counter attribution.
 package main
 
 import (
@@ -30,6 +38,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -53,6 +62,7 @@ func run(args []string) (err error) {
 	testsFlag := fs.Int("tests", 0, "cross-validation tests per training size (0 = scale default)")
 	cutoffFlag := fs.Duration("cutoff", 0, "per-phase mining cutoff (0 = scale default)")
 	seedFlag := fs.Int64("seed", 0, "random seed (0 = default)")
+	workersFlag := fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent cross-validation tests (1 = serial; accuracies are identical for any value)")
 	runlogFlag := fs.String("runlog", "", "write one JSONL record per cross-validation test to this file")
 	quietFlag := fs.Bool("quiet", false, "suppress rendered artifacts, print only per-experiment summary lines")
 	obsFlag := fs.Bool("obs", true, "instrument the pipeline (miner counters, phase histograms)")
@@ -77,6 +87,7 @@ func run(args []string) (err error) {
 	if *seedFlag != 0 {
 		cfg.Seed = *seedFlag
 	}
+	cfg.Workers = *workersFlag
 
 	wanted := map[string]bool{}
 	for _, e := range strings.Split(*expFlag, ",") {

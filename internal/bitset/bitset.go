@@ -324,12 +324,20 @@ func (s *Set) UnmarshalBinary(data []byte) error {
 	if n < 0 || words != (n+wordBits-1)/wordBits {
 		return fmt.Errorf("bitset: binary data has %d words for universe %d", words, n)
 	}
-	s.n = n
-	s.words = make([]uint64, words)
-	for i := range s.words {
-		s.words[i] = getUint64(data[8+8*i:])
+	decoded := make([]uint64, words)
+	for i := range decoded {
+		decoded[i] = getUint64(data[8+8*i:])
 	}
-	s.trim()
+	// Padding bits in the last word must be zero: a set bit beyond the
+	// universe means the data is corrupt (or was written by a different
+	// encoding), and silently masking it would hide that.
+	if rem := uint(n) % wordBits; rem != 0 {
+		if stray := decoded[words-1] &^ (1<<rem - 1); stray != 0 {
+			return fmt.Errorf("bitset: binary data has bits set beyond universe %d", n)
+		}
+	}
+	s.n = n
+	s.words = decoded
 	return nil
 }
 

@@ -262,6 +262,42 @@ func TestUnmarshalBinaryErrors(t *testing.T) {
 	}
 }
 
+func TestUnmarshalBinaryRejectsPaddingBits(t *testing.T) {
+	// Universe 100 occupies two words with 28 padding bits in the second;
+	// setting one of them means the data is corrupt and must be rejected,
+	// not silently masked away.
+	orig := FromIndices(100, 5, 64, 99)
+	data, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := append([]byte(nil), data...)
+	corrupt[8+8+(100%64)/8] |= 1 << (100 % 8) // bit 100: first bit past the universe
+	var s Set
+	if err := s.UnmarshalBinary(corrupt); err == nil {
+		t.Fatal("padding bit set beyond universe should error")
+	}
+	// The clean payload still round-trips.
+	if err := s.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Equal(orig) {
+		t.Error("round trip mismatch after corruption check")
+	}
+	// A universe that exactly fills its words has no padding to check.
+	full := randomSet(rand.New(rand.NewSource(3)), 128)
+	data, err = full.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Equal(full) {
+		t.Error("word-aligned round trip mismatch")
+	}
+}
+
 // randomSet builds a reproducible random set for property tests.
 func randomSet(r *rand.Rand, n int) *Set {
 	s := New(n)

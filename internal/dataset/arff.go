@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -112,6 +113,9 @@ func ReadARFF(r io.Reader) (*Continuous, error) {
 			v, err := strconv.ParseFloat(f, 64)
 			if err != nil {
 				return nil, fmt.Errorf("dataset: arff line %d field %d: %w", line, fi, err)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("dataset: arff line %d field %d: non-finite expression value %q", line, fi, f)
 			}
 			row = append(row, v)
 		}

@@ -13,6 +13,7 @@ package dataset
 
 import (
 	"fmt"
+	"math"
 
 	"bstc/internal/bitset"
 )
@@ -47,6 +48,14 @@ func (c *Continuous) Validate() error {
 	for i, row := range c.Values {
 		if len(row) != len(c.GeneNames) {
 			return fmt.Errorf("dataset: sample %d has %d values, want %d", i, len(row), len(c.GeneNames))
+		}
+		// NaN and ±Inf would silently corrupt discretization: every
+		// comparison against a cut is false for NaN (binning it into the
+		// top interval), and infinities poison equal-width ranges.
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("dataset: sample %d gene %q has non-finite expression value %v", i, c.GeneNames[j], v)
+			}
 		}
 	}
 	for i, cl := range c.Classes {

@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"bytes"
+	"math"
 	"math/rand"
 	"reflect"
 	"strings"
@@ -212,6 +213,32 @@ func TestContinuousAccessorsAndValidate(t *testing.T) {
 	bad.Classes = []int{0, 9, 0}
 	if bad.Validate() == nil {
 		t.Error("out-of-range class should fail")
+	}
+}
+
+func TestValidateRejectsNonFiniteValues(t *testing.T) {
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		c := &Continuous{
+			GeneNames:  []string{"a", "b"},
+			ClassNames: []string{"X"},
+			Classes:    []int{0},
+			Values:     [][]float64{{1, v}},
+		}
+		err := c.Validate()
+		if err == nil {
+			t.Fatalf("value %v should fail validation", v)
+		}
+		if !strings.Contains(err.Error(), "non-finite") || !strings.Contains(err.Error(), `"b"`) {
+			t.Errorf("error should name the offending gene and problem, got %q", err)
+		}
+	}
+	// Parsers enforce the same invariant on user-supplied files.
+	if _, err := ReadContinuous(strings.NewReader("#genes\tg\ns\tA\tNaN\n")); err == nil {
+		t.Error("ReadContinuous should reject NaN")
+	}
+	arff := "@relation r\n@attribute f numeric\n@attribute c {a}\n@data\nInf,a\n"
+	if _, err := ReadARFF(strings.NewReader(arff)); err == nil {
+		t.Error("ReadARFF should reject Inf")
 	}
 }
 

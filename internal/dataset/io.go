@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -95,6 +96,9 @@ func ReadContinuous(r io.Reader) (*Continuous, error) {
 			v, err := strconv.ParseFloat(f, 64)
 			if err != nil {
 				return nil, fmt.Errorf("dataset: line %d gene %d: %w", line, j, err)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("dataset: line %d gene %d: non-finite expression value %q", line, j, f)
 			}
 			row[j] = v
 		}

@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"bstc/internal/bitset"
 	"bstc/internal/dataset"
@@ -50,24 +52,62 @@ func Fit(train *dataset.Continuous) (*Model, error) {
 
 // FitWith learns cut points using the supplied Cutter.
 func FitWith(train *dataset.Continuous, cut Cutter) (*Model, error) {
+	return FitWithWorkers(train, cut, 1)
+}
+
+// FitWithWorkers learns cut points using up to workers goroutines (≤ 1 runs
+// serially). Each gene's cut computation depends only on that gene's column
+// and the class labels, so genes stripe across workers; the item vocabulary
+// is assembled serially in gene order afterwards, making the returned model
+// identical for every worker count.
+func FitWithWorkers(train *dataset.Continuous, cut Cutter, workers int) (*Model, error) {
 	if err := train.Validate(); err != nil {
 		return nil, err
 	}
 	if train.NumSamples() == 0 {
 		return nil, fmt.Errorf("discretize: no training samples")
 	}
+	numGenes := train.NumGenes()
 	m := &Model{
-		GeneCuts:   make([][]float64, train.NumGenes()),
+		GeneCuts:   make([][]float64, numGenes),
 		ClassNames: train.ClassNames,
-		numGenes:   train.NumGenes(),
+		numGenes:   numGenes,
 	}
-	col := make([]float64, train.NumSamples())
-	for g := 0; g < train.NumGenes(); g++ {
-		for i, row := range train.Values {
-			col[i] = row[g]
+	if workers > numGenes {
+		workers = numGenes
+	}
+	if workers <= 1 {
+		col := make([]float64, train.NumSamples())
+		for g := 0; g < numGenes; g++ {
+			m.GeneCuts[g] = cutGene(train, cut, col, g)
 		}
-		cuts := cut(col, train.Classes, train.NumClasses())
-		m.GeneCuts[g] = cuts
+	} else {
+		// Workers grab genes in chunks off a shared atomic cursor; every
+		// Cutter copies what it keeps, so the per-worker column buffer is
+		// safe to reuse.
+		const chunk = 8
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				col := make([]float64, train.NumSamples())
+				for {
+					g0 := int(next.Add(chunk)) - chunk
+					if g0 >= numGenes {
+						return
+					}
+					for g := g0; g < g0+chunk && g < numGenes; g++ {
+						m.GeneCuts[g] = cutGene(train, cut, col, g)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for g := 0; g < numGenes; g++ {
+		cuts := m.GeneCuts[g]
 		if len(cuts) > 0 {
 			m.itemBase = append(m.itemBase, len(m.ItemNames))
 			m.Selected = append(m.Selected, g)
@@ -77,6 +117,14 @@ func FitWith(train *dataset.Continuous, cut Cutter) (*Model, error) {
 		}
 	}
 	return m, nil
+}
+
+// cutGene gathers gene g's column into col and runs the Cutter on it.
+func cutGene(train *dataset.Continuous, cut Cutter, col []float64, g int) []float64 {
+	for i, row := range train.Values {
+		col[i] = row[g]
+	}
+	return cut(col, train.Classes, train.NumClasses())
 }
 
 // NumItems returns the size of the boolean item vocabulary.

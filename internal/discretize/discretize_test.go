@@ -1,8 +1,10 @@
 package discretize
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -282,5 +284,84 @@ func TestFitRejectsInvalid(t *testing.T) {
 	empty := &dataset.Continuous{GeneNames: []string{"g"}, ClassNames: []string{"A"}}
 	if _, err := Fit(empty); err == nil {
 		t.Error("Fit should reject empty dataset")
+	}
+}
+
+func TestFitAndTransformRejectNonFinite(t *testing.T) {
+	// A NaN expression value would otherwise bin silently into the top
+	// interval (every "v <= cut" comparison is false for NaN), and ±Inf
+	// poisons equal-width ranges — both must be rejected up front.
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		bad := &dataset.Continuous{
+			GeneNames: []string{"g"}, ClassNames: []string{"A", "B"},
+			Classes: []int{0, 1}, Values: [][]float64{{1}, {v}},
+		}
+		if _, err := Fit(bad); err == nil {
+			t.Errorf("Fit should reject value %v", v)
+		}
+	}
+	m, err := Fit(twoGeneTrain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nan := &dataset.Continuous{
+		GeneNames: []string{"sep", "flat"}, ClassNames: []string{"A"},
+		Classes: []int{0}, Values: [][]float64{{math.NaN(), 7}},
+	}
+	if _, err := m.Transform(nan); err == nil {
+		t.Error("Transform should reject NaN in query data")
+	}
+}
+
+// randomTrain builds a dense random training matrix with class-correlated
+// columns sprinkled in, large enough that parallel fitting exercises many
+// chunks.
+func randomTrain(genes, samples int, seed int64) *dataset.Continuous {
+	r := rand.New(rand.NewSource(seed))
+	c := &dataset.Continuous{
+		GeneNames:  make([]string, genes),
+		ClassNames: []string{"A", "B"},
+		Classes:    make([]int, samples),
+		Values:     make([][]float64, samples),
+	}
+	for g := range c.GeneNames {
+		c.GeneNames[g] = fmt.Sprintf("g%d", g)
+	}
+	for i := range c.Values {
+		c.Classes[i] = i % 2
+		row := make([]float64, genes)
+		for g := range row {
+			row[g] = r.NormFloat64()
+			if g%7 == 0 { // informative gene: shift by class
+				row[g] += 3 * float64(c.Classes[i])
+			}
+		}
+		c.Values[i] = row
+	}
+	return c
+}
+
+func TestFitWithWorkersMatchesSerial(t *testing.T) {
+	train := randomTrain(253, 40, 11)
+	serial, err := FitWithWorkers(train, EntropyMDL, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8, 64, 1000} {
+		par, err := FitWithWorkers(train, EntropyMDL, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(par.GeneCuts, serial.GeneCuts) {
+			t.Fatalf("workers=%d: gene cuts differ from serial", workers)
+		}
+		if !reflect.DeepEqual(par.Selected, serial.Selected) ||
+			!reflect.DeepEqual(par.ItemNames, serial.ItemNames) ||
+			!reflect.DeepEqual(par.itemBase, serial.itemBase) {
+			t.Fatalf("workers=%d: item vocabulary differs from serial", workers)
+		}
+	}
+	if serial.NumSelectedGenes() == 0 {
+		t.Fatal("determinism check is vacuous: no genes selected")
 	}
 }

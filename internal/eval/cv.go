@@ -3,6 +3,7 @@ package eval
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"bstc/internal/core"
@@ -58,6 +59,13 @@ type CVConfig struct {
 	// NLFallback retries a DNF'd RCBT build with this nl (the paper's 2).
 	NLFallback int
 
+	// Workers bounds how many (size, test) evaluations run concurrently;
+	// the same value stripes gene discretization and batch classification
+	// inside each test. 0 or 1 runs the exact legacy serial path. Splits
+	// are always pre-drawn serially from the study's rand.Rand, so results
+	// and rendered tables are identical for every worker count.
+	Workers int
+
 	// Dataset labels run-log records with the profile under study (ALL,
 	// LC, PC, OC, or an input file name).
 	Dataset string
@@ -74,6 +82,7 @@ func (cfg CVConfig) recordConfig() map[string]float64 {
 	m := map[string]float64{
 		"tests":     float64(cfg.Tests),
 		"cutoff_ms": float64(cfg.Cutoff) / float64(time.Millisecond),
+		"workers":   float64(cfg.effectiveWorkers()),
 	}
 	if cfg.RunRCBT {
 		m["min_support"] = cfg.RCBT.MinSupport
@@ -81,6 +90,15 @@ func (cfg CVConfig) recordConfig() map[string]float64 {
 		m["nl"] = float64(cfg.RCBT.NL)
 	}
 	return m
+}
+
+// effectiveWorkers normalizes the Workers knob: anything below 1 is the
+// serial path.
+func (cfg CVConfig) effectiveWorkers() int {
+	if cfg.Workers < 1 {
+		return 1
+	}
+	return cfg.Workers
 }
 
 // SizeResult aggregates one training size's tests.
@@ -91,9 +109,32 @@ type SizeResult struct {
 	GenesAfter []int
 }
 
+// cvTask is one pre-drawn (size, test) evaluation. splitErr, when non-nil,
+// poisons the position where split drawing failed: every task before it
+// still runs and emits, then the poisoned record is emitted and the error
+// returned — exactly the serial protocol's behaviour.
+type cvTask struct {
+	test     int
+	size     TrainSize
+	sp       dataset.Split
+	splitErr error
+}
+
+// cvResult is one finished evaluation, held until every earlier task's
+// record has been emitted.
+type cvResult struct {
+	rec        obs.RunRecord
+	bstc       BSTCOutcome
+	rcbt       RCBTOutcome
+	genesAfter int
+	err        error
+}
+
 // RunCV runs the full study: Tests independent random splits per size, each
 // discretized on its training half, with BSTC always and Top-k/RCBT
-// optionally evaluated.
+// optionally evaluated. With Workers > 1 the tests run on a bounded worker
+// pool; splits are pre-drawn serially and records are emitted in task
+// order, so every artifact is identical to the serial run.
 func RunCV(cfg CVConfig) ([]SizeResult, error) {
 	if cfg.Tests <= 0 {
 		return nil, fmt.Errorf("eval: Tests = %d", cfg.Tests)
@@ -101,68 +142,180 @@ func RunCV(cfg CVConfig) ([]SizeResult, error) {
 	if len(cfg.Sizes) == 0 {
 		return nil, fmt.Errorf("eval: no training sizes")
 	}
+	workers := cfg.effectiveWorkers()
+
+	// Pre-draw every split from the shared generator. split is the
+	// protocol's only rand consumer, so the drawn sequence — and every
+	// downstream result — matches the serial path exactly.
 	r := rand.New(rand.NewSource(cfg.Seed))
+	var tasks []cvTask
+drawing:
+	for _, size := range cfg.Sizes {
+		for test := 0; test < cfg.Tests; test++ {
+			sp, err := size.split(r, cfg.Data)
+			tasks = append(tasks, cvTask{test: test, size: size, sp: sp, splitErr: err})
+			if err != nil {
+				break drawing
+			}
+		}
+	}
+
 	protoCfg := cfg.recordConfig()
+	runTest := func(t cvTask, worker int) *cvResult {
+		res := &cvResult{rec: obs.RunRecord{
+			Experiment: "cv",
+			Dataset:    cfg.Dataset,
+			Size:       t.size.Label,
+			Test:       t.test,
+			Seed:       cfg.Seed,
+			Config:     protoCfg,
+		}}
+		if workers > 1 {
+			res.rec.Worker = worker
+		}
+		rec := &res.rec
+		// One snapshot window per test, taken on the worker running it.
+		// The deferred delta lands on the record on every exit path —
+		// failed tests previously lost exactly the counters that would
+		// explain the failure. Concurrent tests share the registry, so
+		// overlapping windows may see each other's activity; serial runs
+		// attribute exactly.
+		before := reg.Snapshot()
+		defer func() {
+			rec.Counters = reg.Snapshot().DeltaFrom(before).Flat()
+		}()
+		fail := func(err error) *cvResult {
+			rec.Error = err.Error()
+			res.err = err
+			return res
+		}
+		if t.splitErr != nil {
+			return fail(fmt.Errorf("eval: size %s test %d: %w", t.size.Label, t.test, t.splitErr))
+		}
+		ph := obs.NewPhasesIn(reg)
+		span := ph.Start("discretize")
+		ps, err := PrepareWorkers(cfg.Data, t.sp, workers)
+		span.End()
+		rec.PhasesMS = ph.AddTo(rec.PhasesMS)
+		if err != nil {
+			return fail(fmt.Errorf("eval: size %s test %d: %w", t.size.Label, t.test, err))
+		}
+		rec.GenesAfterDiscretization = ps.GenesAfterDiscretization
+		res.genesAfter = ps.GenesAfterDiscretization
+		b, err := RunBSTCWorkers(ps, cfg.BSTCOpts, workers)
+		if err != nil {
+			return fail(fmt.Errorf("eval: size %s test %d: BSTC: %w", t.size.Label, t.test, err))
+		}
+		rec.BSTCAccuracy = obs.Float64Ptr(b.Accuracy)
+		rec.PhasesMS = b.Phases.AddTo(rec.PhasesMS)
+		res.bstc = b
+		if cfg.RunRCBT {
+			rc, err := RunRCBT(ps, cfg.RCBT, cfg.Cutoff, cfg.NLFallback)
+			rec.PhasesMS = rc.Phases.AddTo(rec.PhasesMS)
+			rec.TopkDNF = rc.TopkDNF
+			rec.RCBTDNF = rc.RCBTDNF
+			rec.NLUsed = rc.NLUsed
+			rec.NLFallback = rc.NLFallback
+			if err != nil {
+				return fail(fmt.Errorf("eval: size %s test %d: %w", t.size.Label, t.test, err))
+			}
+			if rc.Finished() {
+				rec.RCBTAccuracy = obs.Float64Ptr(rc.Accuracy)
+			}
+			res.rcbt = rc
+		}
+		return res
+	}
+
+	results := make([]*cvResult, len(tasks))
+	if workers <= 1 {
+		for i, t := range tasks {
+			res := runTest(t, 1)
+			cfg.RunLog.Emit(res.rec)
+			if res.err != nil {
+				return nil, res.err
+			}
+			results[i] = res
+		}
+	} else if err := runPool(cfg, tasks, results, runTest, workers); err != nil {
+		return nil, err
+	}
+
 	var out []SizeResult
+	i := 0
 	for _, size := range cfg.Sizes {
 		sr := SizeResult{Size: size}
 		for test := 0; test < cfg.Tests; test++ {
-			rec := obs.RunRecord{
-				Experiment: "cv",
-				Dataset:    cfg.Dataset,
-				Size:       size.Label,
-				Test:       test,
-				Seed:       cfg.Seed,
-				Config:     protoCfg,
-			}
-			before := reg.Snapshot()
-			fail := func(err error) ([]SizeResult, error) {
-				rec.Error = err.Error()
-				cfg.RunLog.Emit(rec)
-				return nil, err
-			}
-			sp, err := size.split(r, cfg.Data)
-			if err != nil {
-				return fail(fmt.Errorf("eval: size %s test %d: %w", size.Label, test, err))
-			}
-			ph := obs.NewPhasesIn(reg)
-			span := ph.Start("discretize")
-			ps, err := Prepare(cfg.Data, sp)
-			span.End()
-			if err != nil {
-				return fail(fmt.Errorf("eval: size %s test %d: %w", size.Label, test, err))
-			}
-			rec.GenesAfterDiscretization = ps.GenesAfterDiscretization
-			rec.PhasesMS = ph.AddTo(rec.PhasesMS)
-			sr.GenesAfter = append(sr.GenesAfter, ps.GenesAfterDiscretization)
-			b, err := RunBSTC(ps, cfg.BSTCOpts)
-			if err != nil {
-				return fail(fmt.Errorf("eval: size %s test %d: BSTC: %w", size.Label, test, err))
-			}
-			rec.BSTCAccuracy = obs.Float64Ptr(b.Accuracy)
-			rec.PhasesMS = b.Phases.AddTo(rec.PhasesMS)
-			sr.BSTC = append(sr.BSTC, b)
+			res := results[i]
+			i++
+			sr.GenesAfter = append(sr.GenesAfter, res.genesAfter)
+			sr.BSTC = append(sr.BSTC, res.bstc)
 			if cfg.RunRCBT {
-				rc, err := RunRCBT(ps, cfg.RCBT, cfg.Cutoff, cfg.NLFallback)
-				rec.PhasesMS = rc.Phases.AddTo(rec.PhasesMS)
-				if err != nil {
-					return fail(fmt.Errorf("eval: size %s test %d: %w", size.Label, test, err))
-				}
-				rec.TopkDNF = rc.TopkDNF
-				rec.RCBTDNF = rc.RCBTDNF
-				rec.NLUsed = rc.NLUsed
-				rec.NLFallback = rc.NLFallback
-				if rc.Finished() {
-					rec.RCBTAccuracy = obs.Float64Ptr(rc.Accuracy)
-				}
-				sr.RCBT = append(sr.RCBT, rc)
+				sr.RCBT = append(sr.RCBT, res.rcbt)
 			}
-			rec.Counters = reg.Snapshot().DeltaFrom(before).Flat()
-			cfg.RunLog.Emit(rec)
 		}
 		out = append(out, sr)
 	}
 	return out, nil
+}
+
+// runPool evaluates tasks on a bounded pool of workers with first-error-wins
+// cancellation. Finished results are stored by task index and the contiguous
+// completed prefix is emitted in task order, halting at (and including) the
+// first errored record. The feeder dispatches indices in order, so the
+// unstarted tasks always form a suffix and the lowest-index error is always
+// reached — nothing after it is emitted, matching the serial protocol, which
+// would never have run those tests.
+func runPool(cfg CVConfig, tasks []cvTask, results []*cvResult, runTest func(cvTask, int) *cvResult, workers int) error {
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	var (
+		mu       sync.Mutex
+		nextEmit int
+		firstErr error
+		wg       sync.WaitGroup
+		stopOnce sync.Once
+	)
+	stop := make(chan struct{})
+	store := func(i int, res *cvResult) {
+		mu.Lock()
+		defer mu.Unlock()
+		results[i] = res
+		for firstErr == nil && nextEmit < len(results) && results[nextEmit] != nil {
+			r := results[nextEmit]
+			nextEmit++
+			cfg.RunLog.Emit(r.rec)
+			if r.err != nil {
+				firstErr = r.err
+			}
+		}
+	}
+	feed := make(chan int)
+	for w := 1; w <= workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := range feed {
+				res := runTest(tasks[i], worker)
+				if res.err != nil {
+					stopOnce.Do(func() { close(stop) })
+				}
+				store(i, res)
+			}
+		}(w)
+	}
+dispatch:
+	for i := range tasks {
+		select {
+		case feed <- i:
+		case <-stop:
+			break dispatch
+		}
+	}
+	close(feed)
+	wg.Wait()
+	return firstErr
 }
 
 // BSTCAccuracies returns the per-test BSTC accuracies.

@@ -1,13 +1,18 @@
 package eval
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
 	"math/rand"
+	"reflect"
 	"testing"
 	"time"
 
 	"bstc/internal/cba"
 	"bstc/internal/dataset"
 	"bstc/internal/forest"
+	"bstc/internal/obs"
 	"bstc/internal/rcbt"
 	"bstc/internal/svm"
 	"bstc/internal/synth"
@@ -211,6 +216,166 @@ func TestRunCVEndToEnd(t *testing.T) {
 		}
 		if _, _, lowered := sr.DNFCounts(); lowered {
 			t.Error("unexpected nl fallback on toy data")
+		}
+	}
+}
+
+// TestRunCVWorkersDeterministic pins the parallel engine's core promise:
+// the same seed yields identical results for any worker count, because
+// splits are pre-drawn serially and every per-test stage is pure.
+func TestRunCVWorkersDeterministic(t *testing.T) {
+	d := toyData(t, 7)
+	run := func(workers int) []SizeResult {
+		t.Helper()
+		results, err := RunCV(CVConfig{
+			Data:       d,
+			Sizes:      []TrainSize{{Label: "40%", Frac: 0.4}, {Label: "fixed", Counts: []int{8, 8}}},
+			Tests:      4,
+			Seed:       9,
+			RunRCBT:    true,
+			RCBT:       rcbt.Config{MinSupport: 0.7, K: 2, NL: 3},
+			Cutoff:     time.Minute, // generous: DNF state must not depend on machine load
+			NLFallback: 2,
+			Workers:    workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results
+	}
+	serial := run(1)
+	for _, workers := range []int{2, 4, 16} {
+		par := run(workers)
+		if len(par) != len(serial) {
+			t.Fatalf("workers=%d: %d size results, want %d", workers, len(par), len(serial))
+		}
+		for i := range serial {
+			s, p := serial[i], par[i]
+			if !reflect.DeepEqual(p.BSTCAccuracies(), s.BSTCAccuracies()) {
+				t.Errorf("workers=%d size %s: BSTC accuracies %v != %v",
+					workers, s.Size.Label, p.BSTCAccuracies(), s.BSTCAccuracies())
+			}
+			if !reflect.DeepEqual(p.GenesAfter, s.GenesAfter) {
+				t.Errorf("workers=%d size %s: genes after discretization %v != %v",
+					workers, s.Size.Label, p.GenesAfter, s.GenesAfter)
+			}
+			for j := range s.RCBT {
+				so, po := s.RCBT[j], p.RCBT[j]
+				if po.Accuracy != so.Accuracy || po.TopkDNF != so.TopkDNF ||
+					po.RCBTDNF != so.RCBTDNF || po.NLUsed != so.NLUsed {
+					t.Errorf("workers=%d size %s test %d: RCBT outcome differs: %+v vs %+v",
+						workers, s.Size.Label, j, po, so)
+				}
+			}
+		}
+	}
+}
+
+// runlogLines parses the slog JSONL envelope a RunLog writes.
+func runlogLines(t *testing.T, buf *bytes.Buffer) []obs.RunRecord {
+	t.Helper()
+	var recs []obs.RunRecord
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var env struct {
+			Run obs.RunRecord `json:"run"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &env); err != nil {
+			t.Fatalf("bad runlog line: %v\n%s", err, sc.Text())
+		}
+		recs = append(recs, env.Run)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+// TestRunCVFailureRecordCarriesTelemetry locks in the failure-telemetry
+// fix: a test that fails mid-pipeline must still emit its counter deltas
+// and phase spans — previously the record was emitted before either was
+// populated, losing exactly the data that would explain the failure.
+func TestRunCVFailureRecordCarriesTelemetry(t *testing.T) {
+	SetMetrics(obs.NewRegistry())
+	defer SetMetrics(nil)
+	var buf bytes.Buffer
+	// NL=0 passes mining but makes the RCBT build fail with a real
+	// (non-budget) error — after BSTC and Top-k have done counted work.
+	_, err := RunCV(CVConfig{
+		Data:    toyData(t, 5),
+		Sizes:   []TrainSize{{Label: "60%", Frac: 0.6}},
+		Tests:   2,
+		Seed:    3,
+		RunRCBT: true,
+		RCBT:    rcbt.Config{MinSupport: 0.7, K: 2, NL: 0},
+		Cutoff:  time.Minute,
+		Dataset: "toy",
+		RunLog:  obs.NewRunLog(&buf),
+	})
+	if err == nil {
+		t.Fatal("NL=0 should fail the RCBT build")
+	}
+	recs := runlogLines(t, &buf)
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1 (the failing test aborts the study)", len(recs))
+	}
+	rec := recs[0]
+	if rec.Error == "" {
+		t.Fatal("failing record carries no error")
+	}
+	for _, counter := range []string{"core.bst.builds", "carminer.topk.nodes"} {
+		if rec.Counters[counter] == 0 {
+			t.Errorf("failing record lost counter %q: %v", counter, rec.Counters)
+		}
+	}
+	for _, phase := range []string{"discretize", "bstc/train", "rcbt/topk"} {
+		if _, ok := rec.PhasesMS[phase]; !ok {
+			t.Errorf("failing record lost phase %q: %v", phase, rec.PhasesMS)
+		}
+	}
+	if rec.BSTCAccuracy == nil {
+		t.Error("failing record lost the BSTC accuracy measured before the failure")
+	}
+	if rec.Config["workers"] != 1 {
+		t.Errorf("config worker count = %v, want 1", rec.Config["workers"])
+	}
+}
+
+// TestRunCVWorkersRunlogOrderAndTags checks the pool's emission contract:
+// records come out in task order regardless of completion order, tagged
+// with the worker that ran them, and the config map carries the count.
+func TestRunCVWorkersRunlogOrderAndTags(t *testing.T) {
+	var buf bytes.Buffer
+	_, err := RunCV(CVConfig{
+		Data:    toyData(t, 5),
+		Sizes:   []TrainSize{{Label: "40%", Frac: 0.4}, {Label: "60%", Frac: 0.6}},
+		Tests:   3,
+		Seed:    4,
+		Workers: 4,
+		Dataset: "toy",
+		RunLog:  obs.NewRunLog(&buf),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := runlogLines(t, &buf)
+	if len(recs) != 6 {
+		t.Fatalf("got %d records, want 6", len(recs))
+	}
+	for i, rec := range recs {
+		wantSize := "40%"
+		if i >= 3 {
+			wantSize = "60%"
+		}
+		if rec.Size != wantSize || rec.Test != i%3 {
+			t.Errorf("record %d out of order: size %q test %d", i, rec.Size, rec.Test)
+		}
+		if rec.Worker < 1 || rec.Worker > 4 {
+			t.Errorf("record %d: worker tag %d outside pool [1,4]", i, rec.Worker)
+		}
+		if rec.Config["workers"] != 4 {
+			t.Errorf("record %d: config worker count = %v, want 4", i, rec.Config["workers"])
 		}
 	}
 }

@@ -29,13 +29,20 @@ type Prepared struct {
 
 // Prepare discretizes per the protocol and materializes all four views.
 func Prepare(c *dataset.Continuous, sp dataset.Split) (*Prepared, error) {
+	return PrepareWorkers(c, sp, 1)
+}
+
+// PrepareWorkers is Prepare with the entropy-MDL fit striped over up to
+// workers goroutines (≤ 1 is the serial path). The fitted model — and thus
+// every returned view — is identical for any worker count.
+func PrepareWorkers(c *dataset.Continuous, sp dataset.Split, workers int) (*Prepared, error) {
 	if len(sp.Train) == 0 || len(sp.Test) == 0 {
 		return nil, fmt.Errorf("eval: split needs both train (%d) and test (%d) samples",
 			len(sp.Train), len(sp.Test))
 	}
 	trainC := c.Subset(sp.Train)
 	testC := c.Subset(sp.Test)
-	model, err := discretize.Fit(trainC)
+	model, err := discretize.FitWithWorkers(trainC, discretize.EntropyMDL, workers)
 	if err != nil {
 		return nil, fmt.Errorf("eval: discretize: %w", err)
 	}

@@ -30,6 +30,14 @@ type BSTCOutcome struct {
 
 // RunBSTC trains and evaluates BSTC on a prepared split.
 func RunBSTC(ps *Prepared, opts *core.EvalOptions) (BSTCOutcome, error) {
+	return RunBSTCWorkers(ps, opts, 1)
+}
+
+// RunBSTCWorkers is RunBSTC with test-sample classification spread over up
+// to workers goroutines (≤ 1 is the exact serial path). Each query is pure
+// against the trained tables, so predictions — and the outcome — are
+// identical for any worker count.
+func RunBSTCWorkers(ps *Prepared, opts *core.EvalOptions, workers int) (BSTCOutcome, error) {
 	ph := obs.NewPhasesIn(reg)
 	run := ph.Start("bstc")
 	train := run.Child("train")
@@ -40,7 +48,12 @@ func RunBSTC(ps *Prepared, opts *core.EvalOptions) (BSTCOutcome, error) {
 		return BSTCOutcome{}, err
 	}
 	classify := run.Child("classify")
-	preds := cl.ClassifyBatch(ps.TestBool)
+	var preds []int
+	if workers > 1 {
+		preds = cl.ClassifyBatchParallel(ps.TestBool, workers)
+	} else {
+		preds = cl.ClassifyBatch(ps.TestBool)
+	}
 	classify.End()
 	return BSTCOutcome{
 		Accuracy: stats.Accuracy(preds, ps.TestBool.Classes),

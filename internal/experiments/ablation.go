@@ -61,7 +61,7 @@ func Ablation(w io.Writer, cfg Config, profileName string) ([]AblationRow, error
 		if err != nil {
 			return nil, err
 		}
-		ps, err := eval.Prepare(data, sp)
+		ps, err := eval.PrepareWorkers(data, sp, cfg.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -127,7 +127,7 @@ func Ablation(w io.Writer, cfg Config, profileName string) ([]AblationRow, error
 	if err != nil {
 		return nil, err
 	}
-	ps, err := eval.Prepare(data, sp)
+	ps, err := eval.PrepareWorkers(data, sp, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -145,7 +145,7 @@ func Ablation(w io.Writer, cfg Config, profileName string) ([]AblationRow, error
 
 	// §4.2's rule-explicit MCBAR classifier: k sensitivity vs parameter-free
 	// BSTC on the same split — the paper's stated reason for forgoing it.
-	bstcOut, err := eval.RunBSTC(ps, bstcOpts())
+	bstcOut, err := eval.RunBSTCWorkers(ps, bstcOpts(), cfg.Workers)
 	if err != nil {
 		return nil, err
 	}

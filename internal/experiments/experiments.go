@@ -35,6 +35,10 @@ type Config struct {
 	RCBT rcbt.Config
 	// NLFallback is the paper's lowered nl (2).
 	NLFallback int
+	// Workers bounds concurrent cross-validation tests (and stripes
+	// discretization and batch classification inside each); 0 or 1 runs
+	// serially. Results are identical for every value — see eval.CVConfig.
+	Workers int
 	// RunLog, when non-nil, receives one JSONL record per cross-validation
 	// test (see obs.RunRecord).
 	RunLog *obs.RunLog
@@ -128,6 +132,7 @@ func RunStudy(cfg Config, name string, withRCBT bool) (*Study, error) {
 		RCBT:       cfg.RCBT,
 		Cutoff:     cfg.Cutoff,
 		NLFallback: cfg.NLFallback,
+		Workers:    cfg.Workers,
 		Dataset:    name,
 		RunLog:     cfg.RunLog,
 	})

@@ -51,13 +51,13 @@ func Preliminary(w io.Writer, cfg Config) ([]PreliminaryRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		ps, err := eval.Prepare(data, sp)
+		ps, err := eval.PrepareWorkers(data, sp, cfg.Workers)
 		if err != nil {
 			return nil, err
 		}
 
 		row := PreliminaryRow{Name: p.Name}
-		b, err := eval.RunBSTC(ps, bstcOpts())
+		b, err := eval.RunBSTCWorkers(ps, bstcOpts(), cfg.Workers)
 		if err != nil {
 			return nil, err
 		}

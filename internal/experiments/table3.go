@@ -45,7 +45,7 @@ func Table3(w io.Writer, cfg Config) ([]Table3Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		ps, err := eval.Prepare(data, sp)
+		ps, err := eval.PrepareWorkers(data, sp, cfg.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -55,7 +55,7 @@ func Table3(w io.Writer, cfg Config) ([]Table3Row, error) {
 			Class1Train: counts[0], Class0Train: counts[1],
 			GenesAfterDiscretization: ps.GenesAfterDiscretization,
 		}
-		b, err := eval.RunBSTC(ps, bstcOpts())
+		b, err := eval.RunBSTCWorkers(ps, bstcOpts(), cfg.Workers)
 		if err != nil {
 			return nil, err
 		}

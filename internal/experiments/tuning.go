@@ -38,7 +38,7 @@ func Tuning(w io.Writer, cfg Config) error {
 	if err != nil {
 		return err
 	}
-	ps, err := eval.Prepare(data, sp)
+	ps, err := eval.PrepareWorkers(data, sp, cfg.Workers)
 	if err != nil {
 		return err
 	}
