@@ -1,12 +1,19 @@
 GO ?= go
 
-.PHONY: check vet build test race bench
+# The hot-path benchmark set tracked in BENCH_hotpath.json (see
+# EXPERIMENTS.md, "Hot-path benchmarks").
+HOTPATH_BENCH = BenchmarkTopK|BenchmarkEvaluate|BenchmarkClassify|BenchmarkClassifyBatchParallel|BenchmarkIntersect|BenchmarkKey|BenchmarkIntersectInto|BenchmarkAppendKey
+HOTPATH_PKGS = ./internal/bitset/ ./internal/carminer/ ./internal/core/
+
+.PHONY: check vet build test race bench bench-json bench-smoke
 
 # The tier-1 gate plus the race-sensitive packages: the obs counters are
 # hit concurrently by parallel batch classification, eval threads the
-# registry through every miner, and the fold pool stripes discretization
-# and classification across workers.
-check: vet build race test
+# registry through every miner, the fold pool stripes discretization
+# and classification across workers, and the Top-k miner shards row
+# enumeration. bench-smoke keeps the benchmark/benchjson pipeline
+# compiling and parsing (one iteration per benchmark).
+check: vet build race test bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -17,10 +24,23 @@ build:
 race:
 	$(GO) test -race ./internal/obs/... ./internal/eval/... \
 		./internal/discretize/... ./internal/core/... \
-		./internal/experiments/...
+		./internal/carminer/... ./internal/experiments/...
 
 test:
 	$(GO) test ./...
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# bench-json refreshes BENCH_hotpath.json: the first run records the
+# baseline, later runs keep it and update the current numbers. Delete the
+# file to re-baseline.
+bench-json:
+	$(GO) test -run '^$$' -bench '$(HOTPATH_BENCH)' -benchmem $(HOTPATH_PKGS) \
+		| $(GO) run ./cmd/benchjson -o BENCH_hotpath.json
+
+# bench-smoke runs every hot-path benchmark once and parses the output,
+# writing nowhere, so benchmark code cannot rot between perf PRs.
+bench-smoke:
+	$(GO) test -run '^$$' -bench '$(HOTPATH_BENCH)' -benchtime 1x -benchmem $(HOTPATH_PKGS) \
+		| $(GO) run ./cmd/benchjson -o /tmp/bench_smoke.json && rm -f /tmp/bench_smoke.json

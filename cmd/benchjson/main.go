@@ -1,0 +1,133 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin
+// into a stable JSON document tracking the hot-path benchmark numbers.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'TopK|Evaluate' -benchmem ./... | benchjson -o BENCH_hotpath.json
+//
+// The document has two sections: "benchmarks" holds the numbers from the
+// current run, and "baseline" holds the numbers from the first run ever
+// written to the output file. When the output file already exists its
+// baseline is preserved verbatim (or, for files written before a baseline
+// existed, its current numbers are promoted to baseline), so regenerating
+// after an optimization records the before/after pair. Delete the file to
+// reset the baseline. The schema is documented in EXPERIMENTS.md.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Result is one benchmark's measurements.
+type Result struct {
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// File is the persisted BENCH_hotpath.json layout.
+type File struct {
+	// Baseline holds the first numbers ever recorded; later runs preserve it.
+	Baseline map[string]Result `json:"baseline,omitempty"`
+	// Benchmarks holds the numbers from the most recent run.
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// benchLine matches one `go test -bench -benchmem` result line, e.g.
+// "BenchmarkTopK-8   100   11042 ns/op   5120 B/op   61 allocs/op".
+// The -8 GOMAXPROCS suffix is stripped so keys are machine-independent.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	out := flag.String("o", "BENCH_hotpath.json", "output JSON file (also the baseline source)")
+	flag.Parse()
+
+	got := map[string]Result{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		r := Result{Iterations: iters, NsPerOp: ns}
+		if m[4] != "" {
+			r.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+			r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		got[m[1]] = r
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(got) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin (run with -bench and -benchmem)")
+	}
+
+	f := File{Benchmarks: got}
+	if prev, err := os.ReadFile(*out); err == nil && len(prev) > 0 {
+		var old File
+		if err := json.Unmarshal(prev, &old); err != nil {
+			return fmt.Errorf("existing %s is not benchjson output: %w", *out, err)
+		}
+		f.Baseline = old.Baseline
+		if len(f.Baseline) == 0 {
+			f.Baseline = old.Benchmarks
+		}
+	} else {
+		// First run: the numbers being written become the baseline every
+		// later run is compared against.
+		f.Baseline = got
+	}
+
+	enc, err := marshalStable(f)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(got))
+	for n := range got {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		r := got[n]
+		line := fmt.Sprintf("%s: %.0f ns/op, %d B/op, %d allocs/op", n, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		if base, ok := f.Baseline[n]; ok && base != r && base.AllocsPerOp > 0 {
+			line += fmt.Sprintf(" (baseline %d allocs/op)", base.AllocsPerOp)
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
+	return nil
+}
+
+// marshalStable renders the file with sorted keys and trailing newline so
+// the committed artifact diffs cleanly. encoding/json already sorts map
+// keys; this just sets the indentation style.
+func marshalStable(f File) ([]byte, error) {
+	enc, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(enc, '\n'), nil
+}

@@ -26,11 +26,13 @@
 // test — the schema is documented in EXPERIMENTS.md ("Run telemetry").
 //
 // Cross-validation tests run concurrently on a -workers pool (default
-// GOMAXPROCS). Splits are pre-drawn from the study seed, so accuracy
-// artifacts are byte-identical for any worker count; DNF cells report
-// real elapsed time against the cutoff and so can flip near the boundary
-// under CPU contention, as on any loaded machine. -workers 1 restores
-// the exact serial path with precise per-test counter attribution.
+// GOMAXPROCS), and the same knob bounds the goroutines Top-k rule group
+// mining may use inside each test. Splits are pre-drawn from the study
+// seed and the parallel miner is deterministic, so accuracy artifacts are
+// byte-identical for any worker count; DNF cells report real elapsed time
+// against the cutoff and so can flip near the boundary under CPU
+// contention, as on any loaded machine. -workers 1 restores the exact
+// serial path with precise per-test counter attribution.
 package main
 
 import (
@@ -62,7 +64,7 @@ func run(args []string) (err error) {
 	testsFlag := fs.Int("tests", 0, "cross-validation tests per training size (0 = scale default)")
 	cutoffFlag := fs.Duration("cutoff", 0, "per-phase mining cutoff (0 = scale default)")
 	seedFlag := fs.Int64("seed", 0, "random seed (0 = default)")
-	workersFlag := fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent cross-validation tests (1 = serial; accuracies are identical for any value)")
+	workersFlag := fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent cross-validation tests and per-test mining goroutines (1 = serial; accuracies are identical for any value)")
 	runlogFlag := fs.String("runlog", "", "write one JSONL record per cross-validation test to this file")
 	quietFlag := fs.Bool("quiet", false, "suppress rendered artifacts, print only per-experiment summary lines")
 	obsFlag := fs.Bool("obs", true, "instrument the pipeline (miner counters, phase histograms)")

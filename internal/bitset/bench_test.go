@@ -1,0 +1,51 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+const benchUniverse = 4096
+
+func benchPair() (*Set, *Set) {
+	r := rand.New(rand.NewSource(3))
+	return randomSet(r, benchUniverse), randomSet(r, benchUniverse)
+}
+
+func BenchmarkIntersect(b *testing.B) {
+	x, y := benchPair()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Intersect(x, y)
+	}
+}
+
+func BenchmarkIntersectInto(b *testing.B) {
+	x, y := benchPair()
+	dst := New(benchUniverse)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.IntersectInto(dst, y)
+	}
+}
+
+func BenchmarkKey(b *testing.B) {
+	x, _ := benchPair()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.Key()
+	}
+}
+
+func BenchmarkAppendKey(b *testing.B) {
+	x, _ := benchPair()
+	buf := make([]byte, 0, benchUniverse/8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = x.AppendKey(buf[:0])
+	}
+}

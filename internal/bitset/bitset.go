@@ -167,6 +167,47 @@ func (s *Set) Complement() *Set {
 	return s
 }
 
+// CopyFrom sets s to the contents of t. The two sets must share a universe;
+// unlike Clone, no memory is allocated.
+func (s *Set) CopyFrom(t *Set) {
+	s.sameUniverse(t)
+	copy(s.words, t.words)
+}
+
+// IntersectInto sets dst to s ∩ t and returns dst. All three sets must share
+// a universe; dst may alias s or t. Unlike Intersect, no memory is allocated,
+// which is what keeps the miner's per-node cost flat (see internal/carminer).
+func (s *Set) IntersectInto(dst, t *Set) *Set {
+	s.sameUniverse(t)
+	s.sameUniverse(dst)
+	for i := range dst.words {
+		dst.words[i] = s.words[i] & t.words[i]
+	}
+	return dst
+}
+
+// OrInto sets dst to s ∪ t and returns dst. All three sets must share a
+// universe; dst may alias s or t.
+func (s *Set) OrInto(dst, t *Set) *Set {
+	s.sameUniverse(t)
+	s.sameUniverse(dst)
+	for i := range dst.words {
+		dst.words[i] = s.words[i] | t.words[i]
+	}
+	return dst
+}
+
+// AndNotInto sets dst to s \ t and returns dst. All three sets must share a
+// universe; dst may alias s or t.
+func (s *Set) AndNotInto(dst, t *Set) *Set {
+	s.sameUniverse(t)
+	s.sameUniverse(dst)
+	for i := range dst.words {
+		dst.words[i] = s.words[i] &^ t.words[i]
+	}
+	return dst
+}
+
 // Intersect returns a new set holding s ∩ t.
 func Intersect(s, t *Set) *Set { return s.Clone().And(t) }
 
@@ -355,15 +396,37 @@ func getUint64(b []byte) uint64 {
 	return v
 }
 
-// Key returns a string usable as a map key identifying the set's contents.
-// Two sets over the same universe have equal keys iff they are Equal.
+// appendWordLE appends w's 8 bytes, little-endian, the shared serialization
+// of AppendKey, Key and MarshalBinary. Small enough to inline, so appending
+// to a stack buffer does not escape.
+func appendWordLE(dst []byte, w uint64) []byte {
+	return append(dst,
+		byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+		byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+}
+
+// AppendKey appends the set's Key bytes to dst and returns the extended
+// slice, in the append(dst, ...) style. It never allocates when dst has
+// 8·len(words) spare capacity, so callers keying many sets can reuse one
+// buffer; paired with Go's map[string(buf)] lookup optimization this makes
+// map keying allocation-free on hits.
+func (s *Set) AppendKey(dst []byte) []byte {
+	for _, w := range s.words {
+		dst = appendWordLE(dst, w)
+	}
+	return dst
+}
+
+// Key returns a string usable as a map key identifying the set's contents —
+// the AppendKey bytes. Two sets over the same universe have equal keys iff
+// they are Equal. One allocation (the string itself); to key many sets
+// through one buffer use AppendKey.
 func (s *Set) Key() string {
 	var b strings.Builder
 	b.Grow(len(s.words) * 8)
+	var tmp [8]byte
 	for _, w := range s.words {
-		for i := 0; i < 8; i++ {
-			b.WriteByte(byte(w >> (8 * i)))
-		}
+		b.Write(appendWordLE(tmp[:0], w))
 	}
 	return b.String()
 }

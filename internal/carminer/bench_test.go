@@ -1,0 +1,42 @@
+package carminer
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"bstc/internal/dataset"
+)
+
+// benchDataset is the fixed workload for the Top-k hot-path benchmark: a
+// dense random two-class matrix whose row enumeration visits thousands of
+// nodes without hitting the exponential wall, so allocs/op reflects the
+// per-node cost the paper's Tables 4 and 6 measure.
+func benchDataset() *dataset.Bool {
+	r := rand.New(rand.NewSource(7))
+	return randomBool(r, 24, 40, 2)
+}
+
+func BenchmarkTopK(b *testing.B) {
+	d := benchDataset()
+	cfg := TopKConfig{MinSupport: 0.3, K: 5}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TopKCoveringRuleGroups(d, 0, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTopKParallel(b *testing.B) {
+	d := benchDataset()
+	cfg := TopKConfig{MinSupport: 0.3, K: 5, Workers: runtime.GOMAXPROCS(0)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TopKCoveringRuleGroups(d, 0, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

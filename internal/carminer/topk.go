@@ -10,12 +10,20 @@
 // the precise scalability wall the BSTC paper measures in Tables 4 and 6 —
 // so every entry point accepts a Budget that turns long runs into explicit
 // DNF results instead of unbounded stalls.
+//
+// The enumeration hot path is allocation-free in steady state: each miner
+// carries a per-depth scratch stack for the running intersection and its
+// class support set (depth is bounded by the class-row count), and node
+// deduplication keys are appended into a reused buffer and looked up through
+// Go's map[string([]byte)] fast path. Allocations happen only when a new
+// distinct node or a retained rule group is materialized.
 package carminer
 
 import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"bstc/internal/bitset"
@@ -67,6 +75,27 @@ type RuleGroup struct {
 	// LowerBounds holds the group's minimal generators once mined (nl of
 	// them at most); nil until MineLowerBounds runs.
 	LowerBounds []*bitset.Set
+
+	// key is the ClassRows bitset key. A closed itemset is exactly the
+	// intersection of the class rows containing it, so key identifies the
+	// group: equal keys imply equal groups. It doubles as the canonical
+	// tie-break of coverLess, making every ranking a strict total order.
+	key string
+}
+
+// coverLess is the canonical strict total order on rule groups: confidence
+// descending, support descending, class-support key ascending. Distinct
+// groups have distinct keys, so no two groups compare equal — which is what
+// makes top-k lists independent of discovery order and lets the parallel
+// miner merge shards into byte-identical output (see mineParallel).
+func coverLess(a, b *RuleGroup) bool {
+	if a.Confidence != b.Confidence {
+		return a.Confidence > b.Confidence
+	}
+	if a.Support != b.Support {
+		return a.Support > b.Support
+	}
+	return a.key < b.key
 }
 
 // TopKConfig mirrors the parameters of the Top-k executable used in the
@@ -76,6 +105,12 @@ type TopKConfig struct {
 	MinSupport float64
 	K          int
 	Budget     Budget
+	// Workers bounds the worker pool sharding the root-level row
+	// enumeration; 0 or 1 mines serially. Completed runs produce
+	// byte-identical results for every value; partial results under an
+	// expired Budget are timing-dependent, exactly like DNF cells in the
+	// evaluation harness. The budget is honored by each worker.
+	Workers int
 }
 
 // TopKResult is the output of TopKCoveringRuleGroups: the deduplicated
@@ -115,33 +150,105 @@ func TopKCoveringRuleGroups(d *dataset.Bool, ci int, cfg TopKConfig) (*TopKResul
 		minSup = 1
 	}
 
-	m := &topkMiner{
-		d:         d,
-		ci:        ci,
-		classRows: classRows,
-		minSup:    minSup,
-		k:         cfg.K,
-		budget:    cfg.Budget,
-		states:    map[string]*nodeState{},
-		groups:    map[string]*RuleGroup{},
-		covers:    make(map[int][]*RuleGroup, len(classRows)),
+	var (
+		groups map[string]*RuleGroup
+		covers [][]*RuleGroup
+		err    error
+	)
+	if workers := cfg.Workers; workers > 1 && len(classRows) > 1 {
+		groups, covers, err = mineParallel(d, ci, classRows, minSup, cfg, workers)
+	} else {
+		m := newTopkMiner(d, ci, classRows, minSup, cfg)
+		err = m.run()
+		groups, covers = m.groups, m.covers
 	}
-	err := m.run()
-	res := &TopKResult{Class: ci, PerRow: m.covers}
-	for _, g := range m.groups {
+
+	res := &TopKResult{Class: ci, PerRow: make(map[int][]*RuleGroup, len(classRows))}
+	for pos, lst := range covers {
+		if lst != nil {
+			res.PerRow[classRows[pos]] = lst
+		}
+	}
+	for _, g := range groups {
 		res.Groups = append(res.Groups, g)
 	}
 	sort.Slice(res.Groups, func(i, j int) bool {
-		a, b := res.Groups[i], res.Groups[j]
-		if a.Confidence != b.Confidence {
-			return a.Confidence > b.Confidence
-		}
-		if a.Support != b.Support {
-			return a.Support > b.Support
-		}
-		return a.UpperBound.Key() < b.UpperBound.Key()
+		return coverLess(res.Groups[i], res.Groups[j])
 	})
 	return res, err
+}
+
+// mineParallel shards the root-level row enumeration over a bounded worker
+// pool: worker w mines the roots with index ≡ w (mod workers), each on a
+// fully private miner (own states, covers, groups, scratch), honoring the
+// shared budget. The shards are then merged into one deterministic result.
+//
+// Why the merge is byte-identical to the serial miner: a shard discovers
+// exactly the closed groups reachable from its roots, minus groups dropped
+// by the two prunes. The capacity prune only drops sub-minsup itemsets,
+// which no run keeps. The confidence prune fires when every class row's
+// top-k is full of groups at least as good as the subtree's confidence
+// ceiling, and those witnesses always rank strictly above every dropped
+// group in coverLess order (the ceiling-equality case collapses, via the
+// closed-itemset/class-set bijection, to a group already present) — so a
+// dropped group can never appear in any row's final top-k no matter which
+// run dropped it. Every run therefore discovers a superset of the groups in
+// the canonical full-enumeration top-k, and re-offering the merged union
+// through the strict total order reproduces exactly that top-k.
+func mineParallel(d *dataset.Bool, ci int, classRows []int, minSup int, cfg TopKConfig, workers int) (map[string]*RuleGroup, [][]*RuleGroup, error) {
+	if workers > len(classRows) {
+		workers = len(classRows)
+	}
+	miners := make([]*topkMiner, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		m := newTopkMiner(d, ci, classRows, minSup, cfg)
+		miners[w] = m
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs[w] = m.runRoots(w, workers)
+		}(w)
+	}
+	wg.Wait()
+
+	var err error
+	for _, e := range errs {
+		if e != nil {
+			err = e
+			break
+		}
+	}
+
+	// Union the shards' retained groups; equal keys imply identical groups,
+	// so the first shard to contribute a key wins and shard order is
+	// irrelevant.
+	merged := &topkMiner{
+		d: d, ci: ci, classRows: classRows, minSup: minSup, k: cfg.K,
+		groups: map[string]*RuleGroup{},
+		covers: make([][]*RuleGroup, len(classRows)),
+		rowPos: miners[0].rowPos,
+	}
+	for _, m := range miners {
+		for key, g := range m.groups {
+			if _, ok := merged.groups[key]; !ok {
+				merged.groups[key] = g
+			}
+		}
+	}
+	// Rebuild the per-row top-k lists by offering every merged group to
+	// every class row it covers. Offers insert into coverLess order, a
+	// strict total order, so the resulting lists are independent of the map
+	// iteration order here.
+	for _, g := range merged.groups {
+		g.ClassRows.ForEach(func(r int) bool {
+			merged.offer(int(merged.rowPos[r]), g)
+			return true
+		})
+	}
+	merged.retainCovering()
+	return merged.groups, merged.covers, err
 }
 
 type topkMiner struct {
@@ -158,26 +265,75 @@ type topkMiner struct {
 	// the search exhaustive: a closed node can be reached through several
 	// generating row sequences whose last indices differ, so each node
 	// remembers the smallest index it has been expanded from and re-expands
-	// only the uncovered gap when revisited from an earlier index.
-	states map[string]*nodeState
+	// only the uncovered gap when revisited from an earlier index. The map
+	// holds indices into explored so revisit updates rewrite the slice, not
+	// the map, and lookups go through the byte-slice fast path on keyBuf.
+	states   map[string]int32
+	explored []int32
 	// groups holds the rule groups currently covering some row's top-k,
 	// keyed by class support set.
 	groups map[string]*RuleGroup
-	// covers[row] is the row's current best-k groups, best first.
-	covers map[int][]*RuleGroup
+	// covers[pos] is the current best-k groups of class row classRows[pos],
+	// best first. Indexing by class-row position keeps the per-node prune
+	// loop and every offer off map lookups.
+	covers [][]*RuleGroup
+	// rowPos maps a dataset row index to its class-row position, -1 for
+	// rows outside the class.
+	rowPos []int32
+
+	// root is the synthetic root itemset (the full gene set); depth[l]
+	// holds level l's running intersection and class support set, reused
+	// across the whole enumeration so dfs itself never allocates bitsets.
+	root   *bitset.Set
+	depth  []levelScratch
+	keyBuf []byte
 }
 
-type nodeState struct {
-	// exploredFrom means children with index > exploredFrom are done.
-	exploredFrom int
+type levelScratch struct {
+	next     *bitset.Set // running intersection (gene universe)
+	classSet *bitset.Set // its class support set (sample universe)
 }
 
-func (m *topkMiner) run() error {
-	empty := bitset.New(m.d.NumGenes())
-	empty.Fill()
-	// Roots: one per class row, in index order (row enumeration).
-	for idx := range m.classRows {
-		if err := m.dfs(empty, idx); err != nil {
+func newTopkMiner(d *dataset.Bool, ci int, classRows []int, minSup int, cfg TopKConfig) *topkMiner {
+	m := &topkMiner{
+		d:         d,
+		ci:        ci,
+		classRows: classRows,
+		minSup:    minSup,
+		k:         cfg.K,
+		budget:    cfg.Budget,
+		states:    map[string]int32{},
+		groups:    map[string]*RuleGroup{},
+		covers:    make([][]*RuleGroup, len(classRows)),
+		rowPos:    make([]int32, d.NumSamples()),
+		root:      bitset.New(d.NumGenes()),
+		depth:     make([]levelScratch, len(classRows)),
+		keyBuf:    make([]byte, 0, (d.NumSamples()+7)/8+8),
+	}
+	for i := range m.rowPos {
+		m.rowPos[i] = -1
+	}
+	for pos, r := range classRows {
+		m.rowPos[r] = int32(pos)
+	}
+	m.root.Fill()
+	for l := range m.depth {
+		m.depth[l] = levelScratch{
+			next:     bitset.New(d.NumGenes()),
+			classSet: bitset.New(d.NumSamples()),
+		}
+	}
+	return m
+}
+
+func (m *topkMiner) run() error { return m.runRoots(0, 1) }
+
+// runRoots enumerates the roots with index ≡ offset (mod stride), in index
+// order (row enumeration). The serial miner runs (0, 1); parallel shard w of
+// W runs (w, W).
+func (m *topkMiner) runRoots(offset, stride int) error {
+	for idx := offset; idx < len(m.classRows); idx += stride {
+		if err := m.dfs(m.root, idx, 0); err != nil {
 			return err
 		}
 	}
@@ -187,21 +343,24 @@ func (m *topkMiner) run() error {
 
 // dfs extends the current intersection with class row classRows[idx] and
 // recurses over later rows. itemset is the running intersection (the full
-// gene set at the synthetic root).
-func (m *topkMiner) dfs(itemset *bitset.Set, idx int) error {
+// gene set at the synthetic root); level is the recursion depth, bounded by
+// the class-row count since idx strictly increases.
+func (m *topkMiner) dfs(itemset *bitset.Set, idx, level int) error {
 	m.nodes++
 	met.nodes.Inc()
 	if m.nodes%64 == 0 && m.budget.Expired() {
 		m.retainCovering()
 		return ErrBudgetExceeded
 	}
-	next := bitset.Intersect(itemset, m.d.Rows[m.classRows[idx]])
+	sc := &m.depth[level]
+	next := itemset.IntersectInto(sc.next, m.d.Rows[m.classRows[idx]])
 	if next.IsEmpty() {
 		return nil
 	}
 	// Closure: every class row containing the itemset, plus the total row
 	// count for confidence.
-	classSet := bitset.New(m.d.NumSamples())
+	classSet := sc.classSet
+	classSet.Clear()
 	total := 0
 	for i, row := range m.d.Rows {
 		if next.SubsetOf(row) {
@@ -211,17 +370,19 @@ func (m *topkMiner) dfs(itemset *bitset.Set, idx int) error {
 			}
 		}
 	}
-	key := classSet.Key()
+	m.keyBuf = classSet.AppendKey(m.keyBuf[:0])
 	support := classSet.Count()
-	st, revisit := m.states[key]
+	si, revisit := m.states[string(m.keyBuf)] // map-from-bytes: no alloc on hit
 	if revisit {
-		if idx >= st.exploredFrom {
+		if idx >= int(m.explored[si]) {
 			met.revisitSkips.Inc()
 			return nil // subtree already covered from an earlier index
 		}
 	} else {
-		st = &nodeState{exploredFrom: len(m.classRows)}
-		m.states[key] = st
+		key := string(m.keyBuf)
+		si = int32(len(m.explored))
+		m.explored = append(m.explored, int32(len(m.classRows)))
+		m.states[key] = si
 		if support >= m.minSup {
 			m.record(next, classSet, key, support, total)
 		}
@@ -251,13 +412,13 @@ func (m *topkMiner) dfs(itemset *bitset.Set, idx int) error {
 	}
 	// Expand only the gap (idx, previous exploredFrom]; children beyond it
 	// were reached from an earlier visit.
-	hi := st.exploredFrom
-	st.exploredFrom = idx
+	hi := int(m.explored[si])
+	m.explored[si] = int32(idx)
 	for j := idx + 1; j <= hi && j < len(m.classRows); j++ {
 		if classSet.Contains(m.classRows[j]) {
 			continue // already in the closure; extension is a no-op
 		}
-		if err := m.dfs(next, j); err != nil {
+		if err := m.dfs(next, j, level+1); err != nil {
 			return err
 		}
 	}
@@ -265,45 +426,54 @@ func (m *topkMiner) dfs(itemset *bitset.Set, idx int) error {
 }
 
 // record builds the group and offers it to the top-k list of every covered
-// row.
+// row. itemset and classSet live in the dfs scratch stack, so they are
+// cloned only when some row actually keeps the group; a group rejected by
+// every top-k list costs nothing beyond the probe.
 func (m *topkMiner) record(itemset, classSet *bitset.Set, key string, support, total int) {
 	met.groups.Inc()
 	g := &RuleGroup{
 		Class:      m.ci,
-		UpperBound: itemset.Clone(),
-		ClassRows:  classSet,
 		Support:    support,
 		TotalRows:  total,
 		Confidence: float64(support) / float64(total),
+		key:        key,
 	}
-	m.groups[key] = g
+	kept := false
 	classSet.ForEach(func(r int) bool {
-		m.offer(r, g)
+		if m.offer(int(m.rowPos[r]), g) {
+			kept = true
+		}
 		return true
 	})
+	if kept {
+		g.UpperBound = itemset.Clone()
+		g.ClassRows = classSet.Clone()
+		m.groups[key] = g
+	}
 }
 
-// offer inserts g into row r's top-k (confidence desc, support desc).
-func (m *topkMiner) offer(r int, g *RuleGroup) {
-	lst := m.covers[r]
-	pos := len(lst)
+// offer inserts g into the top-k of the class row at position pos in
+// coverLess order, reporting whether the list kept it.
+func (m *topkMiner) offer(pos int, g *RuleGroup) bool {
+	lst := m.covers[pos]
+	at := len(lst)
 	for i, h := range lst {
-		if g.Confidence > h.Confidence ||
-			(g.Confidence == h.Confidence && g.Support > h.Support) {
-			pos = i
+		if coverLess(g, h) {
+			at = i
 			break
 		}
 	}
-	if pos >= m.k {
-		return
+	if at >= m.k {
+		return false
 	}
 	lst = append(lst, nil)
-	copy(lst[pos+1:], lst[pos:])
-	lst[pos] = g
+	copy(lst[at+1:], lst[at:])
+	lst[at] = g
 	if len(lst) > m.k {
 		lst = lst[:m.k]
 	}
-	m.covers[r] = lst
+	m.covers[pos] = lst
+	return true
 }
 
 // prunable implements the covering-top-k confidence prune. A descendant's
@@ -316,8 +486,7 @@ func (m *topkMiner) offer(r int, g *RuleGroup) {
 func (m *topkMiner) prunable(outside int) bool {
 	nc := len(m.classRows)
 	bound := float64(nc) / float64(nc+outside)
-	for _, r := range m.classRows {
-		lst := m.covers[r]
+	for _, lst := range m.covers {
 		if len(lst) < m.k {
 			return false
 		}

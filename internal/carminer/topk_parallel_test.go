@@ -1,0 +1,121 @@
+package carminer
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"bstc/internal/dataset"
+)
+
+// TestTopKParallelMatchesSerial pins the miner's determinism contract: for
+// any worker count, a completed parallel run returns results byte-identical
+// to the serial miner — same groups in the same order, same per-row
+// covering lists.
+func TestTopKParallelMatchesSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	cfgs := []TopKConfig{
+		{MinSupport: 0.3, K: 3},
+		{MinSupport: 0.5, K: 1},
+		{MinSupport: 0.2, K: 8},
+		{MinSupport: 0.7, K: 4}, // high minsup: few or no groups
+	}
+	for trial := 0; trial < 8; trial++ {
+		d := randomBool(r, 8+r.Intn(12), 10+r.Intn(20), 2)
+		for ci := 0; ci < 2; ci++ {
+			for _, base := range cfgs {
+				serial, err := TopKCoveringRuleGroups(d, ci, base)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, workers := range []int{2, 3, 4, 7, 64} {
+					cfg := base
+					cfg.Workers = workers
+					par, err := TopKCoveringRuleGroups(d, ci, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(serial, par) {
+						t.Fatalf("trial %d ci=%d cfg=%+v workers=%d: parallel result differs from serial\nserial groups=%d perrow=%d\nparallel groups=%d perrow=%d",
+							trial, ci, base, workers,
+							len(serial.Groups), len(serial.PerRow),
+							len(par.Groups), len(par.PerRow))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTopKParallelRepeatable guards against map-iteration nondeterminism in
+// the shard merge: repeated parallel runs must be deep-equal to each other.
+func TestTopKParallelRepeatable(t *testing.T) {
+	r := rand.New(rand.NewSource(67))
+	d := randomBool(r, 16, 24, 2)
+	cfg := TopKConfig{MinSupport: 0.25, K: 4, Workers: 3}
+	first, err := TopKCoveringRuleGroups(d, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		again, err := TopKCoveringRuleGroups(d, 0, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(first, again) {
+			t.Fatalf("run %d: parallel mining not repeatable", i)
+		}
+	}
+}
+
+// TestTopKParallelBudgetExpires checks each worker honors the deadline: an
+// already-expired budget must DNF promptly with ErrBudgetExceeded, exactly
+// like the serial miner.
+func TestTopKParallelBudgetExpires(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	d := randomBool(r, 40, 60, 2)
+	_, err := TopKCoveringRuleGroups(d, 0, TopKConfig{
+		MinSupport: 0.01, K: 10, Workers: 4,
+		Budget: Budget{Deadline: time.Now().Add(-time.Second)},
+	})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Errorf("expected ErrBudgetExceeded, got %v", err)
+	}
+}
+
+// TestTopKParallelValidation keeps parameter errors identical regardless of
+// the worker count.
+func TestTopKParallelValidation(t *testing.T) {
+	d := dataset.PaperTable1()
+	if _, err := TopKCoveringRuleGroups(d, 0, TopKConfig{MinSupport: 0.5, K: 0, Workers: 4}); err == nil {
+		t.Error("k=0 should error with workers set")
+	}
+}
+
+// TestDFSSteadyStateAllocs pins the hot path: re-walking an already
+// enumerated node (scratch stacks warm, states populated) must not allocate.
+func TestDFSSteadyStateAllocs(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	d := randomBool(r, 16, 24, 2)
+	var classRows []int
+	for i, cl := range d.Classes {
+		if cl == 0 {
+			classRows = append(classRows, i)
+		}
+	}
+	m := newTopkMiner(d, 0, classRows, 3, TopKConfig{K: 4})
+	if err := m.run(); err != nil {
+		t.Fatal(err)
+	}
+	// Every root is now a revisit: dfs recomputes the closure and key, hits
+	// the states map through the byte-slice fast path, and backs out.
+	if n := testing.AllocsPerRun(50, func() {
+		if err := m.dfs(m.root, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("steady-state dfs allocates %v times per node, want 0", n)
+	}
+}

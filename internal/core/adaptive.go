@@ -56,7 +56,7 @@ func (a *Adaptive) Decide(q *bitset.Set) (decisions []Decision, selected int) {
 	for pi, opts := range a.Procedures {
 		vals := make([]float64, len(a.Base.Tables))
 		for ci, t := range a.Base.Tables {
-			vals[ci] = t.Evaluate(q, opts).Value
+			vals[ci] = t.EvaluateValue(q, opts)
 		}
 		class, conf := argmaxWithConfidence(vals)
 		decisions = append(decisions, Decision{

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"bstc/internal/dataset"
+)
+
+// benchClassifier trains a two-class BSTC on a fixed random dataset and
+// returns it with a held-out query batch, the steady-state workload of the
+// evaluation hot-path benchmarks.
+func benchClassifier(b *testing.B) (*Classifier, *dataset.Bool) {
+	b.Helper()
+	r := rand.New(rand.NewSource(11))
+	train := randomBoolDataset(r, 40, 60, 2)
+	cl, err := Train(train, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	test := &dataset.Bool{
+		GeneNames:  train.GeneNames,
+		ClassNames: train.ClassNames,
+	}
+	for i := 0; i < 64; i++ {
+		test.Classes = append(test.Classes, i%2)
+		test.Rows = append(test.Rows, randomRow(r, train.NumGenes()))
+	}
+	return cl, test
+}
+
+func BenchmarkEvaluate(b *testing.B) {
+	cl, test := benchClassifier(b)
+	t := cl.Tables[0]
+	q := test.Rows[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = t.Evaluate(q, cl.Opts)
+	}
+}
+
+func BenchmarkClassify(b *testing.B) {
+	cl, test := benchClassifier(b)
+	q := test.Rows[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = cl.Classify(q)
+	}
+}
+
+func BenchmarkClassifyBatchParallel(b *testing.B) {
+	cl, test := benchClassifier(b)
+	workers := runtime.GOMAXPROCS(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = cl.ClassifyBatchParallel(test, workers)
+	}
+}

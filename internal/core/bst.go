@@ -7,6 +7,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"bstc/internal/bitset"
 	"bstc/internal/dataset"
@@ -53,6 +54,13 @@ type BST struct {
 	// methods are not safe for concurrent use because of this cache;
 	// classification never touches it and stays concurrency-safe.
 	pairExpr [][]rules.Expr
+
+	// scratch pools evalScratch values sized for this table (see
+	// scratch.go), keeping steady-state evaluation allocation-free while
+	// staying safe for concurrent queries — parallel batch classification
+	// effectively gives each worker its own scratch. The zero value is
+	// ready to use, so loaded classifiers need no extra wiring.
+	scratch sync.Pool
 }
 
 // NewBST runs Algorithm 1 (Create-BST) for class ci over d. It requires at

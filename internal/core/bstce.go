@@ -57,65 +57,72 @@ type Evaluation struct {
 // Evaluate runs BSTCE (Algorithm 5): it quantizes how well query q satisfies
 // the table's atomic cell rules and returns the expectation described in
 // §5.2. q is the query's expressed-gene set over the same gene universe.
+// The returned ColumnValues are the caller's to keep, so this allocates one
+// slice; EvaluateValue is the allocation-free variant for callers that only
+// need the scalar.
 func (t *BST) Evaluate(q *bitset.Set, opts EvalOptions) Evaluation {
+	s := t.getScratch()
+	ev := Evaluation{Value: t.evaluate(q, opts, s)}
+	ev.ColumnValues = append([]float64(nil), s.colVals...)
+	t.putScratch(s)
+	return ev
+}
+
+// EvaluateValue is Evaluate without the per-column breakdown: the scratch
+// state comes from the table's pool, so steady-state calls do not allocate.
+// This is the path Classify and batch classification run on.
+func (t *BST) EvaluateValue(q *bitset.Set, opts EvalOptions) float64 {
+	s := t.getScratch()
+	v := t.evaluate(q, opts, s)
+	t.putScratch(s)
+	return v
+}
+
+// evaluate is Algorithm 5 against caller-provided scratch. s.colVals holds
+// the per-column means on return.
+func (t *BST) evaluate(q *bitset.Set, opts EvalOptions, s *evalScratch) float64 {
 	if q.Len() != t.numGenes {
 		panic("core: query gene universe does not match BST")
 	}
 	met.evals.Inc()
-	// pairV[c][h] is V_e for the shared (c, h) exclusion list, computed
-	// lazily: a cell only forces the pairs of its own outside expressers.
-	pairV := make([][]float64, len(t.ClassSamples))
-
-	colVals := make([]float64, len(t.ClassSamples))
-	for c := range colVals {
-		colVals[c] = math.NaN()
-	}
+	s.reset()
 
 	var colSum float64
 	nonBlank := 0
-	qAndCol := bitset.New(t.numGenes)
+	qAndCol := s.qAndCol
 	for c := range t.ClassSamples {
 		// Genes considered in this column: expressed by both q and the
 		// column sample (Algorithm 5 line 6; Figure 3 keeps only Q's genes).
-		qAndCol.Clear()
-		qAndCol.Or(q).And(t.colGenes[c])
+		q.IntersectInto(qAndCol, t.colGenes[c])
 		if qAndCol.IsEmpty() {
 			continue
 		}
 		var sum float64
 		n := 0
 		qAndCol.ForEach(func(g int) bool {
-			sum += t.cellValue(q, pairV, g, c, opts)
+			sum += t.cellValue(q, s, g, c, opts)
 			n++
 			return true
 		})
 		v := sum / float64(n)
-		colVals[c] = v
+		s.colVals[c] = v
 		colSum += v
 		nonBlank++
 	}
-	ev := Evaluation{ColumnValues: colVals}
 	if nonBlank > 0 {
-		ev.Value = colSum / float64(nonBlank)
+		return colSum / float64(nonBlank)
 	}
-	return ev
+	return 0
 }
 
 // cellValue computes Algorithm 5 lines 7-11 for cell (g, c): 1 for black
 // dots, otherwise the combination of the cell's exclusion-list satisfaction
-// fractions.
-func (t *BST) cellValue(q *bitset.Set, pairV [][]float64, g, c int, opts EvalOptions) float64 {
+// fractions. The pair-value cache lives in s.
+func (t *BST) cellValue(q *bitset.Set, s *evalScratch, g, c int, opts EvalOptions) float64 {
 	if t.exclusive[g] {
 		return 1
 	}
-	if pairV[c] == nil {
-		pv := make([]float64, len(t.OutsideSamples))
-		for h := range pv {
-			pv[h] = math.NaN()
-		}
-		pairV[c] = pv
-	}
-	pv := pairV[c]
+	pv := s.column(c, len(t.OutsideSamples))
 
 	outs := t.geneOutside[g]
 	if k := opts.CullListsTo; k > 0 && outs.Count() > k {
@@ -200,6 +207,9 @@ func (t *BST) CellSatisfaction(q *bitset.Set, g, c int, opts EvalOptions) float6
 	if !t.colGenes[c].Contains(g) {
 		return math.NaN()
 	}
-	pairV := make([][]float64, len(t.ClassSamples))
-	return t.cellValue(q, pairV, g, c, opts)
+	s := t.getScratch()
+	s.reset()
+	v := t.cellValue(q, s, g, c, opts)
+	t.putScratch(s)
+	return v
 }

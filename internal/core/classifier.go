@@ -52,11 +52,16 @@ func Train(d *dataset.Bool, opts *EvalOptions) (*Classifier, error) {
 // Values returns the classification value CV(i) = BSTCE(T(i), Q) for every
 // class.
 func (cl *Classifier) Values(q *bitset.Set) []float64 {
-	vals := make([]float64, len(cl.Tables))
+	return cl.ValuesInto(make([]float64, len(cl.Tables)), q)
+}
+
+// ValuesInto writes the classification values into dst (which must have one
+// slot per class) and returns it, allocating nothing itself.
+func (cl *Classifier) ValuesInto(dst []float64, q *bitset.Set) []float64 {
 	for i, t := range cl.Tables {
-		vals[i] = t.Evaluate(q, cl.Opts).Value
+		dst[i] = t.EvaluateValue(q, cl.Opts)
 	}
-	return vals
+	return dst
 }
 
 // Classify implements Algorithm 6: it returns the smallest class index whose
@@ -65,7 +70,7 @@ func (cl *Classifier) Classify(q *bitset.Set) int {
 	met.queries.Inc()
 	best, bestV := 0, math.Inf(-1)
 	for i, t := range cl.Tables {
-		if v := t.Evaluate(q, cl.Opts).Value; v > bestV {
+		if v := t.EvaluateValue(q, cl.Opts); v > bestV {
 			best, bestV = i, v
 		}
 	}
@@ -91,7 +96,7 @@ func (cl *Classifier) Confidence(q *bitset.Set) float64 {
 	}
 	first, second := math.Inf(-1), math.Inf(-1)
 	for _, t := range cl.Tables {
-		v := t.Evaluate(q, cl.Opts).Value
+		v := t.EvaluateValue(q, cl.Opts)
 		if v > first {
 			first, second = v, first
 		} else if v > second {
@@ -120,13 +125,14 @@ type Explanation struct {
 func (cl *Classifier) Explain(q *bitset.Set, ci int, minSat float64) []Explanation {
 	t := cl.Tables[ci]
 	var out []Explanation
-	qAndCol := bitset.New(t.numGenes)
+	s := t.getScratch()
+	defer t.putScratch(s)
+	s.reset()
+	qAndCol := s.qAndCol
 	for c := range t.ClassSamples {
-		qAndCol.Clear()
-		qAndCol.Or(q).And(t.colGenes[c])
-		pairV := make([][]float64, len(t.ClassSamples))
+		q.IntersectInto(qAndCol, t.colGenes[c])
 		qAndCol.ForEach(func(g int) bool {
-			v := t.cellValue(q, pairV, g, c, cl.Opts)
+			v := t.cellValue(q, s, g, c, cl.Opts)
 			if v >= minSat {
 				out = append(out, Explanation{
 					Gene:         g,

@@ -61,23 +61,37 @@ func (t *BST) MineMCMCBAR(k int, opts MineOptions) []MCBAR {
 func (t *BST) MineMCMCBARPerSample(k int, opts MineOptions) []MCBAR {
 	seen := map[string]bool{}
 	var all []MCBAR
+	var keys []string
+	var counts []int
+	var buf []byte
 	for c := range t.ClassSamples {
 		for _, r := range t.mine(k, opts, c) {
-			key := r.Support.Key()
-			if !seen[key] {
+			buf = r.Support.AppendKey(buf[:0])
+			if !seen[string(buf)] {
+				key := string(buf)
 				seen[key] = true
 				all = append(all, r)
+				keys = append(keys, key)
+				counts = append(counts, r.Support.Count())
 			}
 		}
 	}
-	sort.SliceStable(all, func(i, j int) bool {
-		si, sj := all[i].Support.Count(), all[j].Support.Count()
-		if si != sj {
-			return si > sj
+	order := make([]int, len(all))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		i, j := order[a], order[b]
+		if counts[i] != counts[j] {
+			return counts[i] > counts[j]
 		}
-		return all[i].Support.Key() < all[j].Support.Key()
+		return keys[i] < keys[j]
 	})
-	return all
+	sorted := make([]MCBAR, len(all))
+	for n, i := range order {
+		sorted[n] = all[i]
+	}
+	return sorted
 }
 
 // mine runs the Algorithm 3 loop. When mustContain ≥ 0 only supports
@@ -92,14 +106,18 @@ func (t *BST) mine(k int, opts MineOptions, mustContain int) []MCBAR {
 	// (Algorithm 3 lines 3-6).
 	seen := map[string]bool{}
 	var cSup []supEntry
+	var keyBuf []byte
 	push := func(s *bitset.Set) {
 		if s.IsEmpty() || (mustContain >= 0 && !s.Contains(mustContain)) {
 			return
 		}
-		key := s.Key()
-		if seen[key] {
+		// AppendKey into the shared buffer so duplicate candidates — the
+		// common case deep in the lattice — are rejected without allocating.
+		keyBuf = s.AppendKey(keyBuf[:0])
+		if seen[string(keyBuf)] {
 			return
 		}
+		key := string(keyBuf)
 		seen[key] = true
 		cSup = append(cSup, supEntry{set: s, key: key, size: s.Count(), excl: -1})
 	}
@@ -207,19 +225,22 @@ func (t *BST) buildMCBAR(s *bitset.Set) MCBAR {
 		// wide tables.
 		var disj rules.Or
 		seenCols := map[string]bool{}
+		var clauseBuf []byte
 		s.ForEach(func(c int) bool {
 			var colKey []byte
 			var conj rules.And
 			seenClauses := map[string]bool{}
 			excluded.ForEach(func(h int) bool {
 				cl := t.pairList[c][h]
-				k := cl.Genes.Key()
+				clauseBuf = cl.Genes.AppendKey(clauseBuf[:0])
 				if cl.Neg {
-					k += "-"
+					clauseBuf = append(clauseBuf, '-')
 				}
-				if !seenClauses[k] {
-					seenClauses[k] = true
-					colKey = append(colKey, k...)
+				// The byte-slice map lookup compiles to an alloc-free probe,
+				// so repeated clauses cost nothing.
+				if !seenClauses[string(clauseBuf)] {
+					seenClauses[string(clauseBuf)] = true
+					colKey = append(colKey, clauseBuf...)
 					conj = append(conj, t.pairClauseExpr(c, h))
 				}
 				return true

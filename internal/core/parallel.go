@@ -9,8 +9,10 @@ import (
 
 // ClassifyBatchParallel classifies every row of a test dataset using up to
 // workers goroutines (≤ 0 means GOMAXPROCS). Evaluation is read-only on the
-// trained tables — each query allocates its own scratch state — so queries
-// parallelize without locking. Results are returned in input order.
+// trained tables and each query draws its scratch state from the per-table
+// pool — a worker classifying a contiguous chunk keeps getting its own
+// scratch back — so queries parallelize without locking or steady-state
+// allocation. Results are returned in input order.
 func (cl *Classifier) ClassifyBatchParallel(test *dataset.Bool, workers int) []int {
 	n := test.NumSamples()
 	if workers <= 0 {
@@ -19,25 +21,29 @@ func (cl *Classifier) ClassifyBatchParallel(test *dataset.Bool, workers int) []i
 	if workers > n {
 		workers = n
 	}
-	out := make([]int, n)
 	if workers <= 1 {
 		return cl.ClassifyBatch(test)
 	}
+	out := make([]int, n)
+	chunk := (n + workers - 1) / workers
 	var wg sync.WaitGroup
-	next := make(chan int)
 	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
 		wg.Add(1)
-		go func() {
+		go func(lo, hi int) {
 			defer wg.Done()
-			for i := range next {
+			for i := lo; i < hi; i++ {
 				out[i] = cl.Classify(test.Rows[i])
 			}
-		}()
+		}(lo, hi)
 	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
 	wg.Wait()
 	return out
 }

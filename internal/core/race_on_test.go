@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled gates allocation-count assertions: the race detector makes
+// sync.Pool intentionally drop items, so pooled paths allocate under -race.
+const raceEnabled = true

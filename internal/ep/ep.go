@@ -88,19 +88,33 @@ func BorderDiff(base *bitset.Set, bounds []*bitset.Set, budget carminer.Budget) 
 	return frontier, nil
 }
 
-// minimize removes duplicates and strict supersets.
+// minimize removes duplicates and strict supersets. Counts and keys are
+// computed once per set up front (via AppendKey into a shared buffer) instead
+// of repeatedly inside the sort comparator.
 func minimize(sets []*bitset.Set) []*bitset.Set {
-	sort.Slice(sets, func(i, j int) bool {
-		ci, cj := sets[i].Count(), sets[j].Count()
-		if ci != cj {
-			return ci < cj
+	counts := make([]int, len(sets))
+	keys := make([]string, len(sets))
+	var buf []byte
+	for i, s := range sets {
+		counts[i] = s.Count()
+		buf = s.AppendKey(buf[:0])
+		keys[i] = string(buf)
+	}
+	order := make([]int, len(sets))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		i, j := order[a], order[b]
+		if counts[i] != counts[j] {
+			return counts[i] < counts[j]
 		}
-		return sets[i].Key() < sets[j].Key()
+		return keys[i] < keys[j]
 	})
 	var out []*bitset.Set
 	seen := map[string]bool{}
-	for _, s := range sets {
-		key := s.Key()
+	for _, i := range order {
+		s, key := sets[i], keys[i]
 		if seen[key] {
 			continue
 		}
@@ -151,6 +165,8 @@ func MineJEPs(d *dataset.Bool, ci int, budget carminer.Budget) ([]JEP, error) {
 		all = append(all, mins...)
 	}
 	var out []JEP
+	var keys []string
+	var buf []byte
 	for _, genes := range minimize(all) {
 		supp := 0
 		for _, row := range classRows {
@@ -159,13 +175,24 @@ func MineJEPs(d *dataset.Bool, ci int, budget carminer.Budget) ([]JEP, error) {
 			}
 		}
 		out = append(out, JEP{Genes: genes, Support: supp})
+		buf = genes.AppendKey(buf[:0])
+		keys = append(keys, string(buf))
 		met.jepsMined.Inc()
 	}
-	sort.SliceStable(out, func(i, j int) bool {
+	order := make([]int, len(out))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		i, j := order[a], order[b]
 		if out[i].Support != out[j].Support {
 			return out[i].Support > out[j].Support
 		}
-		return out[i].Genes.Key() < out[j].Genes.Key()
+		return keys[i] < keys[j]
 	})
-	return out, nil
+	sorted := make([]JEP, len(out))
+	for n, i := range order {
+		sorted[n] = out[i]
+	}
+	return sorted, nil
 }

@@ -143,6 +143,13 @@ func RunCV(cfg CVConfig) ([]SizeResult, error) {
 		return nil, fmt.Errorf("eval: no training sizes")
 	}
 	workers := cfg.effectiveWorkers()
+	// The same knob parallelizes Top-k mining inside each test unless the
+	// caller pinned rcbt.Config.Workers explicitly. Completed mining results
+	// are identical for every worker count (see carminer.TopKConfig.Workers),
+	// so rendered artifacts stay byte-identical.
+	if cfg.RunRCBT && cfg.RCBT.Workers == 0 {
+		cfg.RCBT.Workers = workers
+	}
 
 	// Pre-draw every split from the shared generator. split is the
 	// protocol's only rand consumer, so the drawn sequence — and every

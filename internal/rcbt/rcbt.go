@@ -26,6 +26,7 @@ package rcbt
 
 import (
 	"fmt"
+	"sort"
 
 	"bstc/internal/bitset"
 	"bstc/internal/carminer"
@@ -40,6 +41,10 @@ type Config struct {
 	K          int
 	NL         int
 	Budget     carminer.Budget
+	// Workers bounds the goroutines the Top-k miner may use per class
+	// (≤ 1 mines serially). Completed results are identical for every
+	// value; see carminer.TopKConfig.Workers.
+	Workers int
 }
 
 // DefaultConfig returns the author-suggested parameter values used
@@ -81,6 +86,7 @@ func Mine(d *dataset.Bool, cfg Config) ([]*carminer.TopKResult, error) {
 			MinSupport: cfg.MinSupport,
 			K:          cfg.K,
 			Budget:     cfg.Budget,
+			Workers:    cfg.Workers,
 		})
 		results[ci] = res
 		if err != nil {
@@ -117,10 +123,18 @@ func Build(d *dataset.Bool, mined []*carminer.TopKResult, cfg Config) (*Classifi
 			}
 			g.LowerBounds = lbs
 		}
-		// Sub-classifier j takes each row's j-th best covering group.
+		// Sub-classifier j takes each row's j-th best covering group. Rows
+		// are visited in ascending index order so the assembled rule lists
+		// (and any rendering of them) never depend on map iteration order.
+		rows := make([]int, 0, len(res.PerRow))
+		for r := range res.PerRow {
+			rows = append(rows, r)
+		}
+		sort.Ints(rows)
 		for j := 0; j < cfg.K; j++ {
 			seen := map[*carminer.RuleGroup]bool{}
-			for _, lst := range res.PerRow {
+			for _, r := range rows {
+				lst := res.PerRow[r]
 				if j >= len(lst) {
 					continue
 				}
