@@ -5,15 +5,28 @@ GO ?= go
 HOTPATH_BENCH = BenchmarkTopK|BenchmarkEvaluate|BenchmarkClassify|BenchmarkClassifyBatchParallel|BenchmarkIntersect|BenchmarkKey|BenchmarkIntersectInto|BenchmarkAppendKey
 HOTPATH_PKGS = ./internal/bitset/ ./internal/carminer/ ./internal/core/
 
-.PHONY: check vet build test race bench bench-json bench-smoke
+# Every native fuzz target, as "package:Target" pairs for fuzz-smoke
+# (go test allows only one -fuzz pattern per invocation).
+FUZZ_TARGETS = \
+	./internal/bitset:FuzzUnmarshalBinary \
+	./internal/dataset:FuzzReadBool \
+	./internal/dataset:FuzzReadContinuous \
+	./internal/dataset:FuzzReadARFF \
+	./internal/eval:FuzzLoadArtifact \
+	./internal/serve:FuzzDecodeRequest
+FUZZTIME ?= 10s
+
+.PHONY: check vet build test race bench bench-json bench-smoke fuzz-smoke
 
 # The tier-1 gate plus the race-sensitive packages: the obs counters are
 # hit concurrently by parallel batch classification, eval threads the
 # registry through every miner, the fold pool stripes discretization
-# and classification across workers, and the Top-k miner shards row
-# enumeration. bench-smoke keeps the benchmark/benchjson pipeline
-# compiling and parsing (one iteration per benchmark).
-check: vet build race test bench-smoke
+# and classification across workers, the Top-k miner shards row
+# enumeration, and the serving layer coalesces concurrent requests into
+# batches. bench-smoke keeps the benchmark/benchjson pipeline compiling
+# and parsing (one iteration per benchmark); fuzz-smoke gives every fuzz
+# target a short budget on top of the committed corpora.
+check: vet build race test bench-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -24,7 +37,8 @@ build:
 race:
 	$(GO) test -race ./internal/obs/... ./internal/eval/... \
 		./internal/discretize/... ./internal/core/... \
-		./internal/carminer/... ./internal/experiments/...
+		./internal/carminer/... ./internal/experiments/... \
+		./internal/serve/... ./cmd/bstcd/...
 
 test:
 	$(GO) test ./...
@@ -44,3 +58,14 @@ bench-json:
 bench-smoke:
 	$(GO) test -run '^$$' -bench '$(HOTPATH_BENCH)' -benchtime 1x -benchmem $(HOTPATH_PKGS) \
 		| $(GO) run ./cmd/benchjson -o /tmp/bench_smoke.json && rm -f /tmp/bench_smoke.json
+
+# fuzz-smoke gives each target FUZZTIME of coverage-guided fuzzing (default
+# 10s) seeded from the committed corpora in testdata/fuzz/. Any crasher is
+# minimized and written there by the Go toolchain, turning it into a
+# permanent regression test.
+fuzz-smoke:
+	@set -e; for t in $(FUZZ_TARGETS); do \
+		pkg=$${t%%:*}; target=$${t##*:}; \
+		echo "fuzz $$pkg $$target"; \
+		$(GO) test -run '^$$' -fuzz "^$$target$$" -fuzztime $(FUZZTIME) $$pkg; \
+	done

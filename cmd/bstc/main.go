@@ -29,6 +29,10 @@
 //	    K-fold cross validation on a continuous matrix (TSV, or ARFF when
 //	    the file ends in .arff), discretizing each fold's training half.
 //
+//	bstc artifact -in expr.tsv -out model.bstc
+//	    Train the full serving pipeline (discretizer + BSTC tables) on a
+//	    continuous matrix and write the combined artifact for `bstcd`.
+//
 // Global flags, accepted before the subcommand:
 //
 //	bstc -cpuprofile cpu.out -memprofile mem.out eval -in expr.tsv
@@ -72,7 +76,7 @@ func run(args []string) (err error) {
 	}
 	args = fs.Args()
 	if len(args) == 0 {
-		return fmt.Errorf("usage: bstc [-cpuprofile f] [-memprofile f] [-debug-addr a] <discretize|train|classify|mine|table|eval> [flags]")
+		return fmt.Errorf("usage: bstc [-cpuprofile f] [-memprofile f] [-debug-addr a] <discretize|train|classify|mine|table|eval|artifact> [flags]")
 	}
 	if *debugAddr != "" {
 		srv, err := obs.ServeDebug(*debugAddr)
@@ -104,8 +108,10 @@ func run(args []string) (err error) {
 		return cmdTable(args[1:])
 	case "eval":
 		return cmdEval(args[1:])
+	case "artifact":
+		return cmdArtifact(args[1:])
 	}
-	return fmt.Errorf("unknown subcommand %q (want discretize, train, classify, mine, table or eval)", args[0])
+	return fmt.Errorf("unknown subcommand %q (want discretize, train, classify, mine, table, eval or artifact)", args[0])
 }
 
 func readBool(path string) (*dataset.Bool, error) {

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"bstc/internal/dataset"
+	"bstc/internal/eval"
 )
 
 // writeTable1 writes the paper's running example to a temp item-list file.
@@ -215,5 +216,32 @@ func TestClassifyVocabularyMismatch(t *testing.T) {
 	}
 	if err := run([]string{"classify", "-train", a, "-test", out}); err == nil {
 		t.Error("item vocabulary mismatch should error")
+	}
+}
+
+func TestArtifactSubcommand(t *testing.T) {
+	in := writeContinuous(t)
+	out := filepath.Join(t.TempDir(), "model.bstc")
+	if err := run([]string{"artifact", "-in", in, "-out", out, "-workers", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	art, err := eval.LoadArtifact(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	class, _, err := art.ClassifyRow([]float64{1.1, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := art.Classifier.ClassNames[class]; got != "A" {
+		t.Errorf("classified training-like sample as %q, want A", got)
+	}
+	if err := run([]string{"artifact", "-in", in}); err == nil {
+		t.Error("artifact without -out should error")
 	}
 }

@@ -1,0 +1,126 @@
+// Command bstcd serves a trained BSTC artifact (written by `bstc artifact`)
+// over HTTP, batching concurrent classify requests through the parallel
+// evaluation kernel.
+//
+//	bstcd -model model.bstc [-addr :8080] [-batch 32] [-max-wait 2ms]
+//	      [-max-inflight 128] [-workers N] [-timeout 5s] [-runlog batches.jsonl]
+//
+// Endpoints (see internal/serve): POST /v1/classify, GET /v1/model,
+// /healthz, /metrics, /runlogz. On SIGINT/SIGTERM the daemon drains:
+// admitted requests are answered, new ones get 503, then both the HTTP
+// server and the batcher stop.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"bstc/internal/eval"
+	"bstc/internal/obs"
+	"bstc/internal/serve"
+)
+
+func main() {
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if err := run(ctx, os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "bstcd:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until ctx is cancelled, then drains.
+// ready, when non-nil, is called with the bound listener address once the
+// server is accepting connections (tests bind :0 and read the port here).
+func run(ctx context.Context, args []string, stdout io.Writer, ready func(net.Addr)) error {
+	fs := flag.NewFlagSet("bstcd", flag.ContinueOnError)
+	model := fs.String("model", "", "artifact written by `bstc artifact` (required)")
+	addr := fs.String("addr", ":8080", "listen address")
+	batch := fs.Int("batch", 0, "micro-batch flush threshold (default 32)")
+	maxWait := fs.Duration("max-wait", 0, "max time a non-full batch waits (default 2ms)")
+	maxInflight := fs.Int("max-inflight", 0, "admitted-request bound before 429 (default 4x batch)")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "goroutines per batch classify")
+	timeout := fs.Duration("timeout", 0, "per-request deadline (default 5s)")
+	runlogPath := fs.String("runlog", "", "append per-batch JSONL records to this file")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *model == "" {
+		return fmt.Errorf("-model is required")
+	}
+
+	f, err := os.Open(*model)
+	if err != nil {
+		return err
+	}
+	art, err := eval.LoadArtifact(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("load %s: %w", *model, err)
+	}
+
+	cfg := serve.Config{
+		BatchSize:      *batch,
+		MaxWait:        *maxWait,
+		MaxInFlight:    *maxInflight,
+		Workers:        *workers,
+		RequestTimeout: *timeout,
+		Registry:       obs.NewRegistry(),
+	}
+	if *runlogPath != "" {
+		rl, err := obs.OpenRunLog(*runlogPath)
+		if err != nil {
+			return err
+		}
+		defer rl.Close()
+		cfg.RunLog = rl
+	}
+	s := serve.New(art, cfg)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: s.Handler()}
+	fmt.Fprintf(stdout, "bstcd: serving %d-class model (%d items) on http://%s\n",
+		len(art.Classifier.ClassNames), art.Disc.NumItems(), ln.Addr())
+	if ready != nil {
+		ready(ln.Addr())
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		s.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(stdout, "bstcd: draining")
+	dctx, dcancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer dcancel()
+	// Drain the batching layer first: admitted requests are answered and
+	// pending batches flush immediately, so the HTTP handlers below can
+	// finish. New requests arriving meanwhile get fast 503s.
+	if err := s.Shutdown(dctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := httpSrv.Shutdown(dctx); err != nil {
+		return err
+	}
+	<-serveErr // always http.ErrServerClosed after Shutdown
+	fmt.Fprintln(stdout, "bstcd: stopped")
+	return nil
+}

@@ -1,0 +1,190 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"bstc/internal/dataset"
+	"bstc/internal/eval"
+)
+
+// writeArtifact trains a small artifact to a temp file and returns its path
+// together with the training rows for classification checks.
+func writeArtifact(t *testing.T) (string, *eval.Artifact, [][]float64) {
+	t.Helper()
+	c := &dataset.Continuous{
+		GeneNames:  []string{"sep", "flat"},
+		ClassNames: []string{"A", "B"},
+		Classes:    []int{0, 0, 0, 1, 1, 1},
+		Values: [][]float64{
+			{1.0, 7}, {1.2, 7}, {1.4, 7},
+			{8.0, 7}, {8.2, 7}, {8.4, 7},
+		},
+	}
+	art, err := eval.TrainArtifact(c, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.bstc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := art.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	return path, art, c.Values
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	ctx := context.Background()
+	var out bytes.Buffer
+	if err := run(ctx, nil, &out, nil); err == nil {
+		t.Error("run without -model should error")
+	}
+	if err := run(ctx, []string{"-model", "/does/not/exist"}, &out, nil); err == nil {
+		t.Error("run with a missing model file should error")
+	}
+	junk := filepath.Join(t.TempDir(), "junk")
+	if err := os.WriteFile(junk, []byte("not an artifact"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(ctx, []string{"-model", junk}, &out, nil); err == nil {
+		t.Error("run with a corrupt model file should error")
+	}
+}
+
+// TestServeAndDrain boots the daemon on a random port, classifies over HTTP,
+// then cancels the run context and verifies a clean drain.
+func TestServeAndDrain(t *testing.T) {
+	model, art, rows := writeArtifact(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	addrCh := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	var out bytes.Buffer
+	go func() {
+		done <- run(ctx,
+			[]string{"-model", model, "-addr", "127.0.0.1:0", "-batch", "4", "-max-wait", "1ms"},
+			&out, func(a net.Addr) { addrCh <- a })
+	}()
+
+	var base string
+	select {
+	case a := <-addrCh:
+		base = "http://" + a.String()
+	case err := <-done:
+		t.Fatalf("daemon exited before ready: %v (output: %s)", err, out.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	for i, row := range rows {
+		body, err := json.Marshal(map[string][]float64{"values": row})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(base+"/v1/classify", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got struct {
+			Class      string  `json:"class"`
+			ClassIndex int     `json:"class_index"`
+			Confidence float64 `json:"confidence"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("sample %d: status %d", i, resp.StatusCode)
+		}
+		wantClass, wantConf, err := art.ClassifyRow(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ClassIndex != wantClass || got.Confidence != wantConf {
+			t.Fatalf("sample %d: got (%d, %v), want (%d, %v)",
+				i, got.ClassIndex, got.Confidence, wantClass, wantConf)
+		}
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v (output: %s)", err, out.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain after cancel")
+	}
+	for _, want := range []string{"bstcd: serving", "bstcd: draining", "bstcd: stopped"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunlogFile checks the -runlog flag produces per-batch JSONL records.
+func TestRunlogFile(t *testing.T) {
+	model, _, rows := writeArtifact(t)
+	logPath := filepath.Join(t.TempDir(), "batches.jsonl")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	addrCh := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	var out bytes.Buffer
+	go func() {
+		done <- run(ctx,
+			[]string{"-model", model, "-addr", "127.0.0.1:0", "-runlog", logPath},
+			&out, func(a net.Addr) { addrCh <- a })
+	}()
+	var base string
+	select {
+	case a := <-addrCh:
+		base = "http://" + a.String()
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	body, _ := json.Marshal(map[string][]float64{"values": rows[0]})
+	resp, err := http.Post(base+"/v1/classify", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("classify: %d", resp.StatusCode)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte(`"serve.batch"`)) {
+		t.Fatalf("run log has no serve.batch records: %s", data)
+	}
+}

@@ -1,0 +1,47 @@
+package bitset
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshalBinary asserts the binary decoder never panics on arbitrary
+// bytes and rejects anything that cannot round-trip: accepted data must
+// re-marshal byte-identically and satisfy the set invariants.
+func FuzzUnmarshalBinary(f *testing.F) {
+	for _, s := range []*Set{
+		New(0),
+		FromIndices(5, 0, 2),
+		FromIndices(64, 0, 63),
+		FromIndices(65, 64),
+		FromIndices(200, 1, 100, 199),
+	} {
+		b, err := s.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte(nil))
+	f.Add([]byte{1, 2, 3})
+	f.Add(make([]byte, 16)) // universe 0 with one spurious word
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s Set
+		if err := s.UnmarshalBinary(data); err != nil {
+			return
+		}
+		out, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted set does not re-marshal: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("re-marshal differs from accepted input:\n in: %x\nout: %x", data, out)
+		}
+		if c := s.Count(); c > s.Len() {
+			t.Fatalf("count %d exceeds universe %d", c, s.Len())
+		}
+		if m := s.Max(); m >= s.Len() {
+			t.Fatalf("max member %d outside universe %d", m, s.Len())
+		}
+	})
+}

@@ -1,0 +1,42 @@
+package eval
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoadArtifact asserts the artifact decoder never panics on arbitrary
+// bytes and that anything it accepts is internally consistent enough to
+// survive a save→load round trip.
+func FuzzLoadArtifact(f *testing.F) {
+	art, err := TrainArtifact(tinyContinuous(), nil, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var seed bytes.Buffer
+	if err := art.Save(&seed); err != nil {
+		f.Fatal(err)
+	}
+	good := seed.Bytes()
+	f.Add(good)
+	f.Add([]byte(artifactMagic))
+	f.Add(good[:len(good)/2])
+	f.Add([]byte(nil))
+	f.Add(bytes.Replace(good, []byte{0x01}, []byte{0x02}, 3))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := LoadArtifact(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := a.validate(); err != nil {
+			t.Fatalf("accepted artifact fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := a.Save(&buf); err != nil {
+			t.Fatalf("cannot re-save accepted artifact: %v", err)
+		}
+		if _, err := LoadArtifact(&buf); err != nil {
+			t.Fatalf("round trip of accepted artifact failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,150 @@
+package rules
+
+import "sort"
+
+// Simplify returns an expression that evaluates identically to e on every
+// gene assignment, in a canonical reduced form:
+//
+//   - constants folded, nested And/Or flattened, exact duplicates dropped
+//     (the NewAnd/NewOr invariants);
+//   - operands ordered by structural key, so equivalent reorderings of the
+//     same operands normalize to one expression;
+//   - complementary literals collapsed: g AND -g ⇒ false, g OR -g ⇒ true;
+//   - absorption: a conjunction drops any disjunction implied by another
+//     operand (A AND (A OR B) = A, and the key-subset generalization
+//     (A OR B) AND (A OR B OR C) = A OR B), dually for disjunctions.
+//
+// Simplify is idempotent: applying it to its own output returns a
+// structurally identical expression.
+func Simplify(e Expr) Expr {
+	switch v := e.(type) {
+	case And:
+		return simplifyNary(simplifyAll(v), true)
+	case Or:
+		return simplifyNary(simplifyAll(v), false)
+	default:
+		return e
+	}
+}
+
+func simplifyAll(ops []Expr) []Expr {
+	out := make([]Expr, len(ops))
+	for i, c := range ops {
+		out[i] = Simplify(c)
+	}
+	return out
+}
+
+// simplifyNary reduces one flattened level: conj selects And semantics,
+// otherwise Or. Children are already simplified.
+func simplifyNary(ops []Expr, conj bool) Expr {
+	var flat Expr
+	if conj {
+		flat = NewAnd(ops...)
+	} else {
+		flat = NewOr(ops...)
+	}
+	// NewAnd/NewOr may collapse to a single operand (or a constant); only a
+	// survivor of the expected arity has level operands to reduce further.
+	var list []Expr
+	if conj {
+		a, ok := flat.(And)
+		if !ok {
+			return flat
+		}
+		list = a
+	} else {
+		o, ok := flat.(Or)
+		if !ok {
+			return flat
+		}
+		list = o
+	}
+	// Canonical operand order (after flattening, so nested operands land in
+	// their sorted position too). Children are already canonical from the
+	// recursive pass, so equivalent reorderings of the same operands have
+	// equal keys and were deduped by NewAnd/NewOr; that also keeps the
+	// absorption pass below safe — two distinct operands can never absorb
+	// each other, so dropping is order-independent.
+	sort.SliceStable(list, func(i, j int) bool { return keyOf(list[i]) < keyOf(list[j]) })
+
+	// Complementary literals at the same level: a conjunction containing
+	// g and -g is unsatisfiable; the dual disjunction is a tautology.
+	sign := map[int][2]bool{}
+	for _, e := range list {
+		if l, ok := e.(Lit); ok {
+			s := sign[l.Gene]
+			if l.Neg {
+				s[1] = true
+			} else {
+				s[0] = true
+			}
+			if s[0] && s[1] {
+				return Const(!conj)
+			}
+			sign[l.Gene] = s
+		}
+	}
+
+	// Absorption: under conjunction, an Or operand is redundant when some
+	// other operand implies it — a literal (or any operand) appearing among
+	// its children, or another Or whose children are a subset of its own.
+	// Under disjunction the dual holds with And operands.
+	keys := make(map[string]bool, len(list))
+	childKeys := make([]map[string]bool, len(list))
+	for i, e := range list {
+		keys[keyOf(e)] = true
+		var children []Expr
+		if conj {
+			if o, ok := e.(Or); ok {
+				children = o
+			}
+		} else {
+			if a, ok := e.(And); ok {
+				children = a
+			}
+		}
+		if children != nil {
+			ck := make(map[string]bool, len(children))
+			for _, c := range children {
+				ck[keyOf(c)] = true
+			}
+			childKeys[i] = ck
+		}
+	}
+	subsetOf := func(a, b map[string]bool) bool {
+		for k := range a {
+			if !b[k] {
+				return false
+			}
+		}
+		return true
+	}
+	keep := make([]Expr, 0, len(list))
+	for i, e := range list {
+		absorbed := false
+		if ck := childKeys[i]; ck != nil {
+			for k := range ck {
+				if keys[k] {
+					absorbed = true
+					break
+				}
+			}
+			if !absorbed {
+				for j, other := range childKeys {
+					if j != i && other != nil && subsetOf(other, ck) {
+						absorbed = true
+						break
+					}
+				}
+			}
+		}
+		if !absorbed {
+			keep = append(keep, e)
+		}
+	}
+	if conj {
+		return NewAnd(keep...)
+	}
+	return NewOr(keep...)
+}

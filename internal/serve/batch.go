@@ -1,0 +1,187 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"bstc/internal/bitset"
+	"bstc/internal/dataset"
+	"bstc/internal/obs"
+)
+
+// runBatcher is the coalescing loop: it accumulates admitted requests into
+// a batch and dispatches when the batch fills, when the oldest request has
+// waited MaxWait, or immediately once the server is draining. Dispatch runs
+// on its own goroutine so the next batch forms while the previous one
+// classifies.
+func (s *Server) runBatcher() {
+	defer s.batcher.Done()
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	timerLive := false
+	stopTimer := func() {
+		if timerLive && !timer.Stop() {
+			<-timer.C
+		}
+		timerLive = false
+	}
+	var batch []*pending
+	flush := func() {
+		stopTimer()
+		if len(batch) > 0 {
+			s.dispatch(batch)
+			batch = nil
+		}
+	}
+	for {
+		if len(batch) == 0 {
+			select {
+			case p, ok := <-s.queue:
+				if !ok {
+					return
+				}
+				batch = append(batch, p)
+				if len(batch) >= s.cfg.BatchSize || s.Draining() {
+					flush()
+					continue
+				}
+				timer.Reset(s.cfg.MaxWait)
+				timerLive = true
+			case <-s.kick:
+				// Draining with nothing buffered: loop around; the next
+				// queue receive (or close) resolves promptly.
+			}
+			continue
+		}
+		select {
+		case p, ok := <-s.queue:
+			if !ok {
+				flush()
+				return
+			}
+			batch = append(batch, p)
+			if len(batch) >= s.cfg.BatchSize || s.Draining() {
+				flush()
+			}
+		case <-timer.C:
+			timerLive = false
+			flush()
+		case <-s.kick:
+			flush()
+		}
+	}
+}
+
+// dispatch classifies one micro-batch on a worker goroutine. Rows are
+// assembled into a throwaway Bool dataset view (the query sets are shared,
+// not copied) and routed through the parallel classify kernel; per-request
+// confidences reuse the trained tables' pooled scratch. Delivery into the
+// buffered done channels never blocks, so a request that already gave up
+// on its deadline cannot stall the batch.
+func (s *Server) dispatch(batch []*pending) {
+	s.inflightBatches.Add(1)
+	go func() {
+		defer s.inflightBatches.Done()
+		enq := obs.Now()
+		rows := make([]*bitset.Set, len(batch))
+		for i, p := range batch {
+			rows[i] = p.q
+			s.met.queueWait.Record(int64(enq.Sub(p.enqueued)))
+		}
+		test := &dataset.Bool{
+			GeneNames:  s.art.Classifier.GeneNames,
+			ClassNames: s.art.Classifier.ClassNames,
+			Classes:    make([]int, len(batch)),
+			Rows:       rows,
+		}
+
+		ph := obs.NewPhasesIn(s.cfg.Registry)
+		span := ph.Start("serve/classify")
+		preds := s.art.Classifier.ClassifyBatchParallel(test, s.cfg.Workers)
+		for i, p := range batch {
+			p.done <- result{class: preds[i], confidence: s.art.Classifier.Confidence(p.q)}
+		}
+		classifyNS := span.End()
+
+		s.met.batches.Inc()
+		s.met.batchSamples.Add(int64(len(batch)))
+		s.met.batchSize.Record(int64(len(batch)))
+		s.recordBatch(len(batch), preds, classifyNS)
+	}()
+}
+
+// BatchRecord is one flushed micro-batch as reported by /runlogz: size,
+// classify wall-clock, and the per-class prediction counts.
+type BatchRecord struct {
+	Seq        int64          `json:"seq"`
+	Size       int            `json:"size"`
+	ClassifyMS float64        `json:"classify_ms"`
+	Classes    map[string]int `json:"classes,omitempty"`
+}
+
+// recordBatch appends the batch to the /runlogz ring and, when configured,
+// emits an obs.RunRecord to the run log.
+func (s *Server) recordBatch(size int, preds []int, classify time.Duration) {
+	counts := make(map[string]int)
+	for _, c := range preds {
+		counts[s.art.Classifier.ClassNames[c]]++
+	}
+	rec := BatchRecord{
+		Size:       size,
+		ClassifyMS: float64(classify) / float64(time.Millisecond),
+		Classes:    counts,
+	}
+	rec.Seq = s.ring.add(rec)
+	if s.cfg.RunLog != nil {
+		s.cfg.RunLog.Emit(obs.RunRecord{
+			Experiment: "serve.batch",
+			Test:       int(rec.Seq),
+			Config:     map[string]float64{"batch_size": float64(size), "workers": float64(s.cfg.Workers)},
+			PhasesMS:   map[string]float64{"serve/classify": rec.ClassifyMS},
+		})
+	}
+}
+
+// batchRing keeps the most recent batch records for /runlogz.
+type batchRing struct {
+	mu   sync.Mutex
+	next int64
+	buf  []BatchRecord
+	size int
+}
+
+func newBatchRing(n int) *batchRing {
+	return &batchRing{buf: make([]BatchRecord, 0, n), size: n}
+}
+
+// add stores rec and returns its sequence number (total batches so far,
+// 1-based).
+func (r *batchRing) add(rec BatchRecord) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.next++
+	rec.Seq = r.next
+	if len(r.buf) < r.size {
+		r.buf = append(r.buf, rec)
+	} else {
+		r.buf[int((r.next-1))%r.size] = rec
+	}
+	return r.next
+}
+
+// records returns the retained batches, oldest first.
+func (r *batchRing) records() []BatchRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]BatchRecord, 0, len(r.buf))
+	if len(r.buf) < r.size {
+		out = append(out, r.buf...)
+		return out
+	}
+	start := int(r.next) % r.size
+	out = append(out, r.buf[start:]...)
+	out = append(out, r.buf[:start]...)
+	return out
+}

@@ -1,0 +1,39 @@
+package serve
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzDecodeRequest asserts the classify-request decoder never panics on
+// arbitrary bytes, and that anything it accepts is stable: re-marshalling
+// an accepted request and decoding again yields the same request.
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add([]byte(`{"values":[1.5,7,0.3]}`))
+	f.Add([]byte(`{"items":["sep[1]","wide[0]"]}`))
+	f.Add([]byte(`{"values":[1],"items":["x"]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"values":[1e308,-1e308,0]}`))
+	f.Add([]byte(`{"values":[1e999]}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{nope`))
+	f.Add([]byte(nil))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := decodeRequest(data)
+		if err != nil {
+			return
+		}
+		again, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("accepted request does not re-marshal: %v", err)
+		}
+		req2, err := decodeRequest(again)
+		if err != nil {
+			t.Fatalf("re-encoded accepted request rejected: %v (body %s)", err, again)
+		}
+		if !reflect.DeepEqual(req, req2) {
+			t.Fatalf("request not stable across re-encode: %+v vs %+v", req, req2)
+		}
+	})
+}

@@ -1,0 +1,404 @@
+// Package serve is the online classification layer over a trained BSTC
+// artifact (internal/eval.Artifact): an HTTP/JSON service that coalesces
+// concurrent single-sample requests into micro-batches routed through the
+// parallel classify kernel, under production constraints — per-request
+// deadlines, bounded in-flight concurrency with load shedding, and a
+// graceful drain that completes everything already admitted.
+//
+// The request path is: decode → discretize (per request, spanned) → enqueue
+// → micro-batch flush on size or max-wait → core.ClassifyBatchParallel
+// (per batch, spanned) → per-request response. Predictions are exactly what
+// core.Classify returns for the same row; batching changes latency, never
+// results.
+//
+// Endpoints:
+//
+//	POST /v1/classify  one sample ({"values": [...]} or {"items": [...]})
+//	GET  /v1/model     model metadata (classes, item vocabulary sizes)
+//	GET  /healthz      200 while serving, 503 while draining
+//	GET  /metrics      obs registry snapshot (counters, gauges, histograms)
+//	GET  /runlogz      ring of recent per-batch records
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"bstc/internal/bitset"
+	"bstc/internal/eval"
+	"bstc/internal/obs"
+)
+
+// Config tunes the server. The zero value of every field selects a sane
+// default, so Config{} is a working development configuration.
+type Config struct {
+	// BatchSize is the micro-batch flush threshold (default 32).
+	BatchSize int
+	// MaxWait is how long a non-full batch waits for company before it is
+	// flushed anyway (default 2ms). Smaller trades throughput for latency.
+	MaxWait time.Duration
+	// MaxInFlight bounds admitted-but-unanswered requests; excess load is
+	// shed with 429 (default 4×BatchSize).
+	MaxInFlight int
+	// Workers is the goroutine count handed to ClassifyBatchParallel per
+	// batch (default GOMAXPROCS; the kernel clamps to the batch size).
+	Workers int
+	// RequestTimeout is the per-request deadline measured from admission;
+	// a request that cannot be answered in time gets 504 (default 5s).
+	RequestTimeout time.Duration
+	// Registry receives the serving metrics (request/batch counters,
+	// latency and batch-size histograms, discretize/classify phase
+	// timings). nil serves uninstrumented.
+	Registry *obs.Registry
+	// RunLog, when non-nil, receives one obs.RunRecord per flushed batch.
+	RunLog *obs.RunLog
+	// RunLogRing is how many recent batch records /runlogz keeps
+	// (default 64).
+	RunLogRing int
+}
+
+func (c Config) withDefaults() Config {
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 2 * time.Millisecond
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 4 * c.BatchSize
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	if c.RunLogRing <= 0 {
+		c.RunLogRing = 64
+	}
+	return c
+}
+
+// result is what the batcher delivers back to a waiting handler.
+type result struct {
+	class      int
+	confidence float64
+}
+
+// pending is one admitted request waiting for its batch. done is buffered
+// so the batch worker can always deliver, even when the handler has already
+// given up on its deadline.
+type pending struct {
+	q        *bitset.Set
+	enqueued time.Time
+	done     chan result
+}
+
+// metrics holds the server's counter/histogram handles, resolved once at
+// construction (all nil-safe when the registry is nil).
+type metrics struct {
+	requests     *obs.Counter
+	ok           *obs.Counter
+	badRequest   *obs.Counter
+	shed         *obs.Counter
+	drainRejects *obs.Counter
+	deadlines    *obs.Counter
+	batches      *obs.Counter
+	batchSamples *obs.Counter
+	inflightPeak *obs.Gauge
+	batchSize    *obs.Histogram
+	latency      *obs.Histogram
+	queueWait    *obs.Histogram
+}
+
+// Server coalesces classify requests into micro-batches over one artifact.
+// Create with New, expose with Handler, stop with Shutdown (drains) or
+// Close (drains with no deadline).
+type Server struct {
+	art     *eval.Artifact
+	cfg     Config
+	itemIdx map[string]int
+
+	queue chan *pending
+	kick  chan struct{} // nudges the batcher to flush early during drain
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	active   int  // admitted requests not yet answered
+	draining bool // no new admissions
+	stop     sync.Once
+
+	batcher         sync.WaitGroup // the batcher goroutine
+	inflightBatches sync.WaitGroup // dispatched batch workers
+
+	met  metrics
+	ring *batchRing
+}
+
+// New builds a server around a loaded artifact. The batcher goroutine
+// starts immediately; the server is ready to accept requests.
+func New(art *eval.Artifact, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	reg := cfg.Registry
+	s := &Server{
+		art:     art,
+		cfg:     cfg,
+		itemIdx: art.Disc.ItemIndex(),
+		queue:   make(chan *pending, cfg.MaxInFlight),
+		kick:    make(chan struct{}, 1),
+		met: metrics{
+			requests:     reg.Counter("serve.requests"),
+			ok:           reg.Counter("serve.ok"),
+			badRequest:   reg.Counter("serve.bad_request"),
+			shed:         reg.Counter("serve.shed"),
+			drainRejects: reg.Counter("serve.rejected_draining"),
+			deadlines:    reg.Counter("serve.deadline_exceeded"),
+			batches:      reg.Counter("serve.batches"),
+			batchSamples: reg.Counter("serve.batch_samples"),
+			inflightPeak: reg.Gauge("serve.inflight_peak"),
+			batchSize:    reg.Histogram("serve.batch_size"),
+			latency:      reg.Histogram("serve.latency_ns"),
+			queueWait:    reg.Histogram("serve.queue_wait_ns"),
+		},
+		ring: newBatchRing(cfg.RunLogRing),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.batcher.Add(1)
+	go s.runBatcher()
+	return s
+}
+
+// Artifact returns the model the server classifies with.
+func (s *Server) Artifact() *eval.Artifact { return s.art }
+
+// Draining reports whether the server has stopped admitting requests.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// InFlight returns the number of admitted-but-unanswered requests.
+func (s *Server) InFlight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.active
+}
+
+// admit reserves an in-flight slot. It returns the HTTP status to reject
+// with (0 = admitted).
+func (s *Server) admit() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.met.drainRejects.Inc()
+		return http.StatusServiceUnavailable
+	}
+	if s.active >= s.cfg.MaxInFlight {
+		s.met.shed.Inc()
+		return http.StatusTooManyRequests
+	}
+	s.active++
+	s.met.inflightPeak.SetMax(int64(s.active))
+	return 0
+}
+
+// release returns an in-flight slot and wakes the drain waiter when the
+// server empties.
+func (s *Server) release() {
+	s.mu.Lock()
+	s.active--
+	if s.active == 0 {
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// Shutdown drains the server: new requests are rejected with 503, every
+// admitted request is answered (pending micro-batches flush immediately
+// rather than waiting out MaxWait), and the batcher stops. It returns
+// ctx.Err if the context expires first; the server keeps draining in the
+// background in that case.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		select {
+		case s.kick <- struct{}{}:
+		default:
+		}
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.mu.Lock()
+		for s.active > 0 {
+			s.cond.Wait()
+		}
+		s.mu.Unlock()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	// Every admitted request is answered, so no goroutine can still send
+	// on the queue; closing it stops the batcher after it flushes leftovers
+	// from deadline-abandoned requests.
+	s.stop.Do(func() { close(s.queue) })
+	s.batcher.Wait()
+	s.inflightBatches.Wait()
+	return nil
+}
+
+// Close is Shutdown without a deadline.
+func (s *Server) Close() error { return s.Shutdown(context.Background()) }
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/classify", s.handleClassify)
+	mux.HandleFunc("/v1/model", s.handleModel)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/runlogz", s.handleRunlogz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(body) //nolint:errcheck // the response is already committed
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	s.met.requests.Inc()
+	start := obs.Now()
+
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBody+1))
+	if err != nil {
+		s.met.badRequest.Inc()
+		writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	if len(body) > maxRequestBody {
+		s.met.badRequest.Inc()
+		writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", maxRequestBody)
+		return
+	}
+	req, err := decodeRequest(body)
+	if err != nil {
+		s.met.badRequest.Inc()
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	if status := s.admit(); status != 0 {
+		if status == http.StatusTooManyRequests {
+			writeError(w, status, "overloaded: %d requests in flight", s.cfg.MaxInFlight)
+		} else {
+			writeError(w, status, "server is draining")
+		}
+		return
+	}
+	defer s.release()
+
+	// Discretize on the request goroutine (spanned per request), so the
+	// batcher only ever sees rows in the classifier's item universe.
+	ph := obs.NewPhasesIn(s.cfg.Registry)
+	span := ph.Start("serve/discretize")
+	q, err := s.rowOf(req)
+	span.End()
+	if err != nil {
+		s.met.badRequest.Inc()
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	p := &pending{q: q, enqueued: obs.Now(), done: make(chan result, 1)}
+	select {
+	case s.queue <- p:
+	case <-ctx.Done():
+		s.met.deadlines.Inc()
+		writeError(w, http.StatusGatewayTimeout, "deadline exceeded before batching")
+		return
+	}
+	select {
+	case res := <-p.done:
+		s.met.ok.Inc()
+		s.met.latency.Record(int64(obs.Now().Sub(start)))
+		writeJSON(w, http.StatusOK, Response{
+			Class:      s.art.Classifier.ClassNames[res.class],
+			ClassIndex: res.class,
+			Confidence: res.confidence,
+		})
+	case <-ctx.Done():
+		s.met.deadlines.Inc()
+		writeError(w, http.StatusGatewayTimeout, "deadline exceeded awaiting batch")
+	}
+}
+
+// rowOf turns a validated request into a query row over the classifier's
+// item universe.
+func (s *Server) rowOf(req *Request) (*bitset.Set, error) {
+	if len(req.Values) > 0 {
+		return s.art.TransformRow(req.Values)
+	}
+	q := bitset.New(len(s.art.Classifier.GeneNames))
+	for _, name := range req.Items {
+		i, ok := s.itemIdx[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown item %q", name)
+		}
+		q.Add(i)
+	}
+	return q, nil
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"classes":        s.art.Classifier.ClassNames,
+		"genes":          s.art.Disc.NumGenes(),
+		"selected_genes": s.art.Disc.NumSelectedGenes(),
+		"items":          s.art.Disc.NumItems(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.cfg.Registry.Snapshot())
+}
+
+func (s *Server) handleRunlogz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.ring.records())
+}
