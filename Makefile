@@ -16,7 +16,16 @@ FUZZ_TARGETS = \
 	./internal/serve:FuzzDecodeRequest
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race bench bench-json bench-smoke fuzz-smoke
+# The chaos suite: every fault-injection, panic-containment, watchdog,
+# cancellation and checkpoint/corruption test, run under the race detector.
+# CHAOS_SEED picks the deterministic fault schedule for the seeded sweep
+# (TestChaosSweep); CI runs a small seed matrix, and a failing seed
+# reproduces locally with the same value.
+CHAOS_TESTS = Chaos|Fault|Panic|Watchdog|Checkpoint|Deadline|Cancel|RetryAfter|Truncation|BitFlips|Corrupt|Resilience
+CHAOS_PKGS = ./internal/fault/ ./internal/dataset/ ./internal/eval/ ./internal/serve/
+CHAOS_SEED ?= 1
+
+.PHONY: check vet build test race bench bench-json bench-smoke fuzz-smoke chaos
 
 # The tier-1 gate plus the race-sensitive packages: the obs counters are
 # hit concurrently by parallel batch classification, eval threads the
@@ -58,6 +67,9 @@ bench-json:
 bench-smoke:
 	$(GO) test -run '^$$' -bench '$(HOTPATH_BENCH)' -benchtime 1x -benchmem $(HOTPATH_PKGS) \
 		| $(GO) run ./cmd/benchjson -o /tmp/bench_smoke.json && rm -f /tmp/bench_smoke.json
+
+chaos:
+	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -count=1 -run '$(CHAOS_TESTS)' $(CHAOS_PKGS)
 
 # fuzz-smoke gives each target FUZZTIME of coverage-guided fuzzing (default
 # 10s) seeded from the committed corpora in testdata/fuzz/. Any crasher is

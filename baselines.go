@@ -1,6 +1,8 @@
 package bstc
 
 import (
+	"context"
+
 	"bstc/internal/carminer"
 	"bstc/internal/cba"
 	"bstc/internal/ep"
@@ -36,7 +38,7 @@ type TopKResult = carminer.TopKResult
 // pruned row enumeration — exponential in the class's training rows in the
 // worst case.
 func MineTopKRuleGroups(d *Dataset, class int, cfg TopKConfig) (*TopKResult, error) {
-	return carminer.TopKCoveringRuleGroups(d, class, cfg)
+	return carminer.TopKCoveringRuleGroups(context.Background(), d, class, cfg)
 }
 
 // RCBTConfig carries RCBT's parameters (the paper uses support 0.7, k=10,
@@ -54,7 +56,7 @@ type RCBTClassifier = rcbt.Classifier
 // bound mining per group, classifier assembly. Set cfg.Budget to bound the
 // exponential phases.
 func TrainRCBT(d *Dataset, cfg RCBTConfig) (*RCBTClassifier, error) {
-	return rcbt.Train(d, cfg)
+	return rcbt.Train(context.Background(), d, cfg)
 }
 
 // CBAConfig carries the CBA baseline's apriori and coverage parameters.
@@ -90,7 +92,7 @@ type JEP = ep.JEP
 // MBD-LLBORDER border difference — worst-case exponential, hence the
 // budget.
 func MineJEPs(d *Dataset, class int, budget MiningBudget) ([]JEP, error) {
-	return ep.MineJEPs(d, class, budget)
+	return ep.MineJEPs(context.Background(), d, class, budget)
 }
 
 // JEPClassifier aggregates per-class JEP supports (the JEP-Classifier
@@ -100,7 +102,7 @@ type JEPClassifier = ep.Classifier
 // TrainJEP mines every class's minimal JEPs and builds the aggregate
 // classifier.
 func TrainJEP(d *Dataset, budget MiningBudget) (*JEPClassifier, error) {
-	return ep.Train(d, budget)
+	return ep.Train(context.Background(), d, budget)
 }
 
 // ForestConfig tunes the random-forest baseline (defaults mirror

@@ -26,6 +26,7 @@ package bstc_test
 // its output.
 
 import (
+	"context"
 	"io"
 	"math/rand"
 	"os"
@@ -74,7 +75,7 @@ func cachedStudy(b *testing.B, name string) *experiments.Study {
 	if s, ok := studyCache.m[name]; ok {
 		return s
 	}
-	s, err := experiments.RunStudy(benchConfig(), name, true)
+	s, err := experiments.RunStudy(context.Background(), benchConfig(), name, true)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func BenchmarkTable2DatasetInventory(b *testing.B) {
 func BenchmarkTable3GivenTraining(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table3(benchWriter(i), cfg)
+		rows, err := experiments.Table3(context.Background(), benchWriter(i), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -161,7 +162,7 @@ func BenchmarkTable7OCAccuracy(b *testing.B) { benchAccuracyTable(b, "Table 7", 
 func BenchmarkPreliminaryComparison(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Preliminary(benchWriter(i), cfg)
+		rows, err := experiments.Preliminary(context.Background(), benchWriter(i), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -176,7 +177,7 @@ func BenchmarkPreliminaryComparison(b *testing.B) {
 func BenchmarkTuningNarrative(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		if err := experiments.Tuning(benchWriter(i), cfg); err != nil {
+		if err := experiments.Tuning(context.Background(), benchWriter(i), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -185,7 +186,7 @@ func BenchmarkTuningNarrative(b *testing.B) {
 func BenchmarkRelatedWorkJEPBorder(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		if err := experiments.Related(benchWriter(i), cfg); err != nil {
+		if err := experiments.Related(context.Background(), benchWriter(i), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -194,7 +195,7 @@ func BenchmarkRelatedWorkJEPBorder(b *testing.B) {
 func BenchmarkAblationArithmetization(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Ablation(benchWriter(i), cfg, "PC")
+		rows, err := experiments.Ablation(context.Background(), benchWriter(i), cfg, "PC")
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -224,7 +225,7 @@ func BenchmarkRunCVWorkers(b *testing.B) {
 			c := cfg
 			c.Workers = workers
 			for i := 0; i < b.N; i++ {
-				if _, err := experiments.RunStudy(c, "LC", false); err != nil {
+				if _, err := experiments.RunStudy(context.Background(), c, "LC", false); err != nil {
 					b.Fatal(err)
 				}
 			}

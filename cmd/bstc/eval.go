@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -73,7 +74,7 @@ func cmdEval(args []string) error {
 	}
 	accs := map[string][]float64{}
 	for fold, sp := range splits {
-		ps, err := eval.PrepareWorkers(cont, sp, *workers)
+		ps, err := eval.PrepareWorkers(context.Background(), cont, sp, *workers)
 		if err != nil {
 			return fmt.Errorf("eval: fold %d: %w", fold, err)
 		}

@@ -36,12 +36,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"bstc/internal/eval"
@@ -66,6 +69,8 @@ func run(args []string) (err error) {
 	seedFlag := fs.Int64("seed", 0, "random seed (0 = default)")
 	workersFlag := fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent cross-validation tests and per-test mining goroutines (1 = serial; accuracies are identical for any value)")
 	runlogFlag := fs.String("runlog", "", "write one JSONL record per cross-validation test to this file")
+	timeoutFlag := fs.Duration("timeout", 0, "overall wall-clock deadline; expired cross-validation tests become DNF records instead of aborting (0 = none)")
+	checkpointFlag := fs.String("checkpoint", "", "directory for cross-validation checkpoint journals; an interrupted study resumes from them with identical artifacts")
 	quietFlag := fs.Bool("quiet", false, "suppress rendered artifacts, print only per-experiment summary lines")
 	obsFlag := fs.Bool("obs", true, "instrument the pipeline (miner counters, phase histograms)")
 	cpuProfileFlag := fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -90,6 +95,18 @@ func run(args []string) (err error) {
 		cfg.Seed = *seedFlag
 	}
 	cfg.Workers = *workersFlag
+	cfg.Checkpoint = *checkpointFlag
+
+	// SIGINT/SIGTERM cancel the run context: in-flight studies wind down into
+	// DNF records (checkpoints keep the finished prefix) instead of dying
+	// mid-write. -timeout layers a deadline on top.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeoutFlag > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeoutFlag)
+		defer cancel()
+	}
 
 	wanted := map[string]bool{}
 	for _, e := range strings.Split(*expFlag, ",") {
@@ -178,7 +195,7 @@ func run(args []string) (err error) {
 	}
 	if wanted["table3"] {
 		err := runExp("table3", func() error {
-			_, err := experiments.Table3(w, cfg)
+			_, err := experiments.Table3(ctx, w, cfg)
 			return err
 		})
 		if err != nil {
@@ -187,7 +204,7 @@ func run(args []string) (err error) {
 	}
 	if wanted["prelim"] {
 		err := runExp("prelim", func() error {
-			_, err := experiments.Preliminary(w, cfg)
+			_, err := experiments.Preliminary(ctx, w, cfg)
 			return err
 		})
 		if err != nil {
@@ -217,7 +234,7 @@ func run(args []string) (err error) {
 			continue
 		}
 		err := runExp(name+" study", func() error {
-			study, err := experiments.RunStudy(cfg, name, true)
+			study, err := experiments.RunStudy(ctx, cfg, name, true)
 			if err != nil {
 				return err
 			}
@@ -243,13 +260,13 @@ func run(args []string) (err error) {
 	}
 
 	if wanted["tuning"] {
-		if err := runExp("tuning", func() error { return experiments.Tuning(w, cfg) }); err != nil {
+		if err := runExp("tuning", func() error { return experiments.Tuning(ctx, w, cfg) }); err != nil {
 			return err
 		}
 	}
 	if wanted["ablation"] {
 		err := runExp("ablation", func() error {
-			_, err := experiments.Ablation(w, cfg, "PC")
+			_, err := experiments.Ablation(ctx, w, cfg, "PC")
 			return err
 		})
 		if err != nil {
@@ -257,7 +274,7 @@ func run(args []string) (err error) {
 		}
 	}
 	if wanted["related"] {
-		if err := runExp("related", func() error { return experiments.Related(w, cfg) }); err != nil {
+		if err := runExp("related", func() error { return experiments.Related(ctx, w, cfg) }); err != nil {
 			return err
 		}
 	}

@@ -50,6 +50,8 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready func(net.Ad
 	maxInflight := fs.Int("max-inflight", 0, "admitted-request bound before 429 (default 4x batch)")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "goroutines per batch classify")
 	timeout := fs.Duration("timeout", 0, "per-request deadline (default 5s)")
+	watchdogFactor := fs.Int("watchdog-factor", 0, "fail a batch flush exceeding this multiple of -timeout, with a stack dump to the runlog (default 4, negative disables)")
+	retryAfter := fs.Duration("retry-after", 0, "Retry-After hint on 429/503 responses (default 1s)")
 	runlogPath := fs.String("runlog", "", "append per-batch JSONL records to this file")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
 	if err := fs.Parse(args); err != nil {
@@ -75,6 +77,8 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready func(net.Ad
 		MaxInFlight:    *maxInflight,
 		Workers:        *workers,
 		RequestTimeout: *timeout,
+		WatchdogFactor: *watchdogFactor,
+		RetryAfter:     *retryAfter,
 		Registry:       obs.NewRegistry(),
 	}
 	if *runlogPath != "" {

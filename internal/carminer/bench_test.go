@@ -1,6 +1,7 @@
 package carminer
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 	"testing"
@@ -23,7 +24,7 @@ func BenchmarkTopK(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := TopKCoveringRuleGroups(d, 0, cfg); err != nil {
+		if _, err := TopKCoveringRuleGroups(context.Background(), d, 0, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -35,7 +36,7 @@ func BenchmarkTopKParallel(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := TopKCoveringRuleGroups(d, 0, cfg); err != nil {
+		if _, err := TopKCoveringRuleGroups(context.Background(), d, 0, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package carminer
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"reflect"
@@ -13,7 +14,7 @@ import (
 
 func TestTopKOnPaperTable1(t *testing.T) {
 	d := dataset.PaperTable1()
-	res, err := TopKCoveringRuleGroups(d, 0, TopKConfig{MinSupport: 0.5, K: 3})
+	res, err := TopKCoveringRuleGroups(context.Background(), d, 0, TopKConfig{MinSupport: 0.5, K: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestTopKClosedAndComplete(t *testing.T) {
 	r := rand.New(rand.NewSource(41))
 	for trial := 0; trial < 15; trial++ {
 		d := randomBool(r, 7, 7, 2)
-		res, err := TopKCoveringRuleGroups(d, 0, TopKConfig{MinSupport: 0.3, K: 1000})
+		res, err := TopKCoveringRuleGroups(context.Background(), d, 0, TopKConfig{MinSupport: 0.3, K: 1000})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -140,7 +141,7 @@ func bruteForceClosed(d *dataset.Bool, ci int, frac float64) map[string]*RuleGro
 
 func TestTopKRespectsMinSupport(t *testing.T) {
 	d := dataset.PaperTable1()
-	res, err := TopKCoveringRuleGroups(d, 0, TopKConfig{MinSupport: 0.7, K: 100})
+	res, err := TopKCoveringRuleGroups(context.Background(), d, 0, TopKConfig{MinSupport: 0.7, K: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,15 +154,15 @@ func TestTopKRespectsMinSupport(t *testing.T) {
 
 func TestTopKParameterValidation(t *testing.T) {
 	d := dataset.PaperTable1()
-	if _, err := TopKCoveringRuleGroups(d, 0, TopKConfig{MinSupport: 0.5, K: 0}); err == nil {
+	if _, err := TopKCoveringRuleGroups(context.Background(), d, 0, TopKConfig{MinSupport: 0.5, K: 0}); err == nil {
 		t.Error("k=0 should error")
 	}
-	if _, err := TopKCoveringRuleGroups(d, 0, TopKConfig{MinSupport: 1.5, K: 1}); err == nil {
+	if _, err := TopKCoveringRuleGroups(context.Background(), d, 0, TopKConfig{MinSupport: 1.5, K: 1}); err == nil {
 		t.Error("minsup > 1 should error")
 	}
 	empty := &dataset.Bool{GeneNames: []string{"g"}, ClassNames: []string{"A", "B"},
 		Classes: []int{0}, Rows: []*bitset.Set{bitset.FromIndices(1, 0)}}
-	if _, err := TopKCoveringRuleGroups(empty, 1, TopKConfig{MinSupport: 0.5, K: 1}); err == nil {
+	if _, err := TopKCoveringRuleGroups(context.Background(), empty, 1, TopKConfig{MinSupport: 0.5, K: 1}); err == nil {
 		t.Error("class with no rows should error")
 	}
 }
@@ -171,7 +172,7 @@ func TestTopKBudgetExpires(t *testing.T) {
 	// promptly with ErrBudgetExceeded.
 	r := rand.New(rand.NewSource(43))
 	d := randomBool(r, 40, 60, 2)
-	_, err := TopKCoveringRuleGroups(d, 0, TopKConfig{
+	_, err := TopKCoveringRuleGroups(context.Background(), d, 0, TopKConfig{
 		MinSupport: 0.01, K: 10,
 		Budget: Budget{Deadline: time.Now().Add(-time.Second)},
 	})
@@ -200,7 +201,7 @@ func TestMineLowerBoundsExact(t *testing.T) {
 	gi := geneIndex(d)
 	upper := bitset.FromIndices(d.NumGenes(), gi["a"], gi["b"], gi["c"])
 	g := &RuleGroup{Class: 0, UpperBound: upper}
-	lbs, err := MineLowerBounds(d, g, 10, Budget{})
+	lbs, err := MineLowerBounds(context.Background(), d, g, 10, Budget{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,13 +221,13 @@ func TestMineLowerBoundsProperties(t *testing.T) {
 	r := rand.New(rand.NewSource(47))
 	for trial := 0; trial < 10; trial++ {
 		d := randomBool(r, 7, 7, 2)
-		res, err := TopKCoveringRuleGroups(d, 0, TopKConfig{MinSupport: 0.3, K: 100})
+		res, err := TopKCoveringRuleGroups(context.Background(), d, 0, TopKConfig{MinSupport: 0.3, K: 100})
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, g := range res.Groups {
 			target := rowsContaining(d, g.UpperBound)
-			lbs, err := MineLowerBounds(d, g, 1000, Budget{})
+			lbs, err := MineLowerBounds(context.Background(), d, g, 1000, Budget{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -263,7 +264,7 @@ func TestMineLowerBoundsExhaustiveVsBruteForce(t *testing.T) {
 	r := rand.New(rand.NewSource(71))
 	for trial := 0; trial < 12; trial++ {
 		d := randomBool(r, 8, 9, 2)
-		res, err := TopKCoveringRuleGroups(d, 0, TopKConfig{MinSupport: 0.3, K: 100})
+		res, err := TopKCoveringRuleGroups(context.Background(), d, 0, TopKConfig{MinSupport: 0.3, K: 100})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -298,7 +299,7 @@ func TestMineLowerBoundsExhaustiveVsBruteForce(t *testing.T) {
 					}
 				}
 			}
-			got, err := MineLowerBounds(d, g, 1<<30, Budget{})
+			got, err := MineLowerBounds(context.Background(), d, g, 1<<30, Budget{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -322,18 +323,18 @@ func TestMineLowerBoundsExhaustiveVsBruteForce(t *testing.T) {
 func TestMineLowerBoundsNLLimit(t *testing.T) {
 	r := rand.New(rand.NewSource(53))
 	d := randomBool(r, 8, 10, 2)
-	res, err := TopKCoveringRuleGroups(d, 0, TopKConfig{MinSupport: 0.3, K: 10})
+	res, err := TopKCoveringRuleGroups(context.Background(), d, 0, TopKConfig{MinSupport: 0.3, K: 10})
 	if err != nil || len(res.Groups) == 0 {
 		t.Skip("no groups to test")
 	}
-	lbs, err := MineLowerBounds(d, res.Groups[0], 1, Budget{})
+	lbs, err := MineLowerBounds(context.Background(), d, res.Groups[0], 1, Budget{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(lbs) > 1 {
 		t.Errorf("nl=1 returned %d bounds", len(lbs))
 	}
-	if lbs2, _ := MineLowerBounds(d, res.Groups[0], 0, Budget{}); lbs2 != nil {
+	if lbs2, _ := MineLowerBounds(context.Background(), d, res.Groups[0], 0, Budget{}); lbs2 != nil {
 		t.Error("nl=0 should return nothing")
 	}
 }
@@ -345,7 +346,7 @@ func TestMineLowerBoundsBudget(t *testing.T) {
 	upper := bitset.New(d.NumGenes())
 	upper.Fill()
 	g := &RuleGroup{Class: 0, UpperBound: upper}
-	_, err := MineLowerBounds(d, g, 1<<30, Budget{Deadline: time.Now().Add(-time.Second)})
+	_, err := MineLowerBounds(context.Background(), d, g, 1<<30, Budget{Deadline: time.Now().Add(-time.Second)})
 	if !errors.Is(err, ErrBudgetExceeded) {
 		t.Errorf("expected ErrBudgetExceeded, got %v", err)
 	}

@@ -1,10 +1,12 @@
 package carminer
 
 import (
+	"context"
 	"sort"
 
 	"bstc/internal/bitset"
 	"bstc/internal/dataset"
+	"bstc/internal/fault"
 )
 
 // MineLowerBounds finds up to nl lower bounds of a rule group: the minimal
@@ -16,9 +18,10 @@ import (
 // search on the subset space of the rule group's upper bound antecedent
 // genes"; the search is exponential in the antecedent size, which is exactly
 // what blows up on the Prostate Cancer profile (upper bounds with 400+
-// genes). The budget turns such blowups into explicit DNF results: on
-// expiry the bounds found so far are returned with ErrBudgetExceeded.
-func MineLowerBounds(d *dataset.Bool, g *RuleGroup, nl int, budget Budget) ([]*bitset.Set, error) {
+// genes). The budget (and ctx) turn such blowups into explicit DNF results:
+// on expiry the bounds found so far are returned with ErrBudgetExceeded, on
+// context stop with the typed fault.ErrDeadline / fault.ErrCanceled.
+func MineLowerBounds(ctx context.Context, d *dataset.Bool, g *RuleGroup, nl int, budget Budget) ([]*bitset.Set, error) {
 	if nl <= 0 {
 		return nil, nil
 	}
@@ -33,10 +36,16 @@ func MineLowerBounds(d *dataset.Bool, g *RuleGroup, nl int, budget Budget) ([]*b
 	}
 
 	steps := 0
-	expired := func() bool {
+	stop := func() error {
 		steps++
 		met.lbSteps.Inc()
-		return steps%256 == 0 && budget.Expired()
+		if steps%256 != 0 {
+			return nil
+		}
+		if err := budget.Check(ctx); err != nil {
+			return err
+		}
+		return fault.Hit("carminer.lb")
 	}
 
 	var found []*bitset.Set
@@ -64,8 +73,8 @@ func MineLowerBounds(d *dataset.Bool, g *RuleGroup, nl int, budget Budget) ([]*b
 	// Level 1: singletons.
 	var frontier []cand
 	for _, gi := range genes {
-		if expired() {
-			return found, ErrBudgetExceeded
+		if err := stop(); err != nil {
+			return found, err
 		}
 		rs := rowsWithGene(d, gi)
 		if rs.Equal(target) {
@@ -89,8 +98,8 @@ func MineLowerBounds(d *dataset.Bool, g *RuleGroup, nl int, budget Budget) ([]*b
 				if !samePrefix(a.genes, b.genes) {
 					break // frontier is sorted; later j cannot match either
 				}
-				if expired() {
-					return found, ErrBudgetExceeded
+				if err := stop(); err != nil {
+					return found, err
 				}
 				gs := make([]int, len(a.genes)+1)
 				copy(gs, a.genes)

@@ -16,6 +16,8 @@ var met struct {
 	// Budget/deadline accounting shared by every miner taking a Budget.
 	deadlinePolls   *obs.Counter // carminer.deadline.polls
 	deadlineExpired *obs.Counter // carminer.deadline.expired
+	ctxStops        *obs.Counter // carminer.ctx.stops — context deadline/cancel stops
+	shardPanics     *obs.Counter // carminer.shard.panics — panics contained in parallel shards
 
 	// Lower-bound BFS (the §6.2.3 blowup on PC upper bounds).
 	lbSteps        *obs.Counter // carminer.lb.steps — candidates examined
@@ -33,6 +35,8 @@ func SetMetrics(r *obs.Registry) {
 	met.groups = r.Counter("carminer.topk.groups")
 	met.deadlinePolls = r.Counter("carminer.deadline.polls")
 	met.deadlineExpired = r.Counter("carminer.deadline.expired")
+	met.ctxStops = r.Counter("carminer.ctx.stops")
+	met.shardPanics = r.Counter("carminer.shard.panics")
 	met.lbSteps = r.Counter("carminer.lb.steps")
 	met.lbBounds = r.Counter("carminer.lb.bounds")
 	met.lbFrontierPeak = r.Gauge("carminer.lb.frontier_peak")

@@ -20,6 +20,7 @@
 package carminer
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -28,6 +29,7 @@ import (
 
 	"bstc/internal/bitset"
 	"bstc/internal/dataset"
+	"bstc/internal/fault"
 	"bstc/internal/obs"
 )
 
@@ -54,6 +56,28 @@ func (b Budget) Expired() bool {
 		return true
 	}
 	return false
+}
+
+// Check is the amortized stop poll of every mining hot loop: it reports
+// ErrBudgetExceeded once the budget deadline passes, the typed
+// fault.ErrDeadline / fault.ErrCanceled once ctx is done, and nil while the
+// run may continue. A nil ctx and zero budget cost a nil check each.
+func (b Budget) Check(ctx context.Context) error {
+	if b.Expired() {
+		return ErrBudgetExceeded
+	}
+	if err := fault.CtxErr(ctx); err != nil {
+		met.ctxStops.Inc()
+		return err
+	}
+	return nil
+}
+
+// IsStop reports whether err is one of the orderly stop outcomes (budget
+// expiry, context deadline, context cancel) rather than a real failure.
+// Harnesses record stops as DNF results; real failures abort.
+func IsStop(err error) bool {
+	return errors.Is(err, ErrBudgetExceeded) || fault.IsCancellation(err)
 }
 
 // RuleGroup is an interesting rule group's upper bound: the maximal (closed)
@@ -127,9 +151,12 @@ type TopKResult struct {
 
 // TopKCoveringRuleGroups mines, for every class-ci training row, the k most
 // confident rule groups covering that row with support ≥ MinSupport·|C_i|.
-// When the budget expires it returns what was found so far together with
-// ErrBudgetExceeded.
-func TopKCoveringRuleGroups(d *dataset.Bool, ci int, cfg TopKConfig) (*TopKResult, error) {
+// When the budget expires (or ctx stops the run) it returns what was found
+// so far together with ErrBudgetExceeded (or the typed fault.ErrDeadline /
+// fault.ErrCanceled). The stop condition is polled at an amortized cadence
+// in the enumeration hot loop, so the miner returns within one check
+// interval of the deadline. A nil ctx is treated as context.Background().
+func TopKCoveringRuleGroups(ctx context.Context, d *dataset.Bool, ci int, cfg TopKConfig) (*TopKResult, error) {
 	if cfg.K <= 0 {
 		return nil, fmt.Errorf("carminer: k must be positive, got %d", cfg.K)
 	}
@@ -156,9 +183,9 @@ func TopKCoveringRuleGroups(d *dataset.Bool, ci int, cfg TopKConfig) (*TopKResul
 		err    error
 	)
 	if workers := cfg.Workers; workers > 1 && len(classRows) > 1 {
-		groups, covers, err = mineParallel(d, ci, classRows, minSup, cfg, workers)
+		groups, covers, err = mineParallel(ctx, d, ci, classRows, minSup, cfg, workers)
 	} else {
-		m := newTopkMiner(d, ci, classRows, minSup, cfg)
+		m := newTopkMiner(ctx, d, ci, classRows, minSup, cfg)
 		err = m.run()
 		groups, covers = m.groups, m.covers
 	}
@@ -195,7 +222,7 @@ func TopKCoveringRuleGroups(d *dataset.Bool, ci int, cfg TopKConfig) (*TopKResul
 // run dropped it. Every run therefore discovers a superset of the groups in
 // the canonical full-enumeration top-k, and re-offering the merged union
 // through the strict total order reproduces exactly that top-k.
-func mineParallel(d *dataset.Bool, ci int, classRows []int, minSup int, cfg TopKConfig, workers int) (map[string]*RuleGroup, [][]*RuleGroup, error) {
+func mineParallel(ctx context.Context, d *dataset.Bool, ci int, classRows []int, minSup int, cfg TopKConfig, workers int) (map[string]*RuleGroup, [][]*RuleGroup, error) {
 	if workers > len(classRows) {
 		workers = len(classRows)
 	}
@@ -203,21 +230,42 @@ func mineParallel(d *dataset.Bool, ci int, classRows []int, minSup int, cfg TopK
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		m := newTopkMiner(d, ci, classRows, minSup, cfg)
+		m := newTopkMiner(ctx, d, ci, classRows, minSup, cfg)
 		miners[w] = m
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// A panicking shard must not take down the process: recover it
+			// into a typed error the harness can record as a failed fold.
+			// The shard's partial state is still merged below — its groups
+			// are valid closed itemsets found before the panic.
+			defer func() {
+				if r := recover(); r != nil {
+					met.shardPanics.Inc()
+					m.retainCovering()
+					errs[w] = fault.Recovered("carminer.shard", r)
+				}
+			}()
 			errs[w] = m.runRoots(w, workers)
 		}(w)
 	}
 	wg.Wait()
 
+	// A contained panic outranks orderly stops (budget/ctx): the caller
+	// must see the real failure, not a DNF that happens to accompany it.
 	var err error
 	for _, e := range errs {
-		if e != nil {
+		if _, ok := fault.AsPanic(e); ok {
 			err = e
 			break
+		}
+	}
+	if err == nil {
+		for _, e := range errs {
+			if e != nil {
+				err = e
+				break
+			}
 		}
 	}
 
@@ -258,6 +306,7 @@ type topkMiner struct {
 	minSup    int
 	k         int
 	budget    Budget
+	ctx       context.Context
 	nodes     int
 
 	// states dedupes enumeration nodes by their class-support-set key (a
@@ -294,7 +343,7 @@ type levelScratch struct {
 	classSet *bitset.Set // its class support set (sample universe)
 }
 
-func newTopkMiner(d *dataset.Bool, ci int, classRows []int, minSup int, cfg TopKConfig) *topkMiner {
+func newTopkMiner(ctx context.Context, d *dataset.Bool, ci int, classRows []int, minSup int, cfg TopKConfig) *topkMiner {
 	m := &topkMiner{
 		d:         d,
 		ci:        ci,
@@ -302,6 +351,7 @@ func newTopkMiner(d *dataset.Bool, ci int, classRows []int, minSup int, cfg TopK
 		minSup:    minSup,
 		k:         cfg.K,
 		budget:    cfg.Budget,
+		ctx:       ctx,
 		states:    map[string]int32{},
 		groups:    map[string]*RuleGroup{},
 		covers:    make([][]*RuleGroup, len(classRows)),
@@ -348,9 +398,15 @@ func (m *topkMiner) runRoots(offset, stride int) error {
 func (m *topkMiner) dfs(itemset *bitset.Set, idx, level int) error {
 	m.nodes++
 	met.nodes.Inc()
-	if m.nodes%64 == 0 && m.budget.Expired() {
-		m.retainCovering()
-		return ErrBudgetExceeded
+	if m.nodes%64 == 0 {
+		if err := m.budget.Check(m.ctx); err != nil {
+			m.retainCovering()
+			return err
+		}
+		if err := fault.Hit("carminer.dfs"); err != nil {
+			m.retainCovering()
+			return err
+		}
 	}
 	sc := &m.depth[level]
 	next := itemset.IntersectInto(sc.next, m.d.Rows[m.classRows[idx]])

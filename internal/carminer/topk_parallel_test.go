@@ -1,6 +1,7 @@
 package carminer
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"reflect"
@@ -26,14 +27,14 @@ func TestTopKParallelMatchesSerial(t *testing.T) {
 		d := randomBool(r, 8+r.Intn(12), 10+r.Intn(20), 2)
 		for ci := 0; ci < 2; ci++ {
 			for _, base := range cfgs {
-				serial, err := TopKCoveringRuleGroups(d, ci, base)
+				serial, err := TopKCoveringRuleGroups(context.Background(), d, ci, base)
 				if err != nil {
 					t.Fatal(err)
 				}
 				for _, workers := range []int{2, 3, 4, 7, 64} {
 					cfg := base
 					cfg.Workers = workers
-					par, err := TopKCoveringRuleGroups(d, ci, cfg)
+					par, err := TopKCoveringRuleGroups(context.Background(), d, ci, cfg)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -55,12 +56,12 @@ func TestTopKParallelRepeatable(t *testing.T) {
 	r := rand.New(rand.NewSource(67))
 	d := randomBool(r, 16, 24, 2)
 	cfg := TopKConfig{MinSupport: 0.25, K: 4, Workers: 3}
-	first, err := TopKCoveringRuleGroups(d, 0, cfg)
+	first, err := TopKCoveringRuleGroups(context.Background(), d, 0, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {
-		again, err := TopKCoveringRuleGroups(d, 0, cfg)
+		again, err := TopKCoveringRuleGroups(context.Background(), d, 0, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -76,7 +77,7 @@ func TestTopKParallelRepeatable(t *testing.T) {
 func TestTopKParallelBudgetExpires(t *testing.T) {
 	r := rand.New(rand.NewSource(43))
 	d := randomBool(r, 40, 60, 2)
-	_, err := TopKCoveringRuleGroups(d, 0, TopKConfig{
+	_, err := TopKCoveringRuleGroups(context.Background(), d, 0, TopKConfig{
 		MinSupport: 0.01, K: 10, Workers: 4,
 		Budget: Budget{Deadline: time.Now().Add(-time.Second)},
 	})
@@ -89,7 +90,7 @@ func TestTopKParallelBudgetExpires(t *testing.T) {
 // the worker count.
 func TestTopKParallelValidation(t *testing.T) {
 	d := dataset.PaperTable1()
-	if _, err := TopKCoveringRuleGroups(d, 0, TopKConfig{MinSupport: 0.5, K: 0, Workers: 4}); err == nil {
+	if _, err := TopKCoveringRuleGroups(context.Background(), d, 0, TopKConfig{MinSupport: 0.5, K: 0, Workers: 4}); err == nil {
 		t.Error("k=0 should error with workers set")
 	}
 }
@@ -105,7 +106,7 @@ func TestDFSSteadyStateAllocs(t *testing.T) {
 			classRows = append(classRows, i)
 		}
 	}
-	m := newTopkMiner(d, 0, classRows, 3, TopKConfig{K: 4})
+	m := newTopkMiner(context.Background(), d, 0, classRows, 3, TopKConfig{K: 4})
 	if err := m.run(); err != nil {
 		t.Fatal(err)
 	}

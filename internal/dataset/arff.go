@@ -7,6 +7,8 @@ import (
 	"math"
 	"strconv"
 	"strings"
+
+	"bstc/internal/fault"
 )
 
 // ARFF support: the Weka attribute-relation file format, the lingua franca
@@ -42,6 +44,9 @@ func WriteARFF(w io.Writer, name string, c *Continuous) error {
 // ReadARFF parses an ARFF relation with numeric attributes and one nominal
 // attribute (the class, in any position); rows become Continuous samples.
 func ReadARFF(r io.Reader) (*Continuous, error) {
+	if err := fault.Hit("dataset.read"); err != nil {
+		return nil, fmt.Errorf("dataset: read: %w", err)
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
 

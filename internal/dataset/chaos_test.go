@@ -1,0 +1,62 @@
+package dataset
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"bstc/internal/fault"
+)
+
+// TestReadFaultInjection checks the dataset.read site gates all three
+// parsers: an injected IO error surfaces as a wrapped dataset error, and
+// disarming the injector restores normal reads on the same inputs.
+func TestReadFaultInjection(t *testing.T) {
+	var tsv, arff bytes.Buffer
+	if err := WriteBool(&tsv, PaperTable1()); err != nil {
+		t.Fatal(err)
+	}
+	cont := &Continuous{
+		GeneNames:  []string{"g"},
+		ClassNames: []string{"a", "b"},
+		Classes:    []int{0, 1},
+		Values:     [][]float64{{1}, {2}},
+	}
+	var contTSV bytes.Buffer
+	if err := WriteContinuous(&contTSV, cont); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteARFF(&arff, "r", cont); err != nil {
+		t.Fatal(err)
+	}
+
+	errDisk := errors.New("simulated disk failure")
+	in := fault.NewInjector(1)
+	in.Set("dataset.read", fault.Rule{Prob: 1, Err: errDisk})
+	fault.Enable(in)
+
+	if _, err := ReadBool(strings.NewReader(tsv.String())); !errors.Is(err, errDisk) {
+		t.Errorf("ReadBool under fault: %v, want wrapped %v", err, errDisk)
+	}
+	if _, err := ReadContinuous(strings.NewReader(contTSV.String())); !errors.Is(err, errDisk) {
+		t.Errorf("ReadContinuous under fault: %v, want wrapped %v", err, errDisk)
+	}
+	if _, err := ReadARFF(strings.NewReader(arff.String())); !errors.Is(err, errDisk) {
+		t.Errorf("ReadARFF under fault: %v, want wrapped %v", err, errDisk)
+	}
+	if hits := in.Counts()["dataset.read"].Fires; hits != 3 {
+		t.Errorf("dataset.read fired %d times, want 3", hits)
+	}
+
+	fault.Disable()
+	if _, err := ReadBool(strings.NewReader(tsv.String())); err != nil {
+		t.Errorf("ReadBool after disarm: %v", err)
+	}
+	if _, err := ReadContinuous(strings.NewReader(contTSV.String())); err != nil {
+		t.Errorf("ReadContinuous after disarm: %v", err)
+	}
+	if _, err := ReadARFF(strings.NewReader(arff.String())); err != nil {
+		t.Errorf("ReadARFF after disarm: %v", err)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"bstc/internal/bitset"
+	"bstc/internal/fault"
 )
 
 // The on-disk formats are deliberately simple, line-oriented and diffable.
@@ -63,6 +64,9 @@ func (d *Bool) sampleName(i int) string {
 
 // ReadContinuous parses the TSV format written by WriteContinuous.
 func ReadContinuous(r io.Reader) (*Continuous, error) {
+	if err := fault.Hit("dataset.read"); err != nil {
+		return nil, fmt.Errorf("dataset: read: %w", err)
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
 	if !sc.Scan() {
@@ -144,6 +148,9 @@ func WriteBool(w io.Writer, d *Bool) error {
 
 // ReadBool parses the item-list format written by WriteBool.
 func ReadBool(r io.Reader) (*Bool, error) {
+	if err := fault.Hit("dataset.read"); err != nil {
+		return nil, fmt.Errorf("dataset: read: %w", err)
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
 	if !sc.Scan() {

@@ -13,6 +13,7 @@
 package discretize
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -21,6 +22,7 @@ import (
 
 	"bstc/internal/bitset"
 	"bstc/internal/dataset"
+	"bstc/internal/fault"
 )
 
 // Cutter computes cut thresholds for one gene given its values and the
@@ -52,7 +54,7 @@ func Fit(train *dataset.Continuous) (*Model, error) {
 
 // FitWith learns cut points using the supplied Cutter.
 func FitWith(train *dataset.Continuous, cut Cutter) (*Model, error) {
-	return FitWithWorkers(train, cut, 1)
+	return FitWithWorkers(context.Background(), train, cut, 1)
 }
 
 // FitWithWorkers learns cut points using up to workers goroutines (≤ 1 runs
@@ -60,7 +62,12 @@ func FitWith(train *dataset.Continuous, cut Cutter) (*Model, error) {
 // and the class labels, so genes stripe across workers; the item vocabulary
 // is assembled serially in gene order afterwards, making the returned model
 // identical for every worker count.
-func FitWithWorkers(train *dataset.Continuous, cut Cutter, workers int) (*Model, error) {
+//
+// The context is polled once per chunk of genes; a deadline or cancellation
+// stops all workers promptly and returns the typed fault.ErrDeadline /
+// fault.ErrCanceled. A Cutter panic in any worker is recovered into a
+// *fault.PanicError instead of crashing the process.
+func FitWithWorkers(ctx context.Context, train *dataset.Continuous, cut Cutter, workers int) (*Model, error) {
 	if err := train.Validate(); err != nil {
 		return nil, err
 	}
@@ -76,35 +83,73 @@ func FitWithWorkers(train *dataset.Continuous, cut Cutter, workers int) (*Model,
 	if workers > numGenes {
 		workers = numGenes
 	}
+	const chunk = 8
+	stop := func() error {
+		if err := fault.CtxErr(ctx); err != nil {
+			return err
+		}
+		return fault.Hit("discretize.fit")
+	}
 	if workers <= 1 {
 		col := make([]float64, train.NumSamples())
 		for g := 0; g < numGenes; g++ {
+			if g%chunk == 0 {
+				if err := stop(); err != nil {
+					return nil, err
+				}
+			}
 			m.GeneCuts[g] = cutGene(train, cut, col, g)
 		}
 	} else {
 		// Workers grab genes in chunks off a shared atomic cursor; every
 		// Cutter copies what it keeps, so the per-worker column buffer is
-		// safe to reuse.
-		const chunk = 8
+		// safe to reuse. The first error (context stop, injected fault, or
+		// recovered panic) wins; other workers drain out at their next poll.
 		var next atomic.Int64
 		var wg sync.WaitGroup
+		errs := make([]error, workers)
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(w int) {
 				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						errs[w] = fault.Recovered("discretize.fit", r)
+					}
+				}()
 				col := make([]float64, train.NumSamples())
 				for {
 					g0 := int(next.Add(chunk)) - chunk
 					if g0 >= numGenes {
 						return
 					}
+					if err := stop(); err != nil {
+						errs[w] = err
+						return
+					}
 					for g := g0; g < g0+chunk && g < numGenes; g++ {
 						m.GeneCuts[g] = cutGene(train, cut, col, g)
 					}
 				}
-			}()
+			}(w)
 		}
 		wg.Wait()
+		var firstErr error
+		for _, err := range errs {
+			if err == nil {
+				continue
+			}
+			if _, ok := fault.AsPanic(err); ok {
+				firstErr = err
+				break
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+		if firstErr != nil {
+			return nil, firstErr
+		}
 	}
 	for g := 0; g < numGenes; g++ {
 		cuts := m.GeneCuts[g]

@@ -1,6 +1,7 @@
 package discretize
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -343,12 +344,12 @@ func randomTrain(genes, samples int, seed int64) *dataset.Continuous {
 
 func TestFitWithWorkersMatchesSerial(t *testing.T) {
 	train := randomTrain(253, 40, 11)
-	serial, err := FitWithWorkers(train, EntropyMDL, 1)
+	serial, err := FitWithWorkers(context.Background(), train, EntropyMDL, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{2, 3, 8, 64, 1000} {
-		par, err := FitWithWorkers(train, EntropyMDL, workers)
+		par, err := FitWithWorkers(context.Background(), train, EntropyMDL, workers)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package ep
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -23,7 +24,7 @@ type Classifier struct {
 
 // Train mines the minimal JEPs of every class and calibrates the per-class
 // base scores on the training rows.
-func Train(d *dataset.Bool, budget carminer.Budget) (*Classifier, error) {
+func Train(ctx context.Context, d *dataset.Bool, budget carminer.Budget) (*Classifier, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
@@ -32,7 +33,7 @@ func Train(d *dataset.Bool, budget carminer.Budget) (*Classifier, error) {
 		if cl.classSizes[ci] == 0 {
 			return nil, fmt.Errorf("ep: class %d has no rows", ci)
 		}
-		jeps, err := MineJEPs(d, ci, budget)
+		jeps, err := MineJEPs(ctx, d, ci, budget)
 		if err != nil {
 			return nil, err
 		}

@@ -16,6 +16,7 @@
 package ep
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -35,8 +36,9 @@ type JEP struct {
 // [ {}, bound_i ]: the minimal subsets of base not contained in any bound.
 // Every bound must be a subset of base (callers pass row intersections).
 // This is Dong & Li's BORDER-DIFF, the core of MBD-LLBORDER; its output
-// (and runtime) can be exponential in |base|.
-func BorderDiff(base *bitset.Set, bounds []*bitset.Set, budget carminer.Budget) ([]*bitset.Set, error) {
+// (and runtime) can be exponential in |base|. The budget and ctx are polled
+// at an amortized cadence; on stop the typed carminer/fault errors surface.
+func BorderDiff(ctx context.Context, base *bitset.Set, bounds []*bitset.Set, budget carminer.Budget) ([]*bitset.Set, error) {
 	met.borderCalls.Inc()
 	// X ⊄ bound ⟺ X intersects base \ bound, so the minimal X are the
 	// minimal hitting sets of the difference sets, built incrementally.
@@ -69,8 +71,10 @@ func BorderDiff(base *bitset.Set, bounds []*bitset.Set, budget carminer.Budget) 
 		for _, x := range frontier {
 			steps++
 			met.borderSteps.Inc()
-			if steps%256 == 0 && budget.Expired() {
-				return nil, carminer.ErrBudgetExceeded
+			if steps%256 == 0 {
+				if err := budget.Check(ctx); err != nil {
+					return nil, err
+				}
 			}
 			if x.Intersects(diff) {
 				next = append(next, x) // already hits this difference
@@ -137,7 +141,7 @@ func minimize(sets []*bitset.Set) []*bitset.Set {
 // each class row, BORDER-DIFF of the row against its intersections with
 // every outside row (MBD-LLBORDER), then a global minimization. Patterns
 // are returned most-supported first.
-func MineJEPs(d *dataset.Bool, ci int, budget carminer.Budget) ([]JEP, error) {
+func MineJEPs(ctx context.Context, d *dataset.Bool, ci int, budget carminer.Budget) ([]JEP, error) {
 	if ci < 0 || ci >= d.NumClasses() {
 		return nil, fmt.Errorf("ep: class index %d outside [0,%d)", ci, d.NumClasses())
 	}
@@ -158,7 +162,7 @@ func MineJEPs(d *dataset.Bool, ci int, budget carminer.Budget) ([]JEP, error) {
 		for _, out := range outsideRows {
 			bounds = append(bounds, bitset.Intersect(row, out))
 		}
-		mins, err := BorderDiff(row, bounds, budget)
+		mins, err := BorderDiff(ctx, row, bounds, budget)
 		if err != nil {
 			return nil, err
 		}

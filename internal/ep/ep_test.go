@@ -1,6 +1,7 @@
 package ep
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -14,7 +15,7 @@ import (
 func set(n int, genes ...int) *bitset.Set { return bitset.FromIndices(n, genes...) }
 
 func TestBorderDiffNoBounds(t *testing.T) {
-	got, err := BorderDiff(set(4, 0, 2), nil, carminer.Budget{})
+	got, err := BorderDiff(context.Background(), set(4, 0, 2), nil, carminer.Budget{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,7 +27,7 @@ func TestBorderDiffNoBounds(t *testing.T) {
 
 func TestBorderDiffBaseCovered(t *testing.T) {
 	base := set(4, 0, 1)
-	got, err := BorderDiff(base, []*bitset.Set{base.Clone()}, carminer.Budget{})
+	got, err := BorderDiff(context.Background(), base, []*bitset.Set{base.Clone()}, carminer.Budget{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestBorderDiffMatchesBruteForce(t *testing.T) {
 				bounds = append(bounds, s)
 			}
 		}
-		got, err := BorderDiff(base, bounds, carminer.Budget{})
+		got, err := BorderDiff(context.Background(), base, bounds, carminer.Budget{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -126,14 +127,14 @@ func bruteMinimalEscapes(base *bitset.Set, bounds []*bitset.Set) []*bitset.Set {
 // {g3,g4}, {g4,g5}, {g5,g6}.
 func TestMineJEPsTable1(t *testing.T) {
 	d := dataset.PaperTable1()
-	cancer, err := MineJEPs(d, 0, carminer.Budget{})
+	cancer, err := MineJEPs(context.Background(), d, 0, carminer.Budget{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	wantCancer := [][]int{{0}, {1, 3}, {1, 5}}
 	checkJEPs(t, "Cancer", cancer, wantCancer, d.NumGenes())
 
-	healthy, err := MineJEPs(d, 1, carminer.Budget{})
+	healthy, err := MineJEPs(context.Background(), d, 1, carminer.Budget{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestMineJEPsProperties(t *testing.T) {
 	for trial := 0; trial < 20; trial++ {
 		d := randomBool(r, 8, 8, 2)
 		for ci := 0; ci < 2; ci++ {
-			jeps, err := MineJEPs(d, ci, carminer.Budget{})
+			jeps, err := MineJEPs(context.Background(), d, ci, carminer.Budget{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -218,13 +219,13 @@ func TestMineJEPsProperties(t *testing.T) {
 
 func TestMineJEPsErrorsAndBudget(t *testing.T) {
 	d := dataset.PaperTable1()
-	if _, err := MineJEPs(d, 5, carminer.Budget{}); err == nil {
+	if _, err := MineJEPs(context.Background(), d, 5, carminer.Budget{}); err == nil {
 		t.Error("bad class index should error")
 	}
 	// Exponential blowup under an expired deadline must DNF.
 	r := rand.New(rand.NewSource(11))
 	big := randomBool(r, 40, 40, 2)
-	_, err := MineJEPs(big, 0, carminer.Budget{Deadline: time.Now().Add(-time.Second)})
+	_, err := MineJEPs(context.Background(), big, 0, carminer.Budget{Deadline: time.Now().Add(-time.Second)})
 	if !errors.Is(err, carminer.ErrBudgetExceeded) {
 		t.Errorf("expected budget error, got %v", err)
 	}
@@ -232,7 +233,7 @@ func TestMineJEPsErrorsAndBudget(t *testing.T) {
 
 func TestJEPClassifierTable1(t *testing.T) {
 	d := dataset.PaperTable1()
-	cl, err := Train(d, carminer.Budget{})
+	cl, err := Train(context.Background(), d, carminer.Budget{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +279,7 @@ func TestJEPClassifierSeparable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cl, err := Train(d, carminer.Budget{})
+	cl, err := Train(context.Background(), d, carminer.Budget{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,7 +2,9 @@ package eval
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 
@@ -10,6 +12,7 @@ import (
 	"bstc/internal/core"
 	"bstc/internal/dataset"
 	"bstc/internal/discretize"
+	"bstc/internal/fault"
 )
 
 // Artifact is the deployable unit the serving layer loads: the fitted
@@ -23,6 +26,12 @@ type Artifact struct {
 	Disc       *discretize.Model
 	Classifier *core.Classifier
 }
+
+// ErrCorruptArtifact wraps every LoadArtifact failure caused by the stream
+// itself — truncation, bit flips, foreign files, version or cross-check
+// mismatches — so callers can distinguish a damaged file from an IO error
+// with errors.Is. Corruption never panics.
+var ErrCorruptArtifact = errors.New("eval: corrupt artifact")
 
 // artifactMagic leads the stream so a truncated or foreign file fails fast
 // with a clear error instead of a gob decode message.
@@ -43,7 +52,7 @@ type artifactDTO struct {
 // identical for any worker count), transform, and train BSTC. A nil opts
 // uses the paper's defaults.
 func TrainArtifact(c *dataset.Continuous, opts *core.EvalOptions, workers int) (*Artifact, error) {
-	model, err := discretize.FitWithWorkers(c, discretize.EntropyMDL, workers)
+	model, err := discretize.FitWithWorkers(context.Background(), c, discretize.EntropyMDL, workers)
 	if err != nil {
 		return nil, fmt.Errorf("eval: discretize: %w", err)
 	}
@@ -67,6 +76,9 @@ func (a *Artifact) Save(w io.Writer) error {
 	if a.Disc == nil || a.Classifier == nil {
 		return fmt.Errorf("eval: artifact needs both a discretizer and a classifier")
 	}
+	if err := fault.Hit("eval.artifact.save"); err != nil {
+		return err
+	}
 	var disc, cls bytes.Buffer
 	if err := a.Disc.Save(&disc); err != nil {
 		return err
@@ -89,31 +101,34 @@ func (a *Artifact) Save(w io.Writer) error {
 // item vocabulary must be exactly the discretizer's, or every classification
 // through the pair would silently misread items.
 func LoadArtifact(r io.Reader) (*Artifact, error) {
+	if err := fault.Hit("eval.artifact.load"); err != nil {
+		return nil, err
+	}
 	magic := make([]byte, len(artifactMagic))
 	if _, err := io.ReadFull(r, magic); err != nil {
-		return nil, fmt.Errorf("eval: load artifact: %w", err)
+		return nil, fmt.Errorf("%w: reading magic: %w", ErrCorruptArtifact, err)
 	}
 	if string(magic) != artifactMagic {
-		return nil, fmt.Errorf("eval: not a BSTC artifact (bad magic)")
+		return nil, fmt.Errorf("%w: not a BSTC artifact (bad magic)", ErrCorruptArtifact)
 	}
 	var dto artifactDTO
 	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
-		return nil, fmt.Errorf("eval: load artifact: %w", err)
+		return nil, fmt.Errorf("%w: decoding frame: %w", ErrCorruptArtifact, err)
 	}
 	if dto.Version != artifactFormatVersion {
-		return nil, fmt.Errorf("eval: artifact format version %d, want %d", dto.Version, artifactFormatVersion)
+		return nil, fmt.Errorf("%w: format version %d, want %d", ErrCorruptArtifact, dto.Version, artifactFormatVersion)
 	}
 	disc, err := discretize.LoadModel(bytes.NewReader(dto.Disc))
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: discretizer stream: %w", ErrCorruptArtifact, err)
 	}
 	cls, err := core.LoadClassifier(bytes.NewReader(dto.Classifier))
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: classifier stream: %w", ErrCorruptArtifact, err)
 	}
 	a := &Artifact{Disc: disc, Classifier: cls}
 	if err := a.validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", ErrCorruptArtifact, err)
 	}
 	return a, nil
 }

@@ -23,6 +23,21 @@ func FuzzLoadArtifact(f *testing.F) {
 	f.Add(good[:len(good)/2])
 	f.Add([]byte(nil))
 	f.Add(bytes.Replace(good, []byte{0x01}, []byte{0x02}, 3))
+	// Truncations at framing-sensitive offsets: inside the magic, just past
+	// it, inside the JSON frame, and one byte short of complete.
+	for _, n := range []int{3, len(artifactMagic), len(artifactMagic) + 2, 3 * len(good) / 4, len(good) - 1} {
+		if n >= 0 && n <= len(good) {
+			f.Add(good[:n])
+		}
+	}
+	// Single bit flips spread across the stream.
+	for _, off := range []int{0, len(artifactMagic), len(good) / 3, len(good) / 2, len(good) - 2} {
+		if off >= 0 && off < len(good) {
+			flipped := append([]byte(nil), good...)
+			flipped[off] ^= 0x10
+			f.Add(flipped)
+		}
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		a, err := LoadArtifact(bytes.NewReader(data))
 		if err != nil {

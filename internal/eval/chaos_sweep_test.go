@@ -1,0 +1,139 @@
+package eval
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"bstc/internal/fault"
+	"bstc/internal/obs"
+)
+
+// errChaos is the sweep's injected "real" failure: unlike deadlines and
+// panics it is allowed to abort the study.
+var errChaos = errors.New("chaos: injected failure")
+
+// chaosSeed lets CI sweep fault schedules: each matrix entry exports a
+// different CHAOS_SEED, and any schedule that breaks an invariant is
+// reproducible locally with the same value.
+func chaosSeed(t *testing.T) int64 {
+	t.Helper()
+	s := os.Getenv("CHAOS_SEED")
+	if s == "" {
+		return 1
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		t.Fatalf("bad CHAOS_SEED %q: %v", s, err)
+	}
+	return v
+}
+
+// runChaosSweep runs one seeded study under probabilistic faults — panics in
+// discretization, deadlines in mining, hard errors in split drawing — and
+// checks the resilience invariants hold no matter which faults fired:
+//
+//   - RunCV never panics;
+//   - the only error it may return is the injected hard error;
+//   - contained panics become failed records carrying stacks;
+//   - injected deadlines become DNF records, never errors.
+//
+// It returns the deterministic view of the results and whether the study
+// aborted, so callers can compare schedules.
+func runChaosSweep(t *testing.T, workers int, seed int64) ([]accuracyView, bool) {
+	t.Helper()
+	in := fault.NewInjector(seed)
+	in.Set("discretize.fit", fault.Rule{Prob: 0.03, Panic: "chaos"})
+	in.Set("carminer.dfs", fault.Rule{Prob: 0.004, Err: fault.ErrDeadline})
+	in.Set("eval.split", fault.Rule{Prob: 0.04, Err: errChaos})
+	fault.Enable(in)
+	defer fault.Disable()
+
+	var buf bytes.Buffer
+	cfg := resilienceCVConfig(t, true)
+	cfg.Tests = 4
+	cfg.Workers = workers
+	cfg.RunLog = obs.NewRunLog(&buf)
+
+	var (
+		results []SizeResult
+		err     error
+	)
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("RunCV panicked under chaos (seed %d, workers %d): %v", seed, workers, r)
+			}
+		}()
+		results, err = RunCV(context.Background(), cfg)
+	}()
+	if err != nil && !errors.Is(err, errChaos) {
+		t.Fatalf("chaos study aborted with an unexpected error (seed %d, workers %d): %v", seed, workers, err)
+	}
+
+	for _, rec := range runlogLines(t, &buf) {
+		if rec.Error != "" {
+			// A failed record is either a contained panic (stack attached)
+			// or the hard error that aborted the study — nothing else may
+			// degrade a record.
+			switch {
+			case strings.Contains(rec.Error, "panic"):
+				if rec.Stack == "" {
+					t.Error("contained-panic record lost its stack")
+				}
+			case strings.Contains(rec.Error, errChaos.Error()):
+			default:
+				t.Errorf("failed record with an unexpected error: %q", rec.Error)
+			}
+		}
+		if rec.DNF && rec.DNFReason != "deadline" {
+			t.Errorf("DNF record with reason %q, want \"deadline\"", rec.DNFReason)
+		}
+	}
+	for _, sr := range results {
+		if len(sr.Failed) != len(sr.BSTC) {
+			t.Fatalf("size %q: %d failure flags for %d tests", sr.Size.Label, len(sr.Failed), len(sr.BSTC))
+		}
+		if len(sr.BSTCAccuracies()) != len(sr.BSTC)-countFailed(sr) {
+			t.Errorf("size %q: aggregates must skip exactly the failed tests", sr.Size.Label)
+		}
+	}
+	return viewOf(results), err != nil
+}
+
+// TestChaosSweep is the CI chaos matrix entry point (make chaos). It runs
+// the seeded schedule on the serial and the pooled path, checks no
+// goroutines leak, and pins that the serial path is fully deterministic:
+// the same seed replays the same faults into the same aggregates.
+func TestChaosSweep(t *testing.T) {
+	seed := chaosSeed(t)
+	before := runtime.NumGoroutine()
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			runChaosSweep(t, workers, seed)
+		})
+	}
+	t.Run("serial-deterministic", func(t *testing.T) {
+		v1, aborted1 := runChaosSweep(t, 1, seed)
+		v2, aborted2 := runChaosSweep(t, 1, seed)
+		if aborted1 != aborted2 || !reflect.DeepEqual(v1, v2) {
+			t.Fatalf("same seed %d diverged on the serial path:\n%+v (aborted=%v)\nvs\n%+v (aborted=%v)",
+				seed, v1, aborted1, v2, aborted2)
+		}
+	})
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("chaos sweep leaked goroutines: %d before, %d after", before, after)
+	}
+}

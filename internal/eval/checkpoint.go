@@ -1,0 +1,242 @@
+package eval
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"reflect"
+	"time"
+
+	"bstc/internal/fault"
+	"bstc/internal/obs"
+)
+
+// ErrCheckpointMismatch reports that a checkpoint journal was produced by a
+// different study (dataset, seed, protocol, or arm) than the one resuming
+// from it. Resuming anyway would splice unrelated results, so RunCV refuses.
+var ErrCheckpointMismatch = errors.New("eval: checkpoint belongs to a different study")
+
+// cpHeader is the journal's first line: the study identity. Every field
+// must match on resume.
+type cpHeader struct {
+	Checkpoint string   `json:"checkpoint"`
+	Version    int      `json:"version"`
+	Dataset    string   `json:"dataset"`
+	Seed       int64    `json:"seed"`
+	Tests      int      `json:"tests"`
+	Sizes      []string `json:"sizes"`
+	RCBT       bool     `json:"rcbt"`
+}
+
+const (
+	cpMagic   = "bstc-cv"
+	cpVersion = 1
+)
+
+func headerFor(cfg CVConfig) cpHeader {
+	h := cpHeader{
+		Checkpoint: cpMagic,
+		Version:    cpVersion,
+		Dataset:    cfg.Dataset,
+		Seed:       cfg.Seed,
+		Tests:      cfg.Tests,
+		RCBT:       cfg.RunRCBT,
+	}
+	for _, s := range cfg.Sizes {
+		h.Sizes = append(h.Sizes, s.Label)
+	}
+	return h
+}
+
+// cpBSTC / cpRCBT are the outcome fields a replayed test must restore for
+// the aggregate SizeResults (and every artifact rendered from them) to match
+// the uninterrupted run. Phase spans are not journaled: they feed only the
+// already-emitted run-log record, which is replayed verbatim via Rec.
+type cpBSTC struct {
+	Accuracy float64       `json:"accuracy"`
+	Elapsed  time.Duration `json:"elapsed_ns"`
+}
+
+type cpRCBT struct {
+	TopkTime   time.Duration `json:"topk_ns"`
+	TopkDNF    bool          `json:"topk_dnf,omitempty"`
+	RCBTTime   time.Duration `json:"rcbt_ns"`
+	RCBTDNF    bool          `json:"rcbt_dnf,omitempty"`
+	DNFReason  string        `json:"dnf_reason,omitempty"`
+	NLUsed     int           `json:"nl_used,omitempty"`
+	NLFallback bool          `json:"nl_fallback,omitempty"`
+	Accuracy   float64       `json:"accuracy"`
+}
+
+// cpEntry is one journaled test. Entries are appended in emit order, so a
+// valid journal is always the contiguous prefix [0, n) of the study.
+type cpEntry struct {
+	Index      int           `json:"index"`
+	GenesAfter int           `json:"genes_after"`
+	BSTC       cpBSTC        `json:"bstc"`
+	RCBT       *cpRCBT       `json:"rcbt,omitempty"`
+	Rec        obs.RunRecord `json:"rec"`
+}
+
+func entryFor(i int, res *cvResult, withRCBT bool) cpEntry {
+	e := cpEntry{
+		Index:      i,
+		GenesAfter: res.genesAfter,
+		BSTC:       cpBSTC{Accuracy: res.bstc.Accuracy, Elapsed: res.bstc.Elapsed},
+		Rec:        res.rec,
+	}
+	if withRCBT {
+		rc := res.rcbt
+		e.RCBT = &cpRCBT{
+			TopkTime:   rc.TopkTime,
+			TopkDNF:    rc.TopkDNF,
+			RCBTTime:   rc.RCBTTime,
+			RCBTDNF:    rc.RCBTDNF,
+			DNFReason:  rc.DNFReason,
+			NLUsed:     rc.NLUsed,
+			NLFallback: rc.NLFallback,
+			Accuracy:   rc.Accuracy,
+		}
+	}
+	return e
+}
+
+func (e cpEntry) result() *cvResult {
+	res := &cvResult{
+		rec:        e.Rec,
+		genesAfter: e.GenesAfter,
+		bstc:       BSTCOutcome{Accuracy: e.BSTC.Accuracy, Elapsed: e.BSTC.Elapsed},
+	}
+	if e.RCBT != nil {
+		res.rcbt = RCBTOutcome{
+			TopkTime:   e.RCBT.TopkTime,
+			TopkDNF:    e.RCBT.TopkDNF,
+			RCBTTime:   e.RCBT.RCBTTime,
+			RCBTDNF:    e.RCBT.RCBTDNF,
+			DNFReason:  e.RCBT.DNFReason,
+			NLUsed:     e.RCBT.NLUsed,
+			NLFallback: e.RCBT.NLFallback,
+			Accuracy:   e.RCBT.Accuracy,
+		}
+	}
+	return res
+}
+
+// cvJournal appends finished tests to the checkpoint file, one JSON line
+// each, syncing after every entry so a SIGKILL loses at most the test in
+// flight. The nil journal is a no-op. A write failure (or an emitted failed
+// record) permanently stops journaling — the study keeps running, the
+// journal just stays a valid shorter prefix.
+type cvJournal struct {
+	f       *os.File
+	stopped bool
+	err     error // first write failure, for tests/debugging
+}
+
+// openJournal opens (or creates) the checkpoint for cfg and replays its
+// contiguous journaled prefix. A torn final line — the SIGKILL case — is
+// truncated away so subsequent appends start on a clean boundary.
+func openJournal(cfg CVConfig) (*cvJournal, []*cvResult, error) {
+	want := headerFor(cfg)
+	raw, err := os.ReadFile(cfg.Checkpoint)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, fmt.Errorf("eval: checkpoint: %w", err)
+	}
+
+	var replay []*cvResult
+	good := 0 // byte offset past the last intact, in-order line
+	if len(raw) > 0 {
+		lines := bytes.SplitAfter(raw, []byte("\n"))
+		var h cpHeader
+		first := lines[0]
+		if !bytes.HasSuffix(first, []byte("\n")) || json.Unmarshal(first, &h) != nil || h.Checkpoint != cpMagic {
+			return nil, nil, fmt.Errorf("eval: checkpoint %s: %w (not a cv journal)", cfg.Checkpoint, ErrCheckpointMismatch)
+		}
+		if h.Version != cpVersion {
+			return nil, nil, fmt.Errorf("eval: checkpoint %s: version %d, want %d", cfg.Checkpoint, h.Version, cpVersion)
+		}
+		if !reflect.DeepEqual(h, want) {
+			return nil, nil, fmt.Errorf("eval: checkpoint %s: %w", cfg.Checkpoint, ErrCheckpointMismatch)
+		}
+		good = len(first)
+		for _, line := range lines[1:] {
+			if !bytes.HasSuffix(line, []byte("\n")) {
+				break // torn tail: the write a kill interrupted
+			}
+			var e cpEntry
+			if json.Unmarshal(line, &e) != nil || e.Index != len(replay) {
+				break
+			}
+			replay = append(replay, e.result())
+			good += len(line)
+		}
+	}
+
+	f, err := os.OpenFile(cfg.Checkpoint, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("eval: checkpoint: %w", err)
+	}
+	if err := f.Truncate(int64(good)); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("eval: checkpoint: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("eval: checkpoint: %w", err)
+	}
+	j := &cvJournal{f: f}
+	if good == 0 {
+		if err := j.writeLine(want); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("eval: checkpoint: %w", err)
+		}
+	}
+	if total := cfg.Tests * len(cfg.Sizes); len(replay) > total {
+		replay = replay[:total]
+	}
+	return j, replay, nil
+}
+
+func (j *cvJournal) writeLine(v any) error {
+	if err := fault.Hit("eval.checkpoint"); err != nil {
+		return err
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if _, err := j.f.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// append journals one finished test. On the first failure journaling stops
+// for good: a resilient study outlives its checkpoint file.
+func (j *cvJournal) append(i int, res *cvResult, withRCBT bool) {
+	if j == nil || j.stopped {
+		return
+	}
+	if err := j.writeLine(entryFor(i, res, withRCBT)); err != nil {
+		j.stopped = true
+		j.err = err
+	}
+}
+
+// stop ends journaling without closing the file; emitted failed records must
+// not be followed by journaled successors or the prefix would lie on resume.
+func (j *cvJournal) stop() {
+	if j != nil {
+		j.stopped = true
+	}
+}
+
+func (j *cvJournal) Close() error {
+	if j == nil || j.f == nil {
+		return nil
+	}
+	return j.f.Close()
+}

@@ -1,0 +1,91 @@
+package eval
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// loadNoPanic runs LoadArtifact with a panic trap so a corrupt stream that
+// crashes the decoder reports the offending mutation instead of killing the
+// whole test binary.
+func loadNoPanic(t *testing.T, what string, data []byte) (*Artifact, error) {
+	t.Helper()
+	var (
+		a   *Artifact
+		err error
+	)
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("%s: LoadArtifact panicked: %v", what, r)
+			}
+		}()
+		a, err = LoadArtifact(bytes.NewReader(data))
+	}()
+	return a, err
+}
+
+func savedArtifact(t *testing.T) []byte {
+	t.Helper()
+	art, err := TrainArtifact(tinyContinuous(), nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := art.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestLoadArtifactEveryTruncation chops the stream at every byte boundary: a
+// partial artifact must always come back as a wrapped ErrCorruptArtifact,
+// never a panic and never a silently-accepted half model.
+func TestLoadArtifactEveryTruncation(t *testing.T) {
+	good := savedArtifact(t)
+	for n := 0; n < len(good); n++ {
+		_, err := loadNoPanic(t, "truncation", good[:n])
+		if err == nil {
+			t.Fatalf("truncated to %d/%d bytes: accepted", n, len(good))
+		}
+		if !errors.Is(err, ErrCorruptArtifact) {
+			t.Fatalf("truncated to %d/%d bytes: error not wrapped in ErrCorruptArtifact: %v", n, len(good), err)
+		}
+	}
+}
+
+// TestLoadArtifactBitFlips flips bits across the stream. A flip may land in
+// slack the decoder legitimately tolerates (err == nil is allowed), but a
+// rejection must be the typed error and nothing may panic.
+func TestLoadArtifactBitFlips(t *testing.T) {
+	good := savedArtifact(t)
+	flip := func(off int, bit uint) {
+		data := append([]byte(nil), good...)
+		data[off] ^= 1 << bit
+		a, err := loadNoPanic(t, "bit flip", data)
+		if err != nil {
+			if !errors.Is(err, ErrCorruptArtifact) {
+				t.Fatalf("flip byte %d bit %d: error not wrapped in ErrCorruptArtifact: %v", off, bit, err)
+			}
+			return
+		}
+		if verr := a.validate(); verr != nil {
+			t.Fatalf("flip byte %d bit %d: accepted artifact fails validation: %v", off, bit, verr)
+		}
+	}
+	// Every bit of the header region, where framing lives.
+	head := 64
+	if head > len(good) {
+		head = len(good)
+	}
+	for off := 0; off < head; off++ {
+		for bit := uint(0); bit < 8; bit++ {
+			flip(off, bit)
+		}
+	}
+	// One rotating bit per byte across the rest of the payload.
+	for off := head; off < len(good); off++ {
+		flip(off, uint(off%8))
+	}
+}

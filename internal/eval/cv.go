@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -8,6 +9,7 @@ import (
 
 	"bstc/internal/core"
 	"bstc/internal/dataset"
+	"bstc/internal/fault"
 	"bstc/internal/obs"
 	"bstc/internal/rcbt"
 )
@@ -66,6 +68,15 @@ type CVConfig struct {
 	// and rendered tables are identical for every worker count.
 	Workers int
 
+	// Checkpoint, when non-empty, journals every finished test to this
+	// JSONL file (synced per entry) and resumes from it on restart: the
+	// journaled prefix is replayed — its run-log records re-emitted with
+	// Replayed set — and only the remaining tests are computed, with the
+	// deterministic aggregate identical to an uninterrupted run. A journal
+	// from a different study (dataset, seed, sizes, …) is refused with
+	// ErrCheckpointMismatch.
+	Checkpoint string
+
 	// Dataset labels run-log records with the profile under study (ALL,
 	// LC, PC, OC, or an input file name).
 	Dataset string
@@ -107,9 +118,19 @@ type SizeResult struct {
 	BSTC       []BSTCOutcome
 	RCBT       []RCBTOutcome
 	GenesAfter []int
+	// Failed marks tests with no valid BSTC outcome — a contained worker
+	// panic, or a context stop before BSTC finished. Aggregate helpers skip
+	// them; the run log carries the failure detail (error, stack, DNF
+	// reason).
+	Failed []bool
 }
 
-// cvTask is one pre-drawn (size, test) evaluation. splitErr, when non-nil,
+// ok reports whether test i produced a valid BSTC outcome.
+func (sr SizeResult) ok(i int) bool {
+	return i >= len(sr.Failed) || !sr.Failed[i]
+}
+
+// cvTask is one drawn (size, test) evaluation. splitErr, when non-nil,
 // poisons the position where split drawing failed: every task before it
 // still runs and emits, then the poisoned record is emitted and the error
 // returned — exactly the serial protocol's behaviour.
@@ -128,14 +149,37 @@ type cvResult struct {
 	rcbt       RCBTOutcome
 	genesAfter int
 	err        error
+	// contained marks err as a recovered panic: the record fails but the
+	// study continues on the remaining tests.
+	contained bool
+	// dnf marks err as a context stop: the record is a DNF, not a failure,
+	// and RunCV returns the completed prefix without an error.
+	dnf bool
+	// failed mirrors SizeResult.Failed: no valid BSTC outcome.
+	failed bool
 }
 
 // RunCV runs the full study: Tests independent random splits per size, each
 // discretized on its training half, with BSTC always and Top-k/RCBT
 // optionally evaluated. With Workers > 1 the tests run on a bounded worker
-// pool; splits are pre-drawn serially and records are emitted in task
-// order, so every artifact is identical to the serial run.
-func RunCV(cfg CVConfig) ([]SizeResult, error) {
+// pool; splits are drawn serially in task order from the shared generator
+// and records are emitted in task order, so every artifact is identical to
+// the serial run.
+//
+// Resilience semantics:
+//   - A context deadline or cancellation is not an error: tests already
+//     running finish as DNF records (reason "deadline" / "canceled"), no
+//     further splits are drawn, and the completed prefix of results is
+//     returned with a nil error.
+//   - A panic on any worker is contained: the test's record carries the
+//     panic value and stack, the study continues, and the test is marked
+//     Failed in its SizeResult.
+//   - With cfg.Checkpoint set, finished tests are journaled and a restart
+//     resumes after the journaled prefix.
+func RunCV(ctx context.Context, cfg CVConfig) ([]SizeResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Tests <= 0 {
 		return nil, fmt.Errorf("eval: Tests = %d", cfg.Tests)
 	}
@@ -151,25 +195,54 @@ func RunCV(cfg CVConfig) ([]SizeResult, error) {
 		cfg.RCBT.Workers = workers
 	}
 
-	// Pre-draw every split from the shared generator. split is the
-	// protocol's only rand consumer, so the drawn sequence — and every
-	// downstream result — matches the serial path exactly.
+	total := len(cfg.Sizes) * cfg.Tests
+	results := make([]*cvResult, total)
+
+	// Checkpoint resume: replay the journaled prefix, re-emitting its
+	// records marked Replayed, and start computing after it.
+	start := 0
+	var journal *cvJournal
+	if cfg.Checkpoint != "" {
+		cp, replay, err := openJournal(cfg)
+		if err != nil {
+			return nil, err
+		}
+		journal = cp
+		defer journal.Close()
+		for i, res := range replay {
+			res.rec.Replayed = true
+			cfg.RunLog.Emit(res.rec)
+			results[i] = res
+		}
+		start = len(replay)
+	}
+
+	// Splits are drawn lazily, one task ahead of dispatch, always in task
+	// order from the shared generator — split is the protocol's only rand
+	// consumer, so the drawn sequence (and every downstream result) matches
+	// the serial path exactly, and a stopped study stops drawing instead of
+	// burning through the remaining sizes. Replayed tests consume their
+	// draws so the stream lines up for the fresh ones.
 	r := rand.New(rand.NewSource(cfg.Seed))
-	var tasks []cvTask
-drawing:
-	for _, size := range cfg.Sizes {
-		for test := 0; test < cfg.Tests; test++ {
-			sp, err := size.split(r, cfg.Data)
-			tasks = append(tasks, cvTask{test: test, size: size, sp: sp, splitErr: err})
-			if err != nil {
-				break drawing
-			}
+	draw := func(i int) cvTask {
+		size := cfg.Sizes[i/cfg.Tests]
+		t := cvTask{test: i % cfg.Tests, size: size}
+		if err := fault.Hit("eval.split"); err != nil {
+			t.splitErr = err
+			return t
+		}
+		t.sp, t.splitErr = size.split(r, cfg.Data)
+		return t
+	}
+	for i := 0; i < start; i++ {
+		if t := draw(i); t.splitErr != nil {
+			return nil, fmt.Errorf("eval: checkpoint resume: redrawing split %d: %w", i, t.splitErr)
 		}
 	}
 
 	protoCfg := cfg.recordConfig()
-	runTest := func(t cvTask, worker int) *cvResult {
-		res := &cvResult{rec: obs.RunRecord{
+	runTest := func(t cvTask, worker int) (res *cvResult) {
+		res = &cvResult{rec: obs.RunRecord{
 			Experiment: "cv",
 			Dataset:    cfg.Dataset,
 			Size:       t.size.Label,
@@ -191,20 +264,58 @@ drawing:
 		defer func() {
 			rec.Counters = reg.Snapshot().DeltaFrom(before).Flat()
 		}()
+		// Panic containment: a poisoned test degrades to a failed record
+		// with the stack in the run log; the pool and the process live on.
+		defer func() {
+			if r := recover(); r != nil {
+				perr := fault.Recovered("eval.cv", r)
+				rec.Error = perr.Error()
+				rec.Stack = string(perr.Stack)
+				res.err = perr
+				res.contained = true
+				res.failed = true
+			}
+		}()
+		// fail degrades the test to a failed record. A panic recovered in a
+		// lower-layer worker pool (discretize stripe, miner shard) arrives
+		// here as a wrapped PanicError; it is contained exactly like a panic
+		// on this worker — stack on the record, study continues.
 		fail := func(err error) *cvResult {
 			rec.Error = err.Error()
+			if perr, ok := fault.AsPanic(err); ok {
+				rec.Stack = string(perr.Stack)
+				res.contained = true
+			}
 			res.err = err
+			res.failed = true
+			return res
+		}
+		// dnf records a context stop: a DNF outcome, not a failure. bstcOK
+		// distinguishes a test stopped after BSTC finished (its accuracy
+		// stands) from one stopped before (nothing to aggregate).
+		dnf := func(err error, bstcOK bool) *cvResult {
+			rec.DNF = true
+			rec.DNFReason = stopReason(err)
+			res.err = err
+			res.dnf = true
+			res.failed = !bstcOK
 			return res
 		}
 		if t.splitErr != nil {
+			if fault.IsCancellation(t.splitErr) {
+				return dnf(t.splitErr, false)
+			}
 			return fail(fmt.Errorf("eval: size %s test %d: %w", t.size.Label, t.test, t.splitErr))
 		}
 		ph := obs.NewPhasesIn(reg)
 		span := ph.Start("discretize")
-		ps, err := PrepareWorkers(cfg.Data, t.sp, workers)
+		ps, err := PrepareWorkers(ctx, cfg.Data, t.sp, workers)
 		span.End()
 		rec.PhasesMS = ph.AddTo(rec.PhasesMS)
 		if err != nil {
+			if fault.IsCancellation(err) {
+				return dnf(err, false)
+			}
 			return fail(fmt.Errorf("eval: size %s test %d: %w", t.size.Label, t.test, err))
 		}
 		rec.GenesAfterDiscretization = ps.GenesAfterDiscretization
@@ -217,10 +328,11 @@ drawing:
 		rec.PhasesMS = b.Phases.AddTo(rec.PhasesMS)
 		res.bstc = b
 		if cfg.RunRCBT {
-			rc, err := RunRCBT(ps, cfg.RCBT, cfg.Cutoff, cfg.NLFallback)
+			rc, err := RunRCBT(ctx, ps, cfg.RCBT, cfg.Cutoff, cfg.NLFallback)
 			rec.PhasesMS = rc.Phases.AddTo(rec.PhasesMS)
 			rec.TopkDNF = rc.TopkDNF
 			rec.RCBTDNF = rc.RCBTDNF
+			rec.DNFReason = rc.DNFReason
 			rec.NLUsed = rc.NLUsed
 			rec.NLFallback = rc.NLFallback
 			if err != nil {
@@ -230,70 +342,124 @@ drawing:
 				rec.RCBTAccuracy = obs.Float64Ptr(rc.Accuracy)
 			}
 			res.rcbt = rc
+			// A context stop inside a phase: the BSTC half of this test
+			// stands, the RCBT half is a DNF, and the study winds down.
+			switch rc.DNFReason {
+			case "deadline":
+				return dnf(fault.ErrDeadline, true)
+			case "canceled":
+				return dnf(fault.ErrCanceled, true)
+			}
 		}
 		return res
 	}
 
-	results := make([]*cvResult, len(tasks))
-	if workers <= 1 {
-		for i, t := range tasks {
-			res := runTest(t, 1)
-			cfg.RunLog.Emit(res.rec)
-			if res.err != nil {
-				return nil, res.err
-			}
-			results[i] = res
+	// emit writes the record and journals finished tests. Journaling stops
+	// at the first failed or DNF record so the journal stays a truthful
+	// contiguous prefix of completed tests.
+	emit := func(i int, res *cvResult) {
+		cfg.RunLog.Emit(res.rec)
+		if res.err == nil {
+			journal.append(i, res, cfg.RunRCBT)
+		} else {
+			journal.stop()
 		}
-	} else if err := runPool(cfg, tasks, results, runTest, workers); err != nil {
-		return nil, err
 	}
 
+	emitted := start
+	if workers <= 1 {
+		for i := start; i < total; i++ {
+			if err := fault.CtxErr(ctx); err != nil {
+				break
+			}
+			res := runTest(draw(i), 1)
+			results[i] = res
+			emit(i, res)
+			emitted = i + 1
+			if res.err == nil || res.contained {
+				continue
+			}
+			if res.dnf {
+				break
+			}
+			return nil, res.err
+		}
+	} else {
+		n, err := runPool(ctx, cfg, start, results, draw, runTest, emit, workers)
+		emitted = n
+		if err != nil {
+			return nil, err
+		}
+	}
+	return buildResults(cfg, results, emitted), nil
+}
+
+// buildResults folds the emitted prefix of per-test results into per-size
+// aggregates. A truncated study (context stop) yields a truncated aggregate.
+func buildResults(cfg CVConfig, results []*cvResult, emitted int) []SizeResult {
 	var out []SizeResult
 	i := 0
 	for _, size := range cfg.Sizes {
+		if i >= emitted {
+			break
+		}
 		sr := SizeResult{Size: size}
-		for test := 0; test < cfg.Tests; test++ {
+		for test := 0; test < cfg.Tests && i < emitted; test++ {
 			res := results[i]
 			i++
+			if res == nil {
+				return out
+			}
 			sr.GenesAfter = append(sr.GenesAfter, res.genesAfter)
 			sr.BSTC = append(sr.BSTC, res.bstc)
+			sr.Failed = append(sr.Failed, res.failed)
 			if cfg.RunRCBT {
 				sr.RCBT = append(sr.RCBT, res.rcbt)
 			}
 		}
 		out = append(out, sr)
 	}
-	return out, nil
+	return out
 }
 
-// runPool evaluates tasks on a bounded pool of workers with first-error-wins
-// cancellation. Finished results are stored by task index and the contiguous
-// completed prefix is emitted in task order, halting at (and including) the
-// first errored record. The feeder dispatches indices in order, so the
-// unstarted tasks always form a suffix and the lowest-index error is always
-// reached — nothing after it is emitted, matching the serial protocol, which
-// would never have run those tests.
-func runPool(cfg CVConfig, tasks []cvTask, results []*cvResult, runTest func(cvTask, int) *cvResult, workers int) error {
-	if workers > len(tasks) {
-		workers = len(tasks)
+// runPool evaluates tasks start.. on a bounded pool of workers with
+// first-error-wins cancellation. Finished results are stored by task index
+// and the contiguous completed prefix is emitted in task order, halting at
+// (and including) the first errored record. The feeder draws splits and
+// dispatches indices in order, so the unstarted tasks always form a suffix,
+// the lowest-index error is always reached, and a stopped study stops
+// drawing splits immediately — nothing after the first error is emitted,
+// matching the serial protocol, which would never have run those tests.
+//
+// Contained panics do not stop the pool: their records emit and the
+// remaining tests keep running. A context stop (DNF results) stops dispatch
+// like an error, but runPool maps it to a truncated success: the emitted
+// count is returned with a nil error.
+func runPool(ctx context.Context, cfg CVConfig, start int, results []*cvResult, draw func(int) cvTask, runTest func(cvTask, int) *cvResult, emit func(int, *cvResult), workers int) (int, error) {
+	total := len(results)
+	if workers > total-start {
+		workers = total - start
 	}
 	var (
 		mu       sync.Mutex
-		nextEmit int
+		nextEmit = start
 		firstErr error
 		wg       sync.WaitGroup
 		stopOnce sync.Once
 	)
 	stop := make(chan struct{})
+	// tasks[i] is written by the feeder before index i is sent on feed; the
+	// channel send orders the write before the receiving worker's read.
+	tasks := make([]cvTask, total)
 	store := func(i int, res *cvResult) {
 		mu.Lock()
 		defer mu.Unlock()
 		results[i] = res
-		for firstErr == nil && nextEmit < len(results) && results[nextEmit] != nil {
+		for firstErr == nil && nextEmit < total && results[nextEmit] != nil {
 			r := results[nextEmit]
 			nextEmit++
-			cfg.RunLog.Emit(r.rec)
-			if r.err != nil {
+			emit(nextEmit-1, r)
+			if r.err != nil && !r.contained {
 				firstErr = r.err
 			}
 		}
@@ -305,7 +471,7 @@ func runPool(cfg CVConfig, tasks []cvTask, results []*cvResult, runTest func(cvT
 			defer wg.Done()
 			for i := range feed {
 				res := runTest(tasks[i], worker)
-				if res.err != nil {
+				if res.err != nil && !res.contained {
 					stopOnce.Do(func() { close(stop) })
 				}
 				store(i, res)
@@ -313,45 +479,58 @@ func runPool(cfg CVConfig, tasks []cvTask, results []*cvResult, runTest func(cvT
 		}(w)
 	}
 dispatch:
-	for i := range tasks {
+	for i := start; i < total; i++ {
+		tasks[i] = draw(i)
 		select {
 		case feed <- i:
 		case <-stop:
+			break dispatch
+		case <-ctx.Done():
 			break dispatch
 		}
 	}
 	close(feed)
 	wg.Wait()
-	return firstErr
+	if fault.IsCancellation(firstErr) {
+		return nextEmit, nil
+	}
+	return nextEmit, firstErr
 }
 
-// BSTCAccuracies returns the per-test BSTC accuracies.
+// BSTCAccuracies returns the per-test BSTC accuracies, skipping failed
+// tests (contained panics, early context stops).
 func (sr SizeResult) BSTCAccuracies() []float64 {
-	out := make([]float64, len(sr.BSTC))
+	out := make([]float64, 0, len(sr.BSTC))
 	for i, b := range sr.BSTC {
-		out[i] = b.Accuracy
+		if sr.ok(i) {
+			out = append(out, b.Accuracy)
+		}
 	}
 	return out
 }
 
-// MeanBSTCTime averages BSTC build+classify time.
+// MeanBSTCTime averages BSTC build+classify time over the tests that ran.
 func (sr SizeResult) MeanBSTCTime() time.Duration {
-	if len(sr.BSTC) == 0 {
+	n := 0
+	var total time.Duration
+	for i, b := range sr.BSTC {
+		if sr.ok(i) {
+			total += b.Elapsed
+			n++
+		}
+	}
+	if n == 0 {
 		return 0
 	}
-	var total time.Duration
-	for _, b := range sr.BSTC {
-		total += b.Elapsed
-	}
-	return total / time.Duration(len(sr.BSTC))
+	return total / time.Duration(n)
 }
 
 // RCBTFinishedAccuracies returns accuracies over the tests RCBT finished —
 // the basis of the paper's Tables 5 and 7 means.
 func (sr SizeResult) RCBTFinishedAccuracies() []float64 {
 	var out []float64
-	for _, o := range sr.RCBT {
-		if o.Finished() {
+	for i, o := range sr.RCBT {
+		if sr.ok(i) && o.Finished() {
 			out = append(out, o.Accuracy)
 		}
 	}
@@ -368,7 +547,7 @@ func (sr SizeResult) BSTCAccuraciesWhereRCBTFinished() []float64 {
 	}
 	var out []float64
 	for i, o := range sr.RCBT {
-		if o.Finished() {
+		if sr.ok(i) && o.Finished() {
 			out = append(out, sr.BSTC[i].Accuracy)
 		}
 	}
@@ -381,15 +560,20 @@ func (sr SizeResult) BSTCAccuraciesWhereRCBTFinished() []float64 {
 // MeanTopkTime averages Top-k mining time; truncated reports whether any
 // test hit the cutoff (the paper prints such averages as "≥").
 func (sr SizeResult) MeanTopkTime() (mean time.Duration, truncated bool) {
-	if len(sr.RCBT) == 0 {
-		return 0, false
-	}
+	n := 0
 	var total time.Duration
-	for _, o := range sr.RCBT {
+	for i, o := range sr.RCBT {
+		if !sr.ok(i) {
+			continue
+		}
 		total += o.TopkTime
 		truncated = truncated || o.TopkDNF
+		n++
 	}
-	return total / time.Duration(len(sr.RCBT)), truncated
+	if n == 0 {
+		return 0, false
+	}
+	return total / time.Duration(n), truncated
 }
 
 // MeanRCBTTime averages the RCBT phase over the tests Top-k finished, as
@@ -397,8 +581,8 @@ func (sr SizeResult) MeanTopkTime() (mean time.Duration, truncated bool) {
 func (sr SizeResult) MeanRCBTTime() (mean time.Duration, truncated bool) {
 	n := 0
 	var total time.Duration
-	for _, o := range sr.RCBT {
-		if o.TopkDNF {
+	for i, o := range sr.RCBT {
+		if !sr.ok(i) || o.TopkDNF {
 			continue
 		}
 		total += o.RCBTTime
@@ -415,8 +599,8 @@ func (sr SizeResult) MeanRCBTTime() (mean time.Duration, truncated bool) {
 // number of tests for which Top-k finished, plus whether any finished test
 // used the nl fallback (the tables' † marker).
 func (sr SizeResult) DNFCounts() (rcbtDNF, topkFinished int, nlLowered bool) {
-	for _, o := range sr.RCBT {
-		if o.TopkDNF {
+	for i, o := range sr.RCBT {
+		if !sr.ok(i) || o.TopkDNF {
 			continue
 		}
 		topkFinished++

@@ -3,6 +3,7 @@ package eval
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"math/rand"
 	"reflect"
@@ -95,7 +96,7 @@ func TestRunBSTCAccuracy(t *testing.T) {
 
 func TestRunRCBTFinishes(t *testing.T) {
 	ps := preparedToy(t)
-	out, err := RunRCBT(ps, rcbt.Config{MinSupport: 0.7, K: 3, NL: 5}, time.Minute, 2)
+	out, err := RunRCBT(context.Background(), ps, rcbt.Config{MinSupport: 0.7, K: 3, NL: 5}, time.Minute, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestRunRCBTFinishes(t *testing.T) {
 
 func TestRunRCBTCutoffDNF(t *testing.T) {
 	ps := preparedToy(t)
-	out, err := RunRCBT(ps, rcbt.Config{MinSupport: 0.01, K: 10, NL: 20}, time.Nanosecond, 2)
+	out, err := RunRCBT(context.Background(), ps, rcbt.Config{MinSupport: 0.01, K: 10, NL: 20}, time.Nanosecond, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +188,7 @@ func TestPaperTrainSizes(t *testing.T) {
 
 func TestRunCVEndToEnd(t *testing.T) {
 	d := toyData(t, 7)
-	results, err := RunCV(CVConfig{
+	results, err := RunCV(context.Background(), CVConfig{
 		Data:       d,
 		Sizes:      []TrainSize{{Label: "40%", Frac: 0.4}, {Label: "fixed", Counts: []int{8, 8}}},
 		Tests:      3,
@@ -227,7 +228,7 @@ func TestRunCVWorkersDeterministic(t *testing.T) {
 	d := toyData(t, 7)
 	run := func(workers int) []SizeResult {
 		t.Helper()
-		results, err := RunCV(CVConfig{
+		results, err := RunCV(context.Background(), CVConfig{
 			Data:       d,
 			Sizes:      []TrainSize{{Label: "40%", Frac: 0.4}, {Label: "fixed", Counts: []int{8, 8}}},
 			Tests:      4,
@@ -302,7 +303,7 @@ func TestRunCVFailureRecordCarriesTelemetry(t *testing.T) {
 	var buf bytes.Buffer
 	// NL=0 passes mining but makes the RCBT build fail with a real
 	// (non-budget) error — after BSTC and Top-k have done counted work.
-	_, err := RunCV(CVConfig{
+	_, err := RunCV(context.Background(), CVConfig{
 		Data:    toyData(t, 5),
 		Sizes:   []TrainSize{{Label: "60%", Frac: 0.6}},
 		Tests:   2,
@@ -347,7 +348,7 @@ func TestRunCVFailureRecordCarriesTelemetry(t *testing.T) {
 // with the worker that ran them, and the config map carries the count.
 func TestRunCVWorkersRunlogOrderAndTags(t *testing.T) {
 	var buf bytes.Buffer
-	_, err := RunCV(CVConfig{
+	_, err := RunCV(context.Background(), CVConfig{
 		Data:    toyData(t, 5),
 		Sizes:   []TrainSize{{Label: "40%", Frac: 0.4}, {Label: "60%", Frac: 0.6}},
 		Tests:   3,
@@ -382,10 +383,10 @@ func TestRunCVWorkersRunlogOrderAndTags(t *testing.T) {
 
 func TestRunCVValidation(t *testing.T) {
 	d := toyData(t, 8)
-	if _, err := RunCV(CVConfig{Data: d, Sizes: []TrainSize{{Frac: 0.4}}, Tests: 0}); err == nil {
+	if _, err := RunCV(context.Background(), CVConfig{Data: d, Sizes: []TrainSize{{Frac: 0.4}}, Tests: 0}); err == nil {
 		t.Error("Tests=0 should error")
 	}
-	if _, err := RunCV(CVConfig{Data: d, Tests: 1}); err == nil {
+	if _, err := RunCV(context.Background(), CVConfig{Data: d, Tests: 1}); err == nil {
 		t.Error("no sizes should error")
 	}
 }

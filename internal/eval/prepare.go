@@ -5,6 +5,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
 	"bstc/internal/dataset"
@@ -29,20 +30,21 @@ type Prepared struct {
 
 // Prepare discretizes per the protocol and materializes all four views.
 func Prepare(c *dataset.Continuous, sp dataset.Split) (*Prepared, error) {
-	return PrepareWorkers(c, sp, 1)
+	return PrepareWorkers(context.Background(), c, sp, 1)
 }
 
 // PrepareWorkers is Prepare with the entropy-MDL fit striped over up to
 // workers goroutines (≤ 1 is the serial path). The fitted model — and thus
-// every returned view — is identical for any worker count.
-func PrepareWorkers(c *dataset.Continuous, sp dataset.Split, workers int) (*Prepared, error) {
+// every returned view — is identical for any worker count. A context
+// deadline or cancellation stops the fit with the typed fault errors.
+func PrepareWorkers(ctx context.Context, c *dataset.Continuous, sp dataset.Split, workers int) (*Prepared, error) {
 	if len(sp.Train) == 0 || len(sp.Test) == 0 {
 		return nil, fmt.Errorf("eval: split needs both train (%d) and test (%d) samples",
 			len(sp.Train), len(sp.Test))
 	}
 	trainC := c.Subset(sp.Train)
 	testC := c.Subset(sp.Test)
-	model, err := discretize.FitWithWorkers(trainC, discretize.EntropyMDL, workers)
+	model, err := discretize.FitWithWorkers(ctx, trainC, discretize.EntropyMDL, workers)
 	if err != nil {
 		return nil, fmt.Errorf("eval: discretize: %w", err)
 	}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"bstc/internal/cba"
 	"bstc/internal/core"
 	"bstc/internal/ep"
+	"bstc/internal/fault"
 	"bstc/internal/forest"
 	"bstc/internal/obs"
 	"bstc/internal/rcbt"
@@ -72,6 +74,10 @@ type RCBTOutcome struct {
 
 	RCBTTime time.Duration
 	RCBTDNF  bool
+	// DNFReason says what stopped a DNF'd phase: "cutoff" for the paper's
+	// per-phase budget, "deadline" / "canceled" for the run context. Empty
+	// when both phases finished.
+	DNFReason string
 	// NLUsed is the nl value the run finished (or gave up) with; the paper
 	// lowers nl from 20 to 2 when lower-bound mining cannot complete
 	// (marked † in its tables).
@@ -97,10 +103,12 @@ func (o RCBTOutcome) Finished() bool { return !o.TopkDNF && !o.RCBTDNF }
 //
 // A phase stopping at its cutoff is not an error: it is reported through
 // the outcome's DNF flags with the phase time clamped to the cutoff (the
-// tables' "≥" convention). The returned error is reserved for real
-// failures — invalid configuration, degenerate training data — which
-// previously drowned in the DNF bookkeeping.
-func RunRCBT(ps *Prepared, cfg rcbt.Config, cutoff time.Duration, nlFallback int) (RCBTOutcome, error) {
+// tables' "≥" convention). The same applies to a context deadline or
+// cancellation, except the phase time is not clamped (the stop can come
+// before the cutoff) and DNFReason records the cause. The returned error is
+// reserved for real failures — invalid configuration, degenerate training
+// data — which previously drowned in the DNF bookkeeping.
+func RunRCBT(ctx context.Context, ps *Prepared, cfg rcbt.Config, cutoff time.Duration, nlFallback int) (RCBTOutcome, error) {
 	ph := obs.NewPhasesIn(reg)
 	out := RCBTOutcome{NLUsed: cfg.NL, Phases: ph}
 
@@ -115,14 +123,16 @@ func RunRCBT(ps *Prepared, cfg rcbt.Config, cutoff time.Duration, nlFallback int
 	mineCfg := cfg
 	mineCfg.Budget = budget()
 	span := ph.Start("rcbt/topk")
-	mined, err := rcbt.Mine(ps.TrainBool, mineCfg)
+	mined, err := rcbt.Mine(ctx, ps.TrainBool, mineCfg)
 	out.TopkTime = span.End()
 	if err != nil {
-		if !errors.Is(err, carminer.ErrBudgetExceeded) {
+		reason := stopReason(err)
+		if reason == "" {
 			return out, fmt.Errorf("eval: top-k mining: %w", err)
 		}
 		out.TopkDNF = true
-		if cutoff > 0 {
+		out.DNFReason = reason
+		if reason == "cutoff" && cutoff > 0 {
 			out.TopkTime = cutoff
 		}
 		return out, nil
@@ -135,7 +145,9 @@ func RunRCBT(ps *Prepared, cfg rcbt.Config, cutoff time.Duration, nlFallback int
 	buildCfg := cfg
 	buildCfg.Budget = budget()
 	span = ph.Start("rcbt/build")
-	cl, err := rcbt.Build(ps.TrainBool, mined, buildCfg)
+	cl, err := rcbt.Build(ctx, ps.TrainBool, mined, buildCfg)
+	// The nl fallback retries only cutoff expiries: retrying after a context
+	// deadline or cancellation could not finish either.
 	if err != nil && nlFallback > 0 && nlFallback < cfg.NL && errors.Is(err, carminer.ErrBudgetExceeded) {
 		span.End()
 		out.NLUsed = nlFallback
@@ -143,15 +155,17 @@ func RunRCBT(ps *Prepared, cfg rcbt.Config, cutoff time.Duration, nlFallback int
 		buildCfg.NL = nlFallback
 		buildCfg.Budget = budget()
 		span = ph.Start("rcbt/build")
-		cl, err = rcbt.Build(ps.TrainBool, mined, buildCfg)
+		cl, err = rcbt.Build(ctx, ps.TrainBool, mined, buildCfg)
 	}
 	out.RCBTTime = span.End()
 	if err != nil {
-		if !errors.Is(err, carminer.ErrBudgetExceeded) {
+		reason := stopReason(err)
+		if reason == "" {
 			return out, fmt.Errorf("eval: rcbt build: %w", err)
 		}
 		out.RCBTDNF = true
-		if cutoff > 0 {
+		out.DNFReason = reason
+		if reason == "cutoff" && cutoff > 0 {
 			out.RCBTTime = cutoff
 		}
 		return out, nil
@@ -252,10 +266,25 @@ func RunMCBAR(ps *Prepared, k int, opts *core.EvalOptions) (float64, error) {
 
 // RunJEP trains and evaluates the jumping-emerging-pattern classifier (the
 // §7 TOP-RULES/MBD-LLBORDER family) under a mining budget.
-func RunJEP(ps *Prepared, budget carminer.Budget) (float64, error) {
-	cl, err := ep.Train(ps.TrainBool, budget)
+func RunJEP(ctx context.Context, ps *Prepared, budget carminer.Budget) (float64, error) {
+	cl, err := ep.Train(ctx, ps.TrainBool, budget)
 	if err != nil {
 		return 0, err
 	}
 	return stats.Accuracy(cl.ClassifyBatch(ps.TestBool), ps.TestBool.Classes), nil
+}
+
+// stopReason classifies an orderly mining stop: "cutoff" for the per-phase
+// budget, "deadline" / "canceled" for the run context. Real failures return
+// "".
+func stopReason(err error) string {
+	switch {
+	case errors.Is(err, carminer.ErrBudgetExceeded):
+		return "cutoff"
+	case errors.Is(err, fault.ErrDeadline):
+		return "deadline"
+	case errors.Is(err, fault.ErrCanceled):
+		return "canceled"
+	}
+	return ""
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -29,7 +30,7 @@ type AblationRow struct {
 //   - min vs product arithmetization of cell exclusion lists (§5.2 / §8);
 //   - exclusion-list culling to cut per-query time (§8 future work);
 //   - Mine-MCMCBAR's secondary tie ordering (§4.1), reported as mining time.
-func Ablation(w io.Writer, cfg Config, profileName string) ([]AblationRow, error) {
+func Ablation(ctx context.Context, w io.Writer, cfg Config, profileName string) ([]AblationRow, error) {
 	profile, err := synth.ProfileByName(profileName, cfg.Scale)
 	if err != nil {
 		return nil, err
@@ -61,7 +62,7 @@ func Ablation(w io.Writer, cfg Config, profileName string) ([]AblationRow, error
 		if err != nil {
 			return nil, err
 		}
-		ps, err := eval.PrepareWorkers(data, sp, cfg.Workers)
+		ps, err := eval.PrepareWorkers(ctx, data, sp, cfg.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -127,7 +128,7 @@ func Ablation(w io.Writer, cfg Config, profileName string) ([]AblationRow, error
 	if err != nil {
 		return nil, err
 	}
-	ps, err := eval.PrepareWorkers(data, sp, cfg.Workers)
+	ps, err := eval.PrepareWorkers(ctx, data, sp, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}

@@ -11,8 +11,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"time"
 
 	"bstc/internal/core"
@@ -42,6 +45,10 @@ type Config struct {
 	// RunLog, when non-nil, receives one JSONL record per cross-validation
 	// test (see obs.RunRecord).
 	RunLog *obs.RunLog
+	// Checkpoint, when non-empty, is a directory holding one CV journal per
+	// study (<name>.cv.jsonl). An interrupted study resumes from its journal
+	// with byte-identical aggregates; see eval.CVConfig.Checkpoint.
+	Checkpoint string
 }
 
 // Default returns scale-appropriate settings: the paper's parameter values
@@ -108,8 +115,11 @@ type Study struct {
 	Results []eval.SizeResult
 }
 
-// RunStudy executes the §6.2 protocol on the named profile.
-func RunStudy(cfg Config, name string, withRCBT bool) (*Study, error) {
+// RunStudy executes the §6.2 protocol on the named profile. A context
+// deadline or cancellation ends the study early with the completed prefix of
+// tests (the rest become DNF records); with cfg.Checkpoint set, a later run
+// resumes where this one stopped.
+func RunStudy(ctx context.Context, cfg Config, name string, withRCBT bool) (*Study, error) {
 	profile, err := synth.ProfileByName(name, cfg.Scale)
 	if err != nil {
 		return nil, err
@@ -122,7 +132,14 @@ func RunStudy(cfg Config, name string, withRCBT bool) (*Study, error) {
 	if err != nil {
 		return nil, err
 	}
-	results, err := eval.RunCV(eval.CVConfig{
+	checkpoint := ""
+	if cfg.Checkpoint != "" {
+		if err := os.MkdirAll(cfg.Checkpoint, 0o755); err != nil {
+			return nil, fmt.Errorf("experiments: checkpoint dir: %w", err)
+		}
+		checkpoint = filepath.Join(cfg.Checkpoint, name+".cv.jsonl")
+	}
+	results, err := eval.RunCV(ctx, eval.CVConfig{
 		Data:       data,
 		Sizes:      sizes,
 		Tests:      cfg.Tests,
@@ -135,6 +152,7 @@ func RunStudy(cfg Config, name string, withRCBT bool) (*Study, error) {
 		Workers:    cfg.Workers,
 		Dataset:    name,
 		RunLog:     cfg.RunLog,
+		Checkpoint: checkpoint,
 	})
 	if err != nil {
 		return nil, err

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -49,7 +50,7 @@ func TestTable3(t *testing.T) {
 		t.Skip("table 3 runs all four profiles")
 	}
 	var buf bytes.Buffer
-	rows, err := Table3(&buf, tinyConfig())
+	rows, err := Table3(context.Background(), &buf, tinyConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestRunStudyAndRenderers(t *testing.T) {
 		t.Skip("study runs the CV protocol")
 	}
 	cfg := tinyConfig()
-	s, err := RunStudy(cfg, "ALL", true)
+	s, err := RunStudy(context.Background(), cfg, "ALL", true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestRunStudyAndRenderers(t *testing.T) {
 }
 
 func TestRunStudyUnknownProfile(t *testing.T) {
-	if _, err := RunStudy(tinyConfig(), "nope", false); err == nil {
+	if _, err := RunStudy(context.Background(), tinyConfig(), "nope", false); err == nil {
 		t.Error("unknown profile should error")
 	}
 }
@@ -126,7 +127,7 @@ func TestTuning(t *testing.T) {
 		t.Skip("tuning runs OC mining twice")
 	}
 	var buf bytes.Buffer
-	if err := Tuning(&buf, tinyConfig()); err != nil {
+	if err := Tuning(context.Background(), &buf, tinyConfig()); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -143,7 +144,7 @@ func TestAblation(t *testing.T) {
 		t.Skip("ablation trains several variants")
 	}
 	var buf bytes.Buffer
-	rows, err := Ablation(&buf, tinyConfig(), "ALL")
+	rows, err := Ablation(context.Background(), &buf, tinyConfig(), "ALL")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func TestPreliminary(t *testing.T) {
 		t.Skip("preliminary runs all four profiles and seven classifiers")
 	}
 	var buf bytes.Buffer
-	rows, err := Preliminary(&buf, tinyConfig())
+	rows, err := Preliminary(context.Background(), &buf, tinyConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +196,7 @@ func TestRelated(t *testing.T) {
 		t.Skip("related runs JEP mining with cutoffs")
 	}
 	var buf bytes.Buffer
-	if err := Related(&buf, tinyConfig()); err != nil {
+	if err := Related(context.Background(), &buf, tinyConfig()); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"reflect"
 	"strings"
 	"sync"
@@ -56,7 +57,7 @@ func TestRenderedArtifactsIdenticalAcrossWorkerCounts(t *testing.T) {
 		c.Workers = workers
 		var log bytes.Buffer
 		c.RunLog = obs.NewRunLog(&log)
-		study, err := RunStudy(c, "LC", false)
+		study, err := RunStudy(context.Background(), c, "LC", false)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -101,7 +102,7 @@ func TestRenderedTablesUnaffectedByInstrumentation(t *testing.T) {
 		defer restore()
 		eval.SetMetrics(reg)
 		defer eval.SetMetrics(nil)
-		study, err := RunStudy(cfg, "LC", true)
+		study, err := RunStudy(context.Background(), cfg, "LC", true)
 		if err != nil {
 			t.Fatal(err)
 		}

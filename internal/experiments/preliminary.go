@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -33,7 +34,7 @@ type PreliminaryRow struct {
 // (93%) on the given training splits. This runner regenerates that
 // comparison with this repository's own CBA, C4.5-family and SVM
 // implementations, plus §4.2's rule-explicit MCBAR classifier.
-func Preliminary(w io.Writer, cfg Config) ([]PreliminaryRow, error) {
+func Preliminary(ctx context.Context, w io.Writer, cfg Config) ([]PreliminaryRow, error) {
 	line(w, "Section 6.1 preliminary comparison (given training splits, scale=%s)", cfg.Scale)
 	var out []PreliminaryRow
 	var rows [][]string
@@ -51,7 +52,7 @@ func Preliminary(w io.Writer, cfg Config) ([]PreliminaryRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		ps, err := eval.PrepareWorkers(data, sp, cfg.Workers)
+		ps, err := eval.PrepareWorkers(ctx, data, sp, cfg.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -82,7 +83,7 @@ func Preliminary(w io.Writer, cfg Config) ([]PreliminaryRow, error) {
 		}
 		// JEP mining (the §7 TOP-RULES family) is exponential; a cutoff
 		// turns blowups into a DNF cell.
-		row.JEP, err = eval.RunJEP(ps, carminer.Budget{Deadline: obs.Now().Add(cfg.Cutoff)})
+		row.JEP, err = eval.RunJEP(ctx, ps, carminer.Budget{Deadline: obs.Now().Add(cfg.Cutoff)})
 		if errors.Is(err, carminer.ErrBudgetExceeded) {
 			row.JEPDNF = true
 		} else if err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"io"
 	"math/rand"
@@ -23,7 +24,7 @@ import (
 // runner times BST construction against minimal-JEP left-border mining on
 // growing training fractions of the PC profile, with the configured
 // cutoff turning blowups into DNFs.
-func Related(w io.Writer, cfg Config) error {
+func Related(ctx context.Context, w io.Writer, cfg Config) error {
 	line(w, "Section 7 related work: BST construction vs MBD-LLBORDER JEP mining on PC (scale=%s, cutoff=%v)",
 		cfg.Scale, cfg.Cutoff)
 	profile, err := synth.ProfileByName("PC", cfg.Scale)
@@ -41,7 +42,7 @@ func Related(w io.Writer, cfg Config) error {
 		if err != nil {
 			return err
 		}
-		ps, err := eval.PrepareWorkers(data, sp, cfg.Workers)
+		ps, err := eval.PrepareWorkers(ctx, data, sp, cfg.Workers)
 		if err != nil {
 			return err
 		}
@@ -60,7 +61,7 @@ func Related(w io.Writer, cfg Config) error {
 		jepCell := ""
 		patterns := 0
 		for ci := 0; ci < ps.TrainBool.NumClasses(); ci++ {
-			jeps, err := ep.MineJEPs(ps.TrainBool, ci, carminer.Budget{Deadline: deadline})
+			jeps, err := ep.MineJEPs(ctx, ps.TrainBool, ci, carminer.Budget{Deadline: deadline})
 			if errors.Is(err, carminer.ErrBudgetExceeded) {
 				jepCell = ">= " + fmtDuration(cfg.Cutoff) + " (DNF)"
 				break

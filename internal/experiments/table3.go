@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -27,7 +28,7 @@ type Table3Row struct {
 // randomForest on the clinically-determined training splits, with the
 // entropy-selected gene count. randomForest uses 500 trees except PC's
 // 1000, as in §6.1.
-func Table3(w io.Writer, cfg Config) ([]Table3Row, error) {
+func Table3(ctx context.Context, w io.Writer, cfg Config) ([]Table3Row, error) {
 	line(w, "Table 3: Results Using Given Training Data (scale=%s)", cfg.Scale)
 	var out []Table3Row
 	var rows [][]string
@@ -45,7 +46,7 @@ func Table3(w io.Writer, cfg Config) ([]Table3Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		ps, err := eval.PrepareWorkers(data, sp, cfg.Workers)
+		ps, err := eval.PrepareWorkers(ctx, data, sp, cfg.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -64,7 +65,7 @@ func Table3(w io.Writer, cfg Config) ([]Table3Row, error) {
 		// The paper's preliminary experiments ran to completion (the 2-hour
 		// cutoffs only govern the §6.2 cross-validation studies), so Table 3
 		// gets a generous multiple of the study cutoff.
-		rc, err := eval.RunRCBT(ps, cfg.RCBT, 8*cfg.Cutoff, cfg.NLFallback)
+		rc, err := eval.RunRCBT(ctx, ps, cfg.RCBT, 8*cfg.Cutoff, cfg.NLFallback)
 		if err != nil {
 			return nil, err
 		}

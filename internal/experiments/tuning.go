@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -18,7 +19,7 @@ import (
 // Top-k finish quickly, but the downstream RCBT phase can still fail — the
 // paper's point that support cutoffs are hard to tune and mining stays
 // computationally challenging either way.
-func Tuning(w io.Writer, cfg Config) error {
+func Tuning(ctx context.Context, w io.Writer, cfg Config) error {
 	line(w, "Section 6.2.4 narrative: Top-k support tuning on OC 1-133/0-77 training (scale=%s, cutoff=%v)",
 		cfg.Scale, cfg.Cutoff)
 	profile, err := synth.ProfileByName("OC", cfg.Scale)
@@ -38,7 +39,7 @@ func Tuning(w io.Writer, cfg Config) error {
 	if err != nil {
 		return err
 	}
-	ps, err := eval.PrepareWorkers(data, sp, cfg.Workers)
+	ps, err := eval.PrepareWorkers(ctx, data, sp, cfg.Workers)
 	if err != nil {
 		return err
 	}
@@ -47,7 +48,7 @@ func Tuning(w io.Writer, cfg Config) error {
 	for _, support := range []float64{0.7, 0.9} {
 		rcfg := cfg.RCBT
 		rcfg.MinSupport = support
-		out, err := eval.RunRCBT(ps, rcfg, cfg.Cutoff, cfg.NLFallback)
+		out, err := eval.RunRCBT(ctx, ps, rcfg, cfg.Cutoff, cfg.NLFallback)
 		if err != nil {
 			return err
 		}

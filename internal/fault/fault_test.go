@@ -1,0 +1,159 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCtxErrMapping(t *testing.T) {
+	if err := CtxErr(nil); err != nil {
+		t.Fatalf("nil ctx: %v", err)
+	}
+	if err := CtxErr(context.Background()); err != nil {
+		t.Fatalf("live ctx: %v", err)
+	}
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := CtxErr(canceled); !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled ctx: %v", err)
+	}
+	expired, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel2()
+	if err := CtxErr(expired); !errors.Is(err, ErrDeadline) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired ctx: %v", err)
+	}
+	if !IsCancellation(ErrDeadline) || !IsCancellation(ErrCanceled) || IsCancellation(errors.New("x")) {
+		t.Fatal("IsCancellation misclassifies")
+	}
+}
+
+func TestRecoveredCapturesStack(t *testing.T) {
+	var err error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				err = Recovered("test.site", r)
+			}
+		}()
+		panic("boom")
+	}()
+	pe, ok := AsPanic(err)
+	if !ok {
+		t.Fatalf("not a PanicError: %v", err)
+	}
+	if pe.Site != "test.site" || pe.Value != "boom" {
+		t.Fatalf("wrong capture: %+v", pe)
+	}
+	if !strings.Contains(string(pe.Stack), "TestRecoveredCapturesStack") {
+		t.Fatalf("stack missing frame:\n%s", pe.Stack)
+	}
+	if !strings.Contains(pe.Error(), "test.site") || !strings.Contains(pe.Error(), "boom") {
+		t.Fatalf("error text: %s", pe.Error())
+	}
+}
+
+func TestHitDisarmedIsNoop(t *testing.T) {
+	Disable()
+	for i := 0; i < 100; i++ {
+		if err := Hit("anything"); err != nil {
+			t.Fatalf("disarmed Hit returned %v", err)
+		}
+	}
+}
+
+func TestInjectorErrorRule(t *testing.T) {
+	boom := errors.New("injected")
+	in := NewInjector(1)
+	in.Set("s", Rule{Prob: 1, SkipHits: 2, MaxFires: 1, Err: boom})
+	Enable(in)
+	defer Disable()
+
+	var got []error
+	for i := 0; i < 5; i++ {
+		got = append(got, Hit("s"))
+	}
+	want := []error{nil, nil, boom, nil, nil}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hit %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+	c := in.Counts()["s"]
+	if c.Hits != 5 || c.Fires != 1 {
+		t.Fatalf("counts: %+v", c)
+	}
+	if err := Hit("unknown-site"); err != nil {
+		t.Fatalf("unruled site fired: %v", err)
+	}
+}
+
+func TestInjectorPanicRule(t *testing.T) {
+	in := NewInjector(1)
+	in.Set("p", Rule{Prob: 1, Panic: "chaos"})
+	Enable(in)
+	defer Disable()
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(r.(string), "chaos") {
+			t.Fatalf("expected injected panic, got %v", r)
+		}
+	}()
+	Hit("p") //nolint:errcheck // panics
+	t.Fatal("unreachable")
+}
+
+// TestInjectorDeterministic pins the chaos-replay contract: the same seed
+// and hit order fire the same schedule.
+func TestInjectorDeterministic(t *testing.T) {
+	schedule := func(seed int64) []bool {
+		in := NewInjector(seed)
+		in.Set("d", Rule{Prob: 0.3, Err: errors.New("x")})
+		var fired []bool
+		for i := 0; i < 200; i++ {
+			fired = append(fired, in.hit("d") != nil)
+		}
+		return fired
+	}
+	a, b := schedule(42), schedule(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at hit %d", i)
+		}
+	}
+	diff := schedule(7)
+	same := true
+	for i := range a {
+		if a[i] != diff[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules (suspicious)")
+	}
+}
+
+func TestInjectorConcurrentHits(t *testing.T) {
+	in := NewInjector(3)
+	in.Set("c", Rule{Prob: 0.5, Err: errors.New("x")})
+	Enable(in)
+	defer Disable()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				Hit("c") //nolint:errcheck // racing for the race detector
+			}
+		}()
+	}
+	wg.Wait()
+	if c := in.Counts()["c"]; c.Hits != 4000 {
+		t.Fatalf("lost hits: %+v", c)
+	}
+}

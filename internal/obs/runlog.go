@@ -48,6 +48,12 @@ type RunRecord struct {
 	// cutoff and its reported time is the cutoff (a "≥" lower bound).
 	TopkDNF bool `json:"topk_dnf,omitempty"`
 	RCBTDNF bool `json:"rcbt_dnf,omitempty"`
+	// DNF marks a test stopped by the study's context (deadline or
+	// cancellation) rather than a per-phase cutoff; the test is recorded,
+	// not error-aborted, and DNFReason says why ("deadline", "canceled",
+	// or "cutoff" when a phase cutoff is the cause).
+	DNF       bool   `json:"dnf,omitempty"`
+	DNFReason string `json:"dnf_reason,omitempty"`
 	// NLUsed / NLFallback record the paper's nl=20→2 adjustment (†).
 	NLUsed     int  `json:"nl_used,omitempty"`
 	NLFallback bool `json:"nl_fallback,omitempty"`
@@ -58,6 +64,13 @@ type RunRecord struct {
 	// that previously vanished into DNF cells surface here and as a
 	// non-zero CLI exit.
 	Error string `json:"error,omitempty"`
+	// Stack carries the goroutine stack of a panic recovered on the worker
+	// that ran this test; the panic is contained (the study continues) and
+	// Error holds the panic value.
+	Stack string `json:"stack,omitempty"`
+	// Replayed marks a record re-emitted from a checkpoint journal on
+	// resume instead of recomputed.
+	Replayed bool `json:"replayed,omitempty"`
 }
 
 // Float64Ptr adapts a value for the record's optional accuracy fields.

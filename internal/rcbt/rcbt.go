@@ -25,6 +25,7 @@
 package rcbt
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -75,14 +76,15 @@ type Classifier struct {
 // Mine runs phase 1 (Top-k covering rule group mining) for every class.
 // The result feeds Build; the harness times this call as the paper's
 // "Top-k" column. On budget expiry the partial results are returned with
-// carminer.ErrBudgetExceeded.
-func Mine(d *dataset.Bool, cfg Config) ([]*carminer.TopKResult, error) {
+// carminer.ErrBudgetExceeded; a context deadline or cancellation surfaces
+// the typed fault.ErrDeadline / fault.ErrCanceled the same way.
+func Mine(ctx context.Context, d *dataset.Bool, cfg Config) ([]*carminer.TopKResult, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
 	results := make([]*carminer.TopKResult, d.NumClasses())
 	for ci := 0; ci < d.NumClasses(); ci++ {
-		res, err := carminer.TopKCoveringRuleGroups(d, ci, carminer.TopKConfig{
+		res, err := carminer.TopKCoveringRuleGroups(ctx, d, ci, carminer.TopKConfig{
 			MinSupport: cfg.MinSupport,
 			K:          cfg.K,
 			Budget:     cfg.Budget,
@@ -99,7 +101,7 @@ func Mine(d *dataset.Bool, cfg Config) ([]*carminer.TopKResult, error) {
 // Build runs phase 2: lower-bound mining for every group plus classifier
 // assembly. The harness times this call (plus classification) as the
 // paper's "RCBT" column.
-func Build(d *dataset.Bool, mined []*carminer.TopKResult, cfg Config) (*Classifier, error) {
+func Build(ctx context.Context, d *dataset.Bool, mined []*carminer.TopKResult, cfg Config) (*Classifier, error) {
 	if len(mined) != d.NumClasses() {
 		return nil, fmt.Errorf("rcbt: %d mined classes for %d-class data", len(mined), d.NumClasses())
 	}
@@ -117,7 +119,7 @@ func Build(d *dataset.Bool, mined []*carminer.TopKResult, cfg Config) (*Classifi
 		}
 		// Mine lower bounds once per distinct group.
 		for _, g := range res.Groups {
-			lbs, err := carminer.MineLowerBounds(d, g, cfg.NL, cfg.Budget)
+			lbs, err := carminer.MineLowerBounds(ctx, d, g, cfg.NL, cfg.Budget)
 			if err != nil {
 				return nil, err
 			}
@@ -167,12 +169,12 @@ func Build(d *dataset.Bool, mined []*carminer.TopKResult, cfg Config) (*Classifi
 // Train is the convenience wrapper running both phases. A budget expiry in
 // either phase surfaces as carminer.ErrBudgetExceeded (a DNF in the paper's
 // tables).
-func Train(d *dataset.Bool, cfg Config) (*Classifier, error) {
-	mined, err := Mine(d, cfg)
+func Train(ctx context.Context, d *dataset.Bool, cfg Config) (*Classifier, error) {
+	mined, err := Mine(ctx, d, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return Build(d, mined, cfg)
+	return Build(ctx, d, mined, cfg)
 }
 
 // Classify scores the query against the main classifier; if no rule of any

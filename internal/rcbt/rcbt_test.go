@@ -1,6 +1,7 @@
 package rcbt
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -50,7 +51,7 @@ func classIdx(d *dataset.Bool) map[string]int {
 
 func TestTrainAndClassifySeparable(t *testing.T) {
 	d := markerData(t)
-	cl, err := Train(d, Config{MinSupport: 0.7, K: 3, NL: 5})
+	cl, err := Train(context.Background(), d, Config{MinSupport: 0.7, K: 3, NL: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestTrainAndClassifySeparable(t *testing.T) {
 
 func TestTrainingAccuracyOnSeparableData(t *testing.T) {
 	d := markerData(t)
-	cl, err := Train(d, Config{MinSupport: 0.7, K: 3, NL: 5})
+	cl, err := Train(context.Background(), d, Config{MinSupport: 0.7, K: 3, NL: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestTrainingAccuracyOnSeparableData(t *testing.T) {
 
 func TestDefaultClassFallback(t *testing.T) {
 	d := markerData(t)
-	cl, err := Train(d, Config{MinSupport: 0.7, K: 2, NL: 3})
+	cl, err := Train(context.Background(), d, Config{MinSupport: 0.7, K: 2, NL: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestDefaultClassFallback(t *testing.T) {
 
 func TestScoresNormalized(t *testing.T) {
 	d := markerData(t)
-	cl, err := Train(d, Config{MinSupport: 0.7, K: 2, NL: 3})
+	cl, err := Train(context.Background(), d, Config{MinSupport: 0.7, K: 2, NL: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,20 +144,20 @@ func TestMajorityDefault(t *testing.T) {
 
 func TestBuildValidation(t *testing.T) {
 	d := markerData(t)
-	mined, err := Mine(d, Config{MinSupport: 0.7, K: 2, NL: 2})
+	mined, err := Mine(context.Background(), d, Config{MinSupport: 0.7, K: 2, NL: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Build(d, mined[:1], Config{MinSupport: 0.7, K: 2, NL: 2}); err == nil {
+	if _, err := Build(context.Background(), d, mined[:1], Config{MinSupport: 0.7, K: 2, NL: 2}); err == nil {
 		t.Error("Build should reject wrong class count")
 	}
-	if _, err := Build(d, mined, Config{MinSupport: 0.7, K: 0, NL: 2}); err == nil {
+	if _, err := Build(context.Background(), d, mined, Config{MinSupport: 0.7, K: 0, NL: 2}); err == nil {
 		t.Error("Build should reject K=0")
 	}
-	if _, err := Build(d, mined, Config{MinSupport: 0.7, K: 2, NL: 0}); err == nil {
+	if _, err := Build(context.Background(), d, mined, Config{MinSupport: 0.7, K: 2, NL: 0}); err == nil {
 		t.Error("Build should reject NL=0")
 	}
-	if _, err := Build(d, []*carminer.TopKResult{nil, nil}, Config{MinSupport: 0.7, K: 2, NL: 2}); err == nil {
+	if _, err := Build(context.Background(), d, []*carminer.TopKResult{nil, nil}, Config{MinSupport: 0.7, K: 2, NL: 2}); err == nil {
 		t.Error("Build should reject nil mining results")
 	}
 }
@@ -180,7 +181,7 @@ func TestTrainBudgetDNF(t *testing.T) {
 		d.Rows = append(d.Rows, row)
 		d.Classes = append(d.Classes, i%2)
 	}
-	_, err := Train(d, Config{
+	_, err := Train(context.Background(), d, Config{
 		MinSupport: 0.01, K: 10, NL: 20,
 		Budget: carminer.Budget{Deadline: time.Now().Add(-time.Second)},
 	})
@@ -192,7 +193,7 @@ func TestTrainBudgetDNF(t *testing.T) {
 func TestNumRulesAndSubStructure(t *testing.T) {
 	d := markerData(t)
 	cfg := Config{MinSupport: 0.7, K: 3, NL: 5}
-	cl, err := Train(d, cfg)
+	cl, err := Train(context.Background(), d, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +229,7 @@ func TestRCBTAgreesWithLabelsOnNoisySeparableData(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cl, err := Train(d, Config{MinSupport: 0.6, K: 2, NL: 4})
+	cl, err := Train(context.Background(), d, Config{MinSupport: 0.6, K: 2, NL: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,14 +296,14 @@ func TestTrainWorkersDeterministic(t *testing.T) {
 	for trial := 0; trial < 4; trial++ {
 		d := randomBool(t, r, 10+r.Intn(6), 12+r.Intn(8), 2)
 		cfg := Config{MinSupport: 0.4, K: 3, NL: 4}
-		serial, err := Train(d, cfg)
+		serial, err := Train(context.Background(), d, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, workers := range []int{2, 3, 8} {
 			pcfg := cfg
 			pcfg.Workers = workers
-			par, err := Train(d, pcfg)
+			par, err := Train(context.Background(), d, pcfg)
 			if err != nil {
 				t.Fatal(err)
 			}

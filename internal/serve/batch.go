@@ -1,13 +1,21 @@
 package serve
 
 import (
+	"errors"
+	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
 	"bstc/internal/bitset"
 	"bstc/internal/dataset"
+	"bstc/internal/fault"
 	"bstc/internal/obs"
 )
+
+// errWatchdog fails a batch whose flush outlived WatchdogFactor request
+// timeouts; handlers map it to 504.
+var errWatchdog = errors.New("serve: batch watchdog expired")
 
 // runBatcher is the coalescing loop: it accumulates admitted requests into
 // a batch and dispatches when the batch fills, when the oldest request has
@@ -74,16 +82,57 @@ func (s *Server) runBatcher() {
 	}
 }
 
+// deliver hands res to p without ever blocking: done is buffered with one
+// slot and each request receives at most once, so the first delivery —
+// result, watchdog failure, or panic failure — wins and any later one is
+// dropped on the floor.
+func deliver(p *pending, res result) {
+	select {
+	case p.done <- res:
+	default:
+	}
+}
+
+// failBatch delivers err to every request of the batch.
+func failBatch(batch []*pending, err error) {
+	for _, p := range batch {
+		deliver(p, result{err: err})
+	}
+}
+
 // dispatch classifies one micro-batch on a worker goroutine. Rows are
 // assembled into a throwaway Bool dataset view (the query sets are shared,
 // not copied) and routed through the parallel classify kernel; per-request
 // confidences reuse the trained tables' pooled scratch. Delivery into the
 // buffered done channels never blocks, so a request that already gave up
 // on its deadline cannot stall the batch.
+//
+// The worker is fenced two ways: a panic is contained into 500s with the
+// stack in the run log, and a watchdog fails the batch with 504s — plus an
+// all-goroutine stack dump — if the flush outlives WatchdogFactor request
+// timeouts. Either way the server keeps taking requests.
 func (s *Server) dispatch(batch []*pending) {
 	s.inflightBatches.Add(1)
 	go func() {
 		defer s.inflightBatches.Done()
+		if s.cfg.WatchdogFactor > 0 {
+			limit := time.Duration(s.cfg.WatchdogFactor) * s.cfg.RequestTimeout
+			wd := time.AfterFunc(limit, func() { s.watchdogFire(batch, limit) })
+			defer wd.Stop()
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				perr := fault.Recovered("serve.batch", r)
+				s.met.batchPanics.Inc()
+				s.emitFailure("serve.batch", perr.Error(), perr.Stack)
+				failBatch(batch, perr)
+			}
+		}()
+		if err := fault.Hit("serve.batch"); err != nil {
+			s.emitFailure("serve.batch", err.Error(), nil)
+			failBatch(batch, err)
+			return
+		}
 		enq := obs.Now()
 		rows := make([]*bitset.Set, len(batch))
 		for i, p := range batch {
@@ -101,7 +150,7 @@ func (s *Server) dispatch(batch []*pending) {
 		span := ph.Start("serve/classify")
 		preds := s.art.Classifier.ClassifyBatchParallel(test, s.cfg.Workers)
 		for i, p := range batch {
-			p.done <- result{class: preds[i], confidence: s.art.Classifier.Confidence(p.q)}
+			deliver(p, result{class: preds[i], confidence: s.art.Classifier.Confidence(p.q)})
 		}
 		classifyNS := span.End()
 
@@ -110,6 +159,18 @@ func (s *Server) dispatch(batch []*pending) {
 		s.met.batchSize.Record(int64(len(batch)))
 		s.recordBatch(len(batch), preds, classifyNS)
 	}()
+}
+
+// watchdogFire is the batch watchdog's timer body: count it, dump every
+// goroutine's stack to the run log (the wedged worker is in there), and fail
+// the batch so its callers stop waiting.
+func (s *Server) watchdogFire(batch []*pending, limit time.Duration) {
+	s.met.watchdogs.Inc()
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	s.emitFailure("serve.watchdog",
+		fmt.Sprintf("batch of %d still flushing after %v", len(batch), limit), buf)
+	failBatch(batch, errWatchdog)
 }
 
 // BatchRecord is one flushed micro-batch as reported by /runlogz: size,

@@ -1,0 +1,261 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bstc/internal/fault"
+	"bstc/internal/obs"
+)
+
+// syncBuffer lets the run log be written from batch/watchdog goroutines and
+// read by the test without a race.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf strings.Builder
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// failureRecords extracts the failure records for one site; healthy batch
+// records share the "serve.batch" experiment name but carry no Error.
+func failureRecords(t *testing.T, raw, site string) []obs.RunRecord {
+	t.Helper()
+	var out []obs.RunRecord
+	for _, line := range strings.Split(raw, "\n") {
+		if line == "" {
+			continue
+		}
+		var env struct {
+			Run obs.RunRecord `json:"run"`
+		}
+		if err := json.Unmarshal([]byte(line), &env); err != nil {
+			t.Fatalf("bad runlog line: %v\n%s", err, line)
+		}
+		if env.Run.Experiment == site && env.Run.Error != "" {
+			out = append(out, env.Run)
+		}
+	}
+	return out
+}
+
+func counterValue(reg *obs.Registry, name string) int64 {
+	return reg.Snapshot().Counters[name]
+}
+
+// TestBatchPanicContained injects a panic into the batch worker and checks
+// the blast radius: the poisoned request gets a 500 naming the panic, the
+// stack lands in the run log, and the very next request classifies fine.
+func TestBatchPanicContained(t *testing.T) {
+	in := fault.NewInjector(10)
+	in.Set("serve.batch", fault.Rule{Prob: 1, MaxFires: 1, Panic: "chaos"})
+	fault.Enable(in)
+	defer fault.Disable()
+
+	reg := obs.NewRegistry()
+	var logBuf syncBuffer
+	art := testArtifact(t)
+	s := New(art, Config{BatchSize: 1, Registry: reg, RunLog: obs.NewRunLog(&logBuf)})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Close()
+
+	status, body := postClassify(t, ts.URL, valuesBody(t, testSamples()[0]))
+	if status != http.StatusInternalServerError {
+		t.Fatalf("poisoned batch: status %d (%s), want 500", status, body)
+	}
+	if !strings.Contains(string(body), "panic") {
+		t.Errorf("500 body does not name the panic: %s", body)
+	}
+	if got := counterValue(reg, "serve.batch_panics"); got != 1 {
+		t.Errorf("serve.batch_panics = %d, want 1", got)
+	}
+
+	// The process must still serve: the rule is exhausted, so this succeeds.
+	status, body = postClassify(t, ts.URL, valuesBody(t, testSamples()[0]))
+	if status != http.StatusOK {
+		t.Fatalf("request after contained panic: status %d (%s), want 200", status, body)
+	}
+
+	recs := failureRecords(t, logBuf.String(), "serve.batch")
+	if len(recs) != 1 {
+		t.Fatalf("got %d serve.batch failure records, want 1", len(recs))
+	}
+	if recs[0].Stack == "" || !strings.Contains(recs[0].Error, "panic") {
+		t.Errorf("failure record lost the panic detail: %+v", recs[0])
+	}
+}
+
+// TestHandlerPanicContained panics on the request path itself (before
+// batching) and checks the Handler boundary converts it to a 500 with the
+// stack logged, leaving the server alive.
+func TestHandlerPanicContained(t *testing.T) {
+	in := fault.NewInjector(11)
+	in.Set("serve.request", fault.Rule{Prob: 1, MaxFires: 1, Panic: "chaos"})
+	fault.Enable(in)
+	defer fault.Disable()
+
+	reg := obs.NewRegistry()
+	var logBuf syncBuffer
+	s := New(testArtifact(t), Config{BatchSize: 1, Registry: reg, RunLog: obs.NewRunLog(&logBuf)})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Close()
+
+	status, _ := postClassify(t, ts.URL, valuesBody(t, testSamples()[0]))
+	if status != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", status)
+	}
+	if got := counterValue(reg, "serve.handler_panics"); got != 1 {
+		t.Errorf("serve.handler_panics = %d, want 1", got)
+	}
+	if status, _ := postClassify(t, ts.URL, valuesBody(t, testSamples()[0])); status != http.StatusOK {
+		t.Fatalf("request after contained handler panic: status %d, want 200", status)
+	}
+	recs := failureRecords(t, logBuf.String(), "serve.handler")
+	if len(recs) != 1 || recs[0].Stack == "" {
+		t.Fatalf("want 1 serve.handler record with a stack, got %+v", recs)
+	}
+}
+
+// TestWatchdogFailsWedgedBatch wedges the batch worker (injected latency far
+// past the request timeout) and checks the watchdog fires: the request is
+// failed with 504 instead of hanging, the counter moves, and the run log
+// gets an all-goroutine stack dump.
+func TestWatchdogFailsWedgedBatch(t *testing.T) {
+	in := fault.NewInjector(12)
+	in.Set("serve.batch", fault.Rule{Prob: 1, MaxFires: 1, Latency: 400 * time.Millisecond})
+	fault.Enable(in)
+	defer fault.Disable()
+
+	reg := obs.NewRegistry()
+	var logBuf syncBuffer
+	s := New(testArtifact(t), Config{
+		BatchSize:      1,
+		RequestTimeout: 50 * time.Millisecond,
+		WatchdogFactor: 2,
+		Registry:       reg,
+		RunLog:         obs.NewRunLog(&logBuf),
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	status, _ := postClassify(t, ts.URL, valuesBody(t, testSamples()[0]))
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("wedged batch: status %d, want 504", status)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for counterValue(reg, "serve.watchdog_fires") == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := counterValue(reg, "serve.watchdog_fires"); got == 0 {
+		t.Fatal("watchdog never fired")
+	}
+	// Close drains the wedged worker, so the log is complete and quiescent.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs := failureRecords(t, logBuf.String(), "serve.watchdog")
+	if len(recs) != 1 {
+		t.Fatalf("got %d watchdog records, want 1", len(recs))
+	}
+	if !strings.Contains(recs[0].Stack, "goroutine") {
+		t.Error("watchdog record is missing the all-goroutine stack dump")
+	}
+}
+
+// TestRetryAfterAndOverloadCounters drives the server into shedding and then
+// draining, checking both rejections carry Retry-After and both counters are
+// visible through /metrics.
+func TestRetryAfterAndOverloadCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(testArtifact(t), Config{
+		BatchSize:   64, // never fills: requests wait out MaxWait
+		MaxWait:     300 * time.Millisecond,
+		MaxInFlight: 1,
+		RetryAfter:  3 * time.Second,
+		Registry:    reg,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Request A occupies the single in-flight slot while its batch waits.
+	done := make(chan int, 1)
+	go func() {
+		status, _ := postClassify(t, ts.URL, valuesBody(t, testSamples()[0]))
+		done <- status
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.InFlight() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Request B is shed.
+	resp, err := http.Post(ts.URL+"/v1/classify", "application/json",
+		strings.NewReader(valuesBody(t, testSamples()[1])))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overload: status %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "3" {
+		t.Errorf("429 Retry-After = %q, want \"3\"", got)
+	}
+	if status := <-done; status != http.StatusOK {
+		t.Fatalf("held request: status %d, want 200", status)
+	}
+
+	// Drain, then check the 503 path.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(ts.URL+"/v1/classify", "application/json",
+		strings.NewReader(valuesBody(t, testSamples()[0])))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining: status %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "3" {
+		t.Errorf("503 Retry-After = %q, want \"3\"", got)
+	}
+
+	// Both rejection modes surface in /metrics.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["serve.shed"] < 1 {
+		t.Errorf("serve.shed = %d, want >= 1", snap.Counters["serve.shed"])
+	}
+	if snap.Counters["serve.rejected_draining"] < 1 {
+		t.Errorf("serve.rejected_draining = %d, want >= 1", snap.Counters["serve.rejected_draining"])
+	}
+}

@@ -23,15 +23,19 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
 	"bstc/internal/bitset"
 	"bstc/internal/eval"
+	"bstc/internal/fault"
 	"bstc/internal/obs"
 )
 
@@ -52,6 +56,14 @@ type Config struct {
 	// RequestTimeout is the per-request deadline measured from admission;
 	// a request that cannot be answered in time gets 504 (default 5s).
 	RequestTimeout time.Duration
+	// WatchdogFactor × RequestTimeout bounds one batch flush: a batch worker
+	// still running past it gets an all-goroutine stack dump into the run
+	// log and its requests failed with 504, so one wedged batch cannot
+	// silently pin its callers. Negative disables; 0 means the default (4).
+	WatchdogFactor int
+	// RetryAfter is the Retry-After hint sent with 429 (shed) and 503
+	// (draining) responses (default 1s).
+	RetryAfter time.Duration
 	// Registry receives the serving metrics (request/batch counters,
 	// latency and batch-size histograms, discretize/classify phase
 	// timings). nil serves uninstrumented.
@@ -79,16 +91,25 @@ func (c Config) withDefaults() Config {
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 5 * time.Second
 	}
+	if c.WatchdogFactor == 0 {
+		c.WatchdogFactor = 4
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
 	if c.RunLogRing <= 0 {
 		c.RunLogRing = 64
 	}
 	return c
 }
 
-// result is what the batcher delivers back to a waiting handler.
+// result is what the batcher delivers back to a waiting handler. err is set
+// when the batch failed (contained panic, watchdog expiry) instead of
+// classifying.
 type result struct {
 	class      int
 	confidence float64
+	err        error
 }
 
 // pending is one admitted request waiting for its batch. done is buffered
@@ -109,6 +130,9 @@ type metrics struct {
 	shed         *obs.Counter
 	drainRejects *obs.Counter
 	deadlines    *obs.Counter
+	batchPanics  *obs.Counter
+	handlerPanic *obs.Counter
+	watchdogs    *obs.Counter
 	batches      *obs.Counter
 	batchSamples *obs.Counter
 	inflightPeak *obs.Gauge
@@ -139,6 +163,10 @@ type Server struct {
 
 	met  metrics
 	ring *batchRing
+
+	// retryAfter is cfg.RetryAfter rendered once as whole seconds for the
+	// Retry-After header.
+	retryAfter string
 }
 
 // New builds a server around a loaded artifact. The batcher goroutine
@@ -159,6 +187,9 @@ func New(art *eval.Artifact, cfg Config) *Server {
 			shed:         reg.Counter("serve.shed"),
 			drainRejects: reg.Counter("serve.rejected_draining"),
 			deadlines:    reg.Counter("serve.deadline_exceeded"),
+			batchPanics:  reg.Counter("serve.batch_panics"),
+			handlerPanic: reg.Counter("serve.handler_panics"),
+			watchdogs:    reg.Counter("serve.watchdog_fires"),
 			batches:      reg.Counter("serve.batches"),
 			batchSamples: reg.Counter("serve.batch_samples"),
 			inflightPeak: reg.Gauge("serve.inflight_peak"),
@@ -166,7 +197,8 @@ func New(art *eval.Artifact, cfg Config) *Server {
 			latency:      reg.Histogram("serve.latency_ns"),
 			queueWait:    reg.Histogram("serve.queue_wait_ns"),
 		},
-		ring: newBatchRing(cfg.RunLogRing),
+		ring:       newBatchRing(cfg.RunLogRing),
+		retryAfter: strconv.Itoa(int(math.Ceil(cfg.RetryAfter.Seconds()))),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.batcher.Add(1)
@@ -262,7 +294,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // Close is Shutdown without a deadline.
 func (s *Server) Close() error { return s.Shutdown(context.Background()) }
 
-// Handler returns the HTTP API.
+// Handler returns the HTTP API. A panic anywhere in a handler is contained
+// at this boundary: the request gets a 500, the panic and its stack go to
+// the run log, and the process keeps serving.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/classify", s.handleClassify)
@@ -270,7 +304,34 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/runlogz", s.handleRunlogz)
-	return mux
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				perr := fault.Recovered("serve.handler", rec)
+				s.met.handlerPanic.Inc()
+				s.emitFailure("serve.handler", perr.Error(), perr.Stack)
+				writeError(w, http.StatusInternalServerError, "internal error")
+			}
+		}()
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// emitFailure records a contained failure (panic, watchdog expiry) with its
+// stack in the run log, where study failures land too.
+func (s *Server) emitFailure(site, msg string, stack []byte) {
+	s.cfg.RunLog.Emit(obs.RunRecord{
+		Experiment: site,
+		Error:      msg,
+		Stack:      string(stack),
+	})
+}
+
+// rejectBusy writes a shed/drain rejection with the configured Retry-After
+// hint, so well-behaved clients back off instead of hammering.
+func (s *Server) rejectBusy(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Retry-After", s.retryAfter)
+	writeError(w, status, format, args...)
 }
 
 func writeJSON(w http.ResponseWriter, status int, body any) {
@@ -310,11 +371,16 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	if err := fault.Hit("serve.request"); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+
 	if status := s.admit(); status != 0 {
 		if status == http.StatusTooManyRequests {
-			writeError(w, status, "overloaded: %d requests in flight", s.cfg.MaxInFlight)
+			s.rejectBusy(w, status, "overloaded: %d requests in flight", s.cfg.MaxInFlight)
 		} else {
-			writeError(w, status, "server is draining")
+			s.rejectBusy(w, status, "server is draining")
 		}
 		return
 	}
@@ -344,6 +410,16 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	}
 	select {
 	case res := <-p.done:
+		if res.err != nil {
+			// A failed batch: watchdog expiries surface as timeouts, panics
+			// and injected faults as internal errors. The process lives on.
+			if errors.Is(res.err, errWatchdog) {
+				writeError(w, http.StatusGatewayTimeout, "%v", res.err)
+			} else {
+				writeError(w, http.StatusInternalServerError, "%v", res.err)
+			}
+			return
+		}
 		s.met.ok.Inc()
 		s.met.latency.Record(int64(obs.Now().Sub(start)))
 		writeJSON(w, http.StatusOK, Response{
@@ -389,6 +465,7 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
+		w.Header().Set("Retry-After", s.retryAfter)
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
 	}
