@@ -25,7 +25,7 @@ CHAOS_TESTS = Chaos|Fault|Panic|Watchdog|Checkpoint|Deadline|Cancel|RetryAfter|T
 CHAOS_PKGS = ./internal/fault/ ./internal/dataset/ ./internal/eval/ ./internal/serve/
 CHAOS_SEED ?= 1
 
-.PHONY: check vet build test race bench bench-json bench-smoke fuzz-smoke chaos
+.PHONY: check vet lint build test race bench bench-json bench-smoke fuzz-smoke chaos
 
 # The tier-1 gate plus the race-sensitive packages: the obs counters are
 # hit concurrently by parallel batch classification, eval threads the
@@ -35,10 +35,19 @@ CHAOS_SEED ?= 1
 # batches. bench-smoke keeps the benchmark/benchjson pipeline compiling
 # and parsing (one iteration per benchmark); fuzz-smoke gives every fuzz
 # target a short budget on top of the committed corpora.
-check: vet build race test bench-smoke fuzz-smoke
+check: vet lint build race test bench-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
+
+# lint runs staticcheck when it is on PATH (CI installs it; a bare dev box
+# may not have it, and the target must not fail for that).
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 build:
 	$(GO) build ./...

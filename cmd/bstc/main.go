@@ -55,6 +55,7 @@ import (
 	"bstc/internal/dataset"
 	"bstc/internal/discretize"
 	"bstc/internal/obs"
+	"bstc/internal/version"
 )
 
 func main() {
@@ -71,19 +72,25 @@ func run(args []string) (err error) {
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	debugAddr := fs.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address")
+	showVersion := fs.Bool("version", false, "print build information and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *showVersion {
+		fmt.Println(version.Get().String())
+		return nil
+	}
 	args = fs.Args()
 	if len(args) == 0 {
-		return fmt.Errorf("usage: bstc [-cpuprofile f] [-memprofile f] [-debug-addr a] <discretize|train|classify|mine|table|eval|artifact> [flags]")
+		return fmt.Errorf("usage: bstc [-cpuprofile f] [-memprofile f] [-debug-addr a] [-version] <discretize|train|classify|mine|table|eval|artifact> [flags]")
 	}
 	if *debugAddr != "" {
 		srv, err := obs.ServeDebug(*debugAddr)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "bstc: debug endpoints on http://%s/debug/\n", srv.Addr)
+		defer srv.Close() //nolint:errcheck // best-effort teardown on exit
+		fmt.Fprintf(os.Stderr, "bstc: debug endpoints on http://%s/debug/\n", srv.Addr())
 	}
 	prof := obs.Profiler{CPUPath: *cpuProfile, MemPath: *memProfile}
 	if err := prof.Start(); err != nil {

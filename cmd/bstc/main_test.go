@@ -1,12 +1,15 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"bstc/internal/dataset"
 	"bstc/internal/eval"
+	"bstc/internal/version"
 )
 
 // writeTable1 writes the paper's running example to a temp item-list file.
@@ -61,6 +64,27 @@ func TestRunUsageErrors(t *testing.T) {
 		if err := run(args); err == nil {
 			t.Errorf("run(%v) should error", args)
 		}
+	}
+}
+
+// TestRunVersionFlag: `bstc -version` prints build identity and exits clean,
+// without requiring a subcommand.
+func TestRunVersionFlag(t *testing.T) {
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run([]string{"-version"})
+	w.Close()
+	os.Stdout = old
+	out, _ := io.ReadAll(r)
+	if runErr != nil {
+		t.Fatalf("run(-version): %v", runErr)
+	}
+	if want := version.Get().String(); strings.TrimSpace(string(out)) != want {
+		t.Errorf("output %q, want %q", out, want)
 	}
 }
 

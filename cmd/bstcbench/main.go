@@ -50,6 +50,7 @@ import (
 	"bstc/internal/eval"
 	"bstc/internal/experiments"
 	"bstc/internal/obs"
+	"bstc/internal/obs/trace"
 	"bstc/internal/synth"
 )
 
@@ -75,9 +76,19 @@ func run(args []string) (err error) {
 	obsFlag := fs.Bool("obs", true, "instrument the pipeline (miner counters, phase histograms)")
 	cpuProfileFlag := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfileFlag := fs.String("memprofile", "", "write a heap profile to this file on exit")
-	debugAddrFlag := fs.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
+	debugAddrFlag := fs.String("debug-addr", "", "serve /debug/vars, /debug/pprof, /metrics, /tracez and /slo on this address (e.g. localhost:6060)")
+	traceFlag := fs.String("trace", "", "write sampled spans as JSONL to this file")
+	traceSampleFlag := fs.Float64("trace-sample", -1, "fraction of experiment traces to sample in [0,1] (default 1 when -trace is set, else 0)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	sampleRate := *traceSampleFlag
+	if sampleRate < 0 {
+		if *traceFlag != "" {
+			sampleRate = 1
+		} else {
+			sampleRate = 0
+		}
 	}
 
 	scale, err := synth.ParseScale(*scaleFlag)
@@ -141,13 +152,41 @@ func run(args []string) (err error) {
 	eval.SetMetrics(reg)
 	defer eval.SetMetrics(nil)
 
-	if *debugAddrFlag != "" {
-		obs.PublishExpvar("bstc", reg)
-		srv, err := obs.ServeDebug(*debugAddrFlag)
+	// Tracing: each experiment gets a root span, and the per-test spans in
+	// eval hang off it via the study context. The recorder feeds /tracez on
+	// the debug server; -trace exports every sampled span as JSONL.
+	var tracer *trace.Tracer
+	traceRec := trace.NewRecorder(0)
+	traceCfg := trace.Config{SampleRate: sampleRate, Recorder: traceRec}
+	if *traceFlag != "" {
+		exp, err := trace.OpenExporter(*traceFlag)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "bstcbench: debug endpoints on http://%s/debug/\n", srv.Addr)
+		defer exp.Close()
+		traceCfg.Exporter = exp
+	}
+	tracer = trace.New(traceCfg)
+
+	// The cv_tests availability SLO taps the run-log stream: a good event
+	// is a test that neither errored nor DNF'd. Without -runlog the records
+	// still flow (to a discard sink) so the SLO always has data.
+	cvSLO := obs.NewSLO(obs.SLOConfig{Name: "cv_tests", Target: 0.999})
+	slos := obs.NewSLOSet()
+	slos.Add(cvSLO)
+
+	if *debugAddrFlag != "" {
+		obs.PublishExpvar("bstc", reg)
+		srv, err := obs.ServeDebug(*debugAddrFlag,
+			obs.Route{Pattern: "/metrics", Handler: obs.PromHandler(reg)},
+			obs.Route{Pattern: "/tracez", Handler: traceRec.Handler()},
+			obs.Route{Pattern: "/slo", Handler: slos.Handler()},
+		)
+		if err != nil {
+			return err
+		}
+		defer srv.Close() //nolint:errcheck // best-effort teardown on exit
+		fmt.Fprintf(os.Stderr, "bstcbench: debug endpoints on http://%s/debug/\n", srv.Addr())
 	}
 	prof := obs.Profiler{CPUPath: *cpuProfileFlag, MemPath: *memProfileFlag}
 	if err := prof.Start(); err != nil {
@@ -165,7 +204,14 @@ func run(args []string) (err error) {
 		}
 		defer rl.Close()
 		cfg.RunLog = rl
+	} else {
+		cfg.RunLog = obs.NewRunLog(io.Discard)
 	}
+	cfg.RunLog.Observe(func(rec obs.RunRecord) {
+		if rec.Experiment == "cv" && !rec.Replayed {
+			cvSLO.Record(rec.Error == "" && !rec.DNF)
+		}
+	})
 
 	// Artifacts render to w; summary lines go to stdout regardless.
 	var w io.Writer = os.Stdout
@@ -175,12 +221,17 @@ func run(args []string) (err error) {
 	fmt.Fprintf(w, "BSTC evaluation suite — scale=%s tests=%d cutoff=%v seed=%d\n\n",
 		scale, cfg.Tests, cfg.Cutoff, cfg.Seed)
 
-	// runExp snapshots counters around one experiment and prints its
-	// one-line summary.
-	runExp := func(label string, f func() error) error {
+	// runExp snapshots counters around one experiment, roots its trace, and
+	// prints its one-line summary. The traced context flows into the
+	// experiment so every cross-validation test's span hangs off the root.
+	runExp := func(label string, f func(context.Context) error) error {
 		before := reg.Snapshot()
 		start := time.Now()
-		if err := f(); err != nil {
+		ectx, span := tracer.StartRoot(ctx, "exp/"+label, trace.SpanContext{})
+		err := f(ectx)
+		span.SetError(err)
+		span.End()
+		if err != nil {
 			return err
 		}
 		summaryLine(os.Stdout, label, time.Since(start), reg.Snapshot().DeltaFrom(before))
@@ -189,13 +240,13 @@ func run(args []string) (err error) {
 	}
 
 	if wanted["table2"] {
-		if err := runExp("table2", func() error { return experiments.Table2(w, cfg) }); err != nil {
+		if err := runExp("table2", func(context.Context) error { return experiments.Table2(w, cfg) }); err != nil {
 			return err
 		}
 	}
 	if wanted["table3"] {
-		err := runExp("table3", func() error {
-			_, err := experiments.Table3(ctx, w, cfg)
+		err := runExp("table3", func(ectx context.Context) error {
+			_, err := experiments.Table3(ectx, w, cfg)
 			return err
 		})
 		if err != nil {
@@ -203,8 +254,8 @@ func run(args []string) (err error) {
 		}
 	}
 	if wanted["prelim"] {
-		err := runExp("prelim", func() error {
-			_, err := experiments.Preliminary(ctx, w, cfg)
+		err := runExp("prelim", func(ectx context.Context) error {
+			_, err := experiments.Preliminary(ectx, w, cfg)
 			return err
 		})
 		if err != nil {
@@ -233,8 +284,8 @@ func run(args []string) (err error) {
 		if !needFig && !needRT && !needAcc {
 			continue
 		}
-		err := runExp(name+" study", func() error {
-			study, err := experiments.RunStudy(ctx, cfg, name, true)
+		err := runExp(name+" study", func(ectx context.Context) error {
+			study, err := experiments.RunStudy(ectx, cfg, name, true)
 			if err != nil {
 				return err
 			}
@@ -260,13 +311,13 @@ func run(args []string) (err error) {
 	}
 
 	if wanted["tuning"] {
-		if err := runExp("tuning", func() error { return experiments.Tuning(ctx, w, cfg) }); err != nil {
+		if err := runExp("tuning", func(ectx context.Context) error { return experiments.Tuning(ectx, w, cfg) }); err != nil {
 			return err
 		}
 	}
 	if wanted["ablation"] {
-		err := runExp("ablation", func() error {
-			_, err := experiments.Ablation(ctx, w, cfg, "PC")
+		err := runExp("ablation", func(ectx context.Context) error {
+			_, err := experiments.Ablation(ectx, w, cfg, "PC")
 			return err
 		})
 		if err != nil {
@@ -274,11 +325,28 @@ func run(args []string) (err error) {
 		}
 	}
 	if wanted["related"] {
-		if err := runExp("related", func() error { return experiments.Related(ctx, w, cfg) }); err != nil {
+		if err := runExp("related", func(ectx context.Context) error { return experiments.Related(ectx, w, cfg) }); err != nil {
 			return err
 		}
 	}
+	sloLine(os.Stdout, cvSLO)
 	return nil
+}
+
+// sloLine prints the cross-validation availability SLO after the run: the
+// lifetime attainment and the shortest rolling window's burn rate. Silent
+// when no cross-validation test ran.
+func sloLine(w io.Writer, s *obs.SLO) {
+	rep := s.Report()
+	if rep.Lifetime.Total == 0 {
+		return
+	}
+	line := fmt.Sprintf("[slo] %s target=%.3f good=%d/%d ratio=%.4f",
+		rep.Name, rep.Target, rep.Lifetime.Good, rep.Lifetime.Total, rep.Lifetime.Ratio)
+	if len(rep.Windows) > 0 {
+		line += fmt.Sprintf(" burn_%s=%.2f", rep.Windows[0].Window, rep.Windows[0].BurnRate)
+	}
+	fmt.Fprintln(w, line)
 }
 
 // summaryLine prints one experiment's wall time with counter highlights:

@@ -4,9 +4,14 @@
 //
 //	bstcd -model model.bstc [-addr :8080] [-batch 32] [-max-wait 2ms]
 //	      [-max-inflight 128] [-workers N] [-timeout 5s] [-runlog batches.jsonl]
+//	      [-trace spans.jsonl] [-trace-sample 0.1] [-slo-latency 100ms] [-slo-target 0.999]
 //
 // Endpoints (see internal/serve): POST /v1/classify, GET /v1/model,
-// /healthz, /metrics, /runlogz. On SIGINT/SIGTERM the daemon drains:
+// /healthz (with build info), /metrics (JSON, or Prometheus text with
+// ?format=prom), /runlogz, /tracez, /slo. Classify requests carry W3C
+// traceparent end to end: -trace-sample heads new traces, a propagated
+// sampled flag is always honored, and sampled spans land on /tracez and
+// in the -trace JSONL export. On SIGINT/SIGTERM the daemon drains:
 // admitted requests are answered, new ones get 503, then both the HTTP
 // server and the batcher stop.
 package main
@@ -26,6 +31,7 @@ import (
 
 	"bstc/internal/eval"
 	"bstc/internal/obs"
+	"bstc/internal/obs/trace"
 	"bstc/internal/serve"
 )
 
@@ -53,6 +59,10 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready func(net.Ad
 	watchdogFactor := fs.Int("watchdog-factor", 0, "fail a batch flush exceeding this multiple of -timeout, with a stack dump to the runlog (default 4, negative disables)")
 	retryAfter := fs.Duration("retry-after", 0, "Retry-After hint on 429/503 responses (default 1s)")
 	runlogPath := fs.String("runlog", "", "append per-batch JSONL records to this file")
+	tracePath := fs.String("trace", "", "write sampled spans as JSONL to this file")
+	traceSample := fs.Float64("trace-sample", 0, "fraction of new traces to head-sample in [0,1]; propagated sampled traceparents are always honored")
+	sloLatency := fs.Duration("slo-latency", 0, "classify latency SLO threshold (default 100ms)")
+	sloTarget := fs.Float64("slo-target", 0, "SLO good fraction for latency and availability (default 0.999)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,6 +90,8 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready func(net.Ad
 		WatchdogFactor: *watchdogFactor,
 		RetryAfter:     *retryAfter,
 		Registry:       obs.NewRegistry(),
+		SLOLatency:     *sloLatency,
+		SLOTarget:      *sloTarget,
 	}
 	if *runlogPath != "" {
 		rl, err := obs.OpenRunLog(*runlogPath)
@@ -89,6 +101,18 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready func(net.Ad
 		defer rl.Close()
 		cfg.RunLog = rl
 	}
+	// The tracer always carries a recorder so /tracez works even at sample
+	// rate 0 (propagated sampled traceparents still produce spans).
+	traceCfg := trace.Config{SampleRate: *traceSample, Recorder: trace.NewRecorder(0)}
+	if *tracePath != "" {
+		exp, err := trace.OpenExporter(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer exp.Close()
+		traceCfg.Exporter = exp
+	}
+	cfg.Tracer = trace.New(traceCfg)
 	s := serve.New(art, cfg)
 
 	ln, err := net.Listen("tcp", *addr)

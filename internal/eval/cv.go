@@ -11,6 +11,7 @@ import (
 	"bstc/internal/dataset"
 	"bstc/internal/fault"
 	"bstc/internal/obs"
+	"bstc/internal/obs/trace"
 	"bstc/internal/rcbt"
 )
 
@@ -254,6 +255,20 @@ func RunCV(ctx context.Context, cfg CVConfig) ([]SizeResult, error) {
 			res.rec.Worker = worker
 		}
 		rec := &res.rec
+		// One span per test, a child of the experiment's root span when the
+		// caller traced the study context (bstcbench -trace); untraced
+		// contexts cost nothing. The record carries the identity either way
+		// it exits, so runlog rows join to /tracez and the JSONL export.
+		tctx, tspan := trace.Start(ctx, "cv/test")
+		defer tspan.End()
+		tspan.SetAttr("dataset", cfg.Dataset)
+		tspan.SetAttr("size", t.size.Label)
+		tspan.SetAttr("test", t.test)
+		if workers > 1 {
+			tspan.SetAttr("worker", worker)
+		}
+		rec.TraceID = tspan.TraceIDString()
+		rec.SpanID = tspan.SpanIDString()
 		// One snapshot window per test, taken on the worker running it.
 		// The deferred delta lands on the record on every exit path —
 		// failed tests previously lost exactly the counters that would
@@ -282,6 +297,7 @@ func RunCV(ctx context.Context, cfg CVConfig) ([]SizeResult, error) {
 		// on this worker — stack on the record, study continues.
 		fail := func(err error) *cvResult {
 			rec.Error = err.Error()
+			tspan.SetError(err)
 			if perr, ok := fault.AsPanic(err); ok {
 				rec.Stack = string(perr.Stack)
 				res.contained = true
@@ -296,6 +312,7 @@ func RunCV(ctx context.Context, cfg CVConfig) ([]SizeResult, error) {
 		dnf := func(err error, bstcOK bool) *cvResult {
 			rec.DNF = true
 			rec.DNFReason = stopReason(err)
+			tspan.AddEvent("dnf:" + rec.DNFReason)
 			res.err = err
 			res.dnf = true
 			res.failed = !bstcOK
@@ -309,7 +326,9 @@ func RunCV(ctx context.Context, cfg CVConfig) ([]SizeResult, error) {
 		}
 		ph := obs.NewPhasesIn(reg)
 		span := ph.Start("discretize")
-		ps, err := PrepareWorkers(ctx, cfg.Data, t.sp, workers)
+		_, dspan := trace.Start(tctx, "cv/discretize")
+		ps, err := PrepareWorkers(tctx, cfg.Data, t.sp, workers)
+		dspan.End()
 		span.End()
 		rec.PhasesMS = ph.AddTo(rec.PhasesMS)
 		if err != nil {
@@ -320,7 +339,9 @@ func RunCV(ctx context.Context, cfg CVConfig) ([]SizeResult, error) {
 		}
 		rec.GenesAfterDiscretization = ps.GenesAfterDiscretization
 		res.genesAfter = ps.GenesAfterDiscretization
+		_, bspan := trace.Start(tctx, "cv/bstc")
 		b, err := RunBSTCWorkers(ps, cfg.BSTCOpts, workers)
+		bspan.End()
 		if err != nil {
 			return fail(fmt.Errorf("eval: size %s test %d: BSTC: %w", t.size.Label, t.test, err))
 		}
@@ -328,7 +349,7 @@ func RunCV(ctx context.Context, cfg CVConfig) ([]SizeResult, error) {
 		rec.PhasesMS = b.Phases.AddTo(rec.PhasesMS)
 		res.bstc = b
 		if cfg.RunRCBT {
-			rc, err := RunRCBT(ctx, ps, cfg.RCBT, cfg.Cutoff, cfg.NLFallback)
+			rc, err := RunRCBT(tctx, ps, cfg.RCBT, cfg.Cutoff, cfg.NLFallback)
 			rec.PhasesMS = rc.Phases.AddTo(rec.PhasesMS)
 			rec.TopkDNF = rc.TopkDNF
 			rec.RCBTDNF = rc.RCBTDNF

@@ -13,6 +13,7 @@ import (
 	"bstc/internal/fault"
 	"bstc/internal/forest"
 	"bstc/internal/obs"
+	"bstc/internal/obs/trace"
 	"bstc/internal/rcbt"
 	"bstc/internal/stats"
 	"bstc/internal/svm"
@@ -123,7 +124,10 @@ func RunRCBT(ctx context.Context, ps *Prepared, cfg rcbt.Config, cutoff time.Dur
 	mineCfg := cfg
 	mineCfg.Budget = budget()
 	span := ph.Start("rcbt/topk")
+	_, tsp := trace.Start(ctx, "rcbt/topk")
 	mined, err := rcbt.Mine(ctx, ps.TrainBool, mineCfg)
+	tsp.SetError(err)
+	tsp.End()
 	out.TopkTime = span.End()
 	if err != nil {
 		reason := stopReason(err)
@@ -145,11 +149,13 @@ func RunRCBT(ctx context.Context, ps *Prepared, cfg rcbt.Config, cutoff time.Dur
 	buildCfg := cfg
 	buildCfg.Budget = budget()
 	span = ph.Start("rcbt/build")
+	_, bsp := trace.Start(ctx, "rcbt/build")
 	cl, err := rcbt.Build(ctx, ps.TrainBool, mined, buildCfg)
 	// The nl fallback retries only cutoff expiries: retrying after a context
 	// deadline or cancellation could not finish either.
 	if err != nil && nlFallback > 0 && nlFallback < cfg.NL && errors.Is(err, carminer.ErrBudgetExceeded) {
 		span.End()
+		bsp.AddEvent("nl_fallback")
 		out.NLUsed = nlFallback
 		out.NLFallback = true
 		buildCfg.NL = nlFallback
@@ -157,6 +163,8 @@ func RunRCBT(ctx context.Context, ps *Prepared, cfg rcbt.Config, cutoff time.Dur
 		span = ph.Start("rcbt/build")
 		cl, err = rcbt.Build(ctx, ps.TrainBool, mined, buildCfg)
 	}
+	bsp.SetError(err)
+	bsp.End()
 	out.RCBTTime = span.End()
 	if err != nil {
 		reason := stopReason(err)
@@ -171,7 +179,9 @@ func RunRCBT(ctx context.Context, ps *Prepared, cfg rcbt.Config, cutoff time.Dur
 		return out, nil
 	}
 	span = ph.Start("rcbt/classify")
+	_, csp := trace.Start(ctx, "rcbt/classify")
 	preds := cl.ClassifyBatch(ps.TestBool)
+	csp.End()
 	out.RCBTTime += span.End()
 	out.Accuracy = stats.Accuracy(preds, ps.TestBool.Classes)
 	return out, nil

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestServeDebugLifecycle(t *testing.T) {
+	srv, err := ServeDebug("127.0.0.1:0", Route{
+		Pattern: "/extra",
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			io.WriteString(w, "extra-ok")
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	if addr == "" {
+		t.Fatal("no resolved address")
+	}
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	if code, body := get("/extra"); code != http.StatusOK || body != "extra-ok" {
+		t.Errorf("/extra = %d %q", code, body)
+	}
+	if code, _ := get("/debug/vars"); code != http.StatusOK {
+		t.Errorf("/debug/vars = %d", code)
+	}
+
+	// Close is effective (the port stops accepting) and idempotent.
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Errorf("Shutdown after Close: %v", err)
+	}
+	if _, err := net.DialTimeout("tcp", addr, 200*time.Millisecond); err == nil {
+		t.Error("listener still accepting after Close")
+	}
+	var nilSrv *DebugServer
+	if nilSrv.Close() != nil || nilSrv.Shutdown(context.Background()) != nil || nilSrv.Addr() != "" {
+		t.Error("nil DebugServer methods must be no-ops")
+	}
+}
+
+func TestServeDebugGracefulShutdown(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	srv, err := ServeDebug("127.0.0.1:0", Route{
+		Pattern: "/slow",
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			close(entered)
+			<-release
+			io.WriteString(w, "done")
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		body string
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + srv.Addr() + "/slow")
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		got <- result{body: string(body)}
+	}()
+	<-entered
+	// Shutdown must wait for the in-flight request once it is released.
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- srv.Shutdown(context.Background()) }()
+	close(release)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	r := <-got
+	if r.err != nil || r.body != "done" {
+		t.Errorf("in-flight request = %q, %v; want completed response", r.body, r.err)
+	}
+}
+
+func TestServeDebugBadRouteReleasesListener(t *testing.T) {
+	_, err := ServeDebug("127.0.0.1:0",
+		Route{Pattern: "/dup", Handler: http.NotFoundHandler()},
+		Route{Pattern: "/dup", Handler: http.NotFoundHandler()},
+	)
+	if err == nil {
+		t.Fatal("duplicate route pattern did not error")
+	}
+	if !strings.Contains(err.Error(), "route registration") {
+		t.Errorf("error = %v", err)
+	}
+}

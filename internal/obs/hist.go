@@ -96,6 +96,21 @@ func (h *Histogram) Quantile(q float64) int64 {
 	return h.max.Load()
 }
 
+// BucketCounts copies the raw per-bucket counts: bucket i holds the
+// observations whose bit length is i, i.e. the value range [2^(i-1), 2^i)
+// (bucket 0 holds exactly the zeros). The Prometheus exposition turns
+// these into cumulative le-buckets. Zero for the nil histogram.
+func (h *Histogram) BucketCounts() [65]int64 {
+	var out [65]int64
+	if h == nil {
+		return out
+	}
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
 // HistSummary is the JSON-friendly digest of a histogram.
 type HistSummary struct {
 	Count int64 `json:"count"`

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+)
+
+// Label is one metric dimension, for series that need them (per-version
+// canary metrics, build info). Labeled series are stored in the registry
+// under a canonical `name{k1="v1",k2="v2"}` key — keys sorted, values
+// escaped — so the same (name, labels) always resolves to the same metric
+// and snapshots remain plain name→value maps.
+type Label struct{ Key, Value string }
+
+// SeriesKey renders the canonical registry key for a labeled series. With
+// no labels it is the bare name. The label block uses the Prometheus
+// exposition escaping (backslash, quote, newline), so exposition can emit
+// it verbatim.
+func SeriesKey(name string, labels ...Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// splitSeriesKey undoes SeriesKey for rendering: the family name and the
+// raw (already-escaped) label block, "" when unlabeled.
+func splitSeriesKey(key string) (family, labelBlock string) {
+	if i := strings.IndexByte(key, '{'); i >= 0 && strings.HasSuffix(key, "}") {
+		return key[:i], key[i+1 : len(key)-1]
+	}
+	return key, ""
+}
+
+// CounterWith returns the labeled counter, creating it on first use. A
+// nil registry returns the nil (no-op) counter.
+func (r *Registry) CounterWith(name string, labels ...Label) *Counter {
+	return r.Counter(SeriesKey(name, labels...))
+}
+
+// GaugeWith returns the labeled gauge, creating it on first use. A nil
+// registry returns the nil (no-op) gauge.
+func (r *Registry) GaugeWith(name string, labels ...Label) *Gauge {
+	return r.Gauge(SeriesKey(name, labels...))
+}
+
+// HistogramWith returns the labeled histogram, creating it on first use.
+// A nil registry returns the nil (no-op) histogram.
+func (r *Registry) HistogramWith(name string, labels ...Label) *Histogram {
+	return r.Histogram(SeriesKey(name, labels...))
+}

@@ -190,6 +190,54 @@ func TestSnapshotDeltaFrom(t *testing.T) {
 	}
 }
 
+// TestSnapshotDeltaFromAsymmetric pins the semantics for metrics present
+// on only one side: a metric that exists only in `before` (e.g. after a
+// registry swap) is silently dropped — DeltaFrom walks the current
+// snapshot's series — while a metric born after `before` reports its full
+// value as the delta.
+func TestSnapshotDeltaFromAsymmetric(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("old").Add(10)
+	r.Histogram("hOld").Record(1)
+	before := r.Snapshot()
+
+	r2 := NewRegistry() // "old"/"hOld" gone, "fresh"/"hNew" newborn
+	r2.Counter("fresh").Add(4)
+	r2.Gauge("g").Set(6)
+	h := r2.Histogram("hNew")
+	h.Record(10)
+	h.Record(30)
+	d := r2.Snapshot().DeltaFrom(before)
+
+	if _, ok := d.Counters["old"]; ok {
+		t.Error("before-only counter must be dropped from the delta")
+	}
+	if _, ok := d.Hists["hOld"]; ok {
+		t.Error("before-only histogram must be dropped from the delta")
+	}
+	if d.Counters["fresh"] != 4 {
+		t.Errorf("after-only counter delta = %d, want full value 4", d.Counters["fresh"])
+	}
+	if d.Gauges["g"] != 6 {
+		t.Errorf("after-only gauge = %d, want 6", d.Gauges["g"])
+	}
+	if hd := d.Hists["hNew"]; hd.Count != 2 || hd.Sum != 40 {
+		t.Errorf("after-only hist delta = %+v, want count 2 sum 40", hd)
+	}
+
+	// A histogram present on both sides but untouched since `before` drops
+	// out (Count delta 0), like an unchanged counter.
+	before2 := r2.Snapshot()
+	r2.Counter("fresh").Add(1)
+	d2 := r2.Snapshot().DeltaFrom(before2)
+	if _, ok := d2.Hists["hNew"]; ok {
+		t.Error("unchanged histogram should be dropped from the delta")
+	}
+	if d2.Counters["fresh"] != 1 {
+		t.Errorf("counter delta = %d, want 1", d2.Counters["fresh"])
+	}
+}
+
 func TestPublishExpvarRebindsWithoutPanic(t *testing.T) {
 	r1 := NewRegistry()
 	r1.Counter("c").Add(1)

@@ -60,6 +60,12 @@ type RunRecord struct {
 
 	GenesAfterDiscretization int `json:"genes_after_discretization,omitempty"`
 
+	// TraceID / SpanID tie the record to its trace when the run executed
+	// under a sampled span, so a DNF or error row in the runlog can be
+	// looked up on /tracez or in the trace JSONL export.
+	TraceID string `json:"trace_id,omitempty"`
+	SpanID  string `json:"span_id,omitempty"`
+
 	// Error carries a real failure (not a DNF): mining or training errors
 	// that previously vanished into DNF cells surface here and as a
 	// non-zero CLI exit.
@@ -80,9 +86,10 @@ func Float64Ptr(v float64) *float64 { return &v }
 // *RunLog is a valid no-op sink, so harnesses thread it unconditionally.
 // Emit is safe for concurrent use.
 type RunLog struct {
-	mu     sync.Mutex
-	closer io.Closer
-	logger *slog.Logger
+	mu       sync.Mutex
+	closer   io.Closer
+	logger   *slog.Logger
+	observer func(RunRecord)
 }
 
 // NewRunLog writes records to w, one slog JSON line each.
@@ -101,6 +108,24 @@ func OpenRunLog(path string) (*RunLog, error) {
 	return l, nil
 }
 
+// Observe registers fn to be called with every record Emit appends —
+// the hook SLO trackers and live dashboards use to tap the stream
+// without touching the producers. fn runs under the log's mutex, so it
+// must be quick and must not Emit. No-op on a nil log.
+func (l *RunLog) Observe(fn func(RunRecord)) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	prev := l.observer
+	if prev == nil {
+		l.observer = fn
+		return
+	}
+	l.observer = func(rec RunRecord) { prev(rec); fn(rec) }
+}
+
 // Emit appends one record. No-op on a nil log.
 func (l *RunLog) Emit(rec RunRecord) {
 	if l == nil {
@@ -109,6 +134,9 @@ func (l *RunLog) Emit(rec RunRecord) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.logger.LogAttrs(context.Background(), slog.LevelInfo, "run", slog.Any("run", rec))
+	if l.observer != nil {
+		l.observer(rec)
+	}
 }
 
 // Close closes the underlying file, if Open-ed. No-op otherwise.

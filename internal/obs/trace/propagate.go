@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"encoding/hex"
+	"net/http"
+)
+
+// TraceparentHeader is the W3C trace-context request/response header.
+const TraceparentHeader = "traceparent"
+
+// flagSampled is the only trace-flags bit the spec defines today.
+const flagSampled = 0x01
+
+// ParseTraceparent parses a W3C traceparent value:
+//
+//	version "-" trace-id "-" parent-id "-" trace-flags
+//	  00    -  32 hex    -  16 hex     -  2 hex
+//
+// Unknown versions are accepted per spec (the four known fields still
+// lead), version 0xff and all-zero IDs are rejected. ok is false for
+// anything malformed; the zero SpanContext is returned then.
+func ParseTraceparent(h string) (sc SpanContext, ok bool) {
+	if len(h) < 55 {
+		return SpanContext{}, false
+	}
+	if h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return SpanContext{}, false
+	}
+	var version [1]byte
+	if _, err := hex.Decode(version[:], []byte(h[0:2])); err != nil || version[0] == 0xff {
+		return SpanContext{}, false
+	}
+	// Version 00 defines exactly 55 chars; future versions may append
+	// "-extra" but never more base fields.
+	if len(h) > 55 && (version[0] == 0 || h[55] != '-') {
+		return SpanContext{}, false
+	}
+	if _, err := hex.Decode(sc.TraceID[:], []byte(h[3:35])); err != nil {
+		return SpanContext{}, false
+	}
+	if _, err := hex.Decode(sc.SpanID[:], []byte(h[36:52])); err != nil {
+		return SpanContext{}, false
+	}
+	var flags [1]byte
+	if _, err := hex.Decode(flags[:], []byte(h[53:55])); err != nil {
+		return SpanContext{}, false
+	}
+	if sc.TraceID.IsZero() || sc.SpanID.IsZero() {
+		return SpanContext{}, false
+	}
+	sc.Sampled = flags[0]&flagSampled != 0
+	return sc, true
+}
+
+// FormatTraceparent renders sc as a version-00 traceparent value.
+func FormatTraceparent(sc SpanContext) string {
+	b := make([]byte, 0, 55)
+	b = append(b, "00-"...)
+	b = appendHex(b, sc.TraceID[:])
+	b = append(b, '-')
+	b = appendHex(b, sc.SpanID[:])
+	if sc.Sampled {
+		b = append(b, "-01"...)
+	} else {
+		b = append(b, "-00"...)
+	}
+	return string(b)
+}
+
+func appendHex(dst, src []byte) []byte {
+	var buf [32]byte
+	n := hex.Encode(buf[:], src)
+	return append(dst, buf[:n]...)
+}
+
+// Extract reads the traceparent header from an incoming request. ok is
+// false when the header is absent or malformed.
+func Extract(r *http.Request) (SpanContext, bool) {
+	h := r.Header.Get(TraceparentHeader)
+	if h == "" {
+		return SpanContext{}, false
+	}
+	return ParseTraceparent(h)
+}
+
+// Inject writes sc as the traceparent header (responses echo the trace so
+// callers can join their logs to the server's spans). Invalid contexts
+// write nothing.
+func Inject(h http.Header, sc SpanContext) {
+	if !sc.Valid() {
+		return
+	}
+	h.Set(TraceparentHeader, FormatTraceparent(sc))
+}

@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	sc := SpanContext{
+		TraceID: TraceID{0x4b, 0xf9, 0x2f, 0x35, 0x77, 0xb3, 0x4d, 0xa6, 0xa3, 0xce, 0x92, 0x9d, 0x0e, 0x0e, 0x47, 0x36},
+		SpanID:  SpanID{0x00, 0xf0, 0x67, 0xaa, 0x0b, 0xa9, 0x02, 0xb7},
+		Sampled: true,
+	}
+	h := FormatTraceparent(sc)
+	if h != "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01" {
+		t.Fatalf("FormatTraceparent = %q", h)
+	}
+	got, ok := ParseTraceparent(h)
+	if !ok || got != sc {
+		t.Fatalf("ParseTraceparent(%q) = %+v, %v", h, got, ok)
+	}
+	sc.Sampled = false
+	got, ok = ParseTraceparent(FormatTraceparent(sc))
+	if !ok || got != sc {
+		t.Fatalf("unsampled round trip = %+v, %v", got, ok)
+	}
+}
+
+func TestParseTraceparentRejectsMalformed(t *testing.T) {
+	valid := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	bad := []string{
+		"",
+		"00",
+		valid[:54],                          // one char short
+		valid + "x",                         // trailing junk on version 00
+		strings.Replace(valid, "-", "_", 1), // bad dash
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // forbidden version
+		"0g-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // bad version hex
+		"00-4bf92f3577b34da6a3ce929d0e0e473z-00f067aa0ba902b7-01", // bad trace hex
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902bz-01", // bad span hex
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-0z", // bad flags hex
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // zero trace ID
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", // zero span ID
+	}
+	for _, s := range bad {
+		if sc, ok := ParseTraceparent(s); ok {
+			t.Errorf("ParseTraceparent(%q) accepted: %+v", s, sc)
+		}
+	}
+	// A future version may carry extra fields after the flags; the prefix
+	// still parses when followed by a dash.
+	future := "cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra"
+	if sc, ok := ParseTraceparent(future); !ok || !sc.Sampled {
+		t.Errorf("future-version header rejected: %+v, %v", sc, ok)
+	}
+}
+
+func TestExtractInject(t *testing.T) {
+	valid := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	r := httptest.NewRequest("POST", "/v1/classify", nil)
+	r.Header.Set(TraceparentHeader, valid)
+	sc, ok := Extract(r)
+	if !ok || !sc.Sampled {
+		t.Fatalf("Extract = %+v, %v", sc, ok)
+	}
+
+	w := httptest.NewRecorder()
+	Inject(w.Header(), sc)
+	if got := w.Header().Get(TraceparentHeader); got != valid {
+		t.Errorf("Inject wrote %q, want %q", got, valid)
+	}
+
+	// No header → no extraction; invalid context → no injection.
+	if _, ok := Extract(httptest.NewRequest("GET", "/", nil)); ok {
+		t.Error("Extract succeeded on a request without traceparent")
+	}
+	w = httptest.NewRecorder()
+	Inject(w.Header(), SpanContext{})
+	if got := w.Header().Get(TraceparentHeader); got != "" {
+		t.Errorf("Inject wrote %q for an invalid context", got)
+	}
+}

@@ -1,0 +1,233 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"bstc/internal/obs"
+)
+
+// Recorder keeps finished spans in two fixed-size rings — recent spans
+// and errored spans — plus the set of spans started but not yet ended.
+// The error ring is the "always keep errors" half of head sampling: a
+// burst of healthy traffic cannot evict the failures /tracez exists to
+// show. The nil *Recorder records nothing.
+type Recorder struct {
+	mu      sync.Mutex
+	buf     []SpanData
+	next    int64 // total spans recorded
+	errBuf  []SpanData
+	errNext int64
+	active  map[*Span]struct{}
+}
+
+// DefaultRingSize is the recent-span capacity NewRecorder(0) selects; the
+// error ring gets 1/8th of the recent capacity (minimum 64).
+const DefaultRingSize = 2048
+
+// NewRecorder returns a recorder retaining up to n recent spans (n <= 0
+// selects DefaultRingSize).
+func NewRecorder(n int) *Recorder {
+	if n <= 0 {
+		n = DefaultRingSize
+	}
+	errN := n / 8
+	if errN < 64 {
+		errN = 64
+	}
+	return &Recorder{
+		buf:    make([]SpanData, 0, n),
+		errBuf: make([]SpanData, 0, errN),
+		active: make(map[*Span]struct{}),
+	}
+}
+
+func (r *Recorder) startActive(s *Span) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.active[s] = struct{}{}
+	r.mu.Unlock()
+}
+
+func (r *Recorder) endActive(s *Span, d SpanData) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	delete(r.active, s)
+	push(&r.buf, &r.next, d)
+	if d.Error != "" {
+		push(&r.errBuf, &r.errNext, d)
+	}
+	r.mu.Unlock()
+}
+
+// push appends d to a ring backed by a full-capacity slice.
+func push(buf *[]SpanData, next *int64, d SpanData) {
+	b := *buf
+	if len(b) < cap(b) {
+		*buf = append(b, d)
+	} else {
+		b[int(*next)%cap(b)] = d
+	}
+	*next++
+}
+
+// ringSlice returns a ring's retained entries, oldest first.
+func ringSlice(buf []SpanData, next int64) []SpanData {
+	out := make([]SpanData, 0, len(buf))
+	if len(buf) < cap(buf) {
+		return append(out, buf...)
+	}
+	start := int(next) % cap(buf)
+	out = append(out, buf[start:]...)
+	return append(out, buf[:start]...)
+}
+
+// Spans returns the retained recent spans, oldest first.
+func (r *Recorder) Spans() []SpanData {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return ringSlice(r.buf, r.next)
+}
+
+// Errors returns the retained errored spans, oldest first.
+func (r *Recorder) Errors() []SpanData {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return ringSlice(r.errBuf, r.errNext)
+}
+
+// Active snapshots the spans started but not yet ended, as SpanData with
+// the duration measured up to now.
+func (r *Recorder) Active() []SpanData {
+	if r == nil {
+		return nil
+	}
+	now := obs.Now()
+	r.mu.Lock()
+	spans := make([]*Span, 0, len(r.active))
+	for s := range r.active {
+		spans = append(spans, s)
+	}
+	r.mu.Unlock()
+	out := make([]SpanData, 0, len(spans))
+	for _, s := range spans {
+		s.mu.Lock()
+		if !s.ended {
+			out = append(out, s.data(now))
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// Trace is one reassembled span tree: every retained span sharing a trace
+// ID, ordered start-first (the root, when retained, leads).
+type Trace struct {
+	TraceID string     `json:"trace_id"`
+	Spans   []SpanData `json:"spans"`
+}
+
+// Root returns the trace's earliest-starting span.
+func (t Trace) Root() SpanData { return t.Spans[0] }
+
+// Traces groups the retained recent spans by trace ID, newest trace
+// first. Spans within a trace are ordered by start time.
+func (r *Recorder) Traces() []Trace {
+	spans := r.Spans()
+	byID := make(map[string]*Trace)
+	var order []string // first-span order, oldest first
+	for _, d := range spans {
+		tr, ok := byID[d.TraceID]
+		if !ok {
+			tr = &Trace{TraceID: d.TraceID}
+			byID[d.TraceID] = tr
+			order = append(order, d.TraceID)
+		}
+		tr.Spans = append(tr.Spans, d)
+	}
+	out := make([]Trace, 0, len(order))
+	for i := len(order) - 1; i >= 0; i-- {
+		tr := byID[order[i]]
+		sort.SliceStable(tr.Spans, func(a, b int) bool { return tr.Spans[a].Start.Before(tr.Spans[b].Start) })
+		out = append(out, *tr)
+	}
+	return out
+}
+
+// TraceByID returns the retained spans of one trace (hex ID), ok=false
+// when none survive in either ring.
+func (r *Recorder) TraceByID(id string) (Trace, bool) {
+	if r == nil {
+		return Trace{}, false
+	}
+	seen := map[string]bool{}
+	tr := Trace{TraceID: id}
+	for _, d := range append(r.Spans(), r.Errors()...) {
+		if d.TraceID == id && !seen[d.SpanID] {
+			seen[d.SpanID] = true
+			tr.Spans = append(tr.Spans, d)
+		}
+	}
+	if len(tr.Spans) == 0 {
+		return Trace{}, false
+	}
+	sort.SliceStable(tr.Spans, func(a, b int) bool { return tr.Spans[a].Start.Before(tr.Spans[b].Start) })
+	return tr, true
+}
+
+// Exporter appends finished spans as JSON lines — the trace analogue of
+// obs.RunLog, meant to sit alongside it. The nil *Exporter is a valid
+// no-op sink. Export is safe for concurrent use.
+type Exporter struct {
+	mu     sync.Mutex
+	enc    *json.Encoder
+	closer io.Closer
+}
+
+// NewExporter writes span lines to w.
+func NewExporter(w io.Writer) *Exporter {
+	return &Exporter{enc: json.NewEncoder(w)}
+}
+
+// OpenExporter creates (truncates) path and returns an Exporter writing
+// to it.
+func OpenExporter(path string) (*Exporter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	e := NewExporter(f)
+	e.closer = f
+	return e, nil
+}
+
+func (e *Exporter) export(d SpanData) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.enc.Encode(d) //nolint:errcheck // export is best-effort, like the run log
+}
+
+// Close closes the underlying file, if Open-ed. No-op otherwise.
+func (e *Exporter) Close() error {
+	if e == nil || e.closer == nil {
+		return nil
+	}
+	return e.closer.Close()
+}

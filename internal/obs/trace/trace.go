@@ -1,0 +1,381 @@
+// Package trace is the request-scoped tracing layer over internal/obs:
+// 128-bit trace IDs and 64-bit span IDs carried on context.Context, cheap
+// span trees with attributes and events, deterministic head sampling, a
+// ring-buffer recorder behind a /tracez endpoint, and JSONL export
+// alongside the run log.
+//
+// The design mirrors the obs package's nil-safety contract: a nil *Tracer
+// starts nothing, a nil *Span is the universal no-op handle, and starting
+// a span on a context that carries no sampled span returns the context
+// unchanged — zero allocations on the disarmed path. Hot paths therefore
+// call Start/StartChild unconditionally; only sampled traces pay.
+//
+// Sampling is decided once, at the root, from the trace ID (head
+// sampling): a propagated W3C traceparent whose sampled flag is set is
+// always honored, and new or unflagged traces are sampled when the low 64
+// bits of the trace ID fall under the configured rate. The decision is a
+// pure function of the trace ID, so every service that sees the same
+// trace makes the same choice. Spans that record an error are retained in
+// the recorder's dedicated error ring, so high traffic cannot evict the
+// interesting failures (the always-on-error half of the zPages pattern).
+package trace
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"bstc/internal/obs"
+)
+
+// TraceID is the 128-bit trace identifier (W3C trace-context trace-id).
+type TraceID [16]byte
+
+// IsZero reports whether the ID is the invalid all-zero ID.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the ID as 32 lowercase hex digits.
+func (t TraceID) String() string {
+	var b [32]byte
+	hex.Encode(b[:], t[:])
+	return string(b[:])
+}
+
+// SpanID is the 64-bit span identifier (W3C trace-context parent-id).
+type SpanID [8]byte
+
+// IsZero reports whether the ID is the invalid all-zero ID.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the ID as 16 lowercase hex digits.
+func (s SpanID) String() string {
+	var b [16]byte
+	hex.Encode(b[:], s[:])
+	return string(b[:])
+}
+
+// SpanContext is the propagated identity of a span: what traceparent
+// carries between processes.
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Sampled bool
+}
+
+// Valid reports whether the context names a real span.
+func (sc SpanContext) Valid() bool { return !sc.TraceID.IsZero() && !sc.SpanID.IsZero() }
+
+// Config tunes a Tracer. The zero value samples nothing.
+type Config struct {
+	// SampleRate is the fraction of new traces to sample, in [0, 1]. The
+	// decision is deterministic on the trace ID (the low 64 bits compared
+	// against rate·2⁶⁴), so the same trace samples identically everywhere
+	// it propagates. A propagated parent with the sampled flag set is
+	// always sampled regardless of rate.
+	SampleRate float64
+	// Recorder keeps finished spans for /tracez. nil records nothing.
+	Recorder *Recorder
+	// Exporter appends one JSON line per finished span. nil exports
+	// nothing.
+	Exporter *Exporter
+	// Rand is the ID entropy source, for deterministic tests. nil uses
+	// math/rand/v2's global generator.
+	Rand func() uint64
+}
+
+// Tracer creates and records spans. The nil *Tracer is fully disarmed:
+// every Start returns the no-op span handle and the context unchanged.
+type Tracer struct {
+	threshold uint64 // sample when low 64 trace-ID bits < threshold
+	always    bool   // SampleRate >= 1
+	rec       *Recorder
+	exp       *Exporter
+	rand      func() uint64
+}
+
+// New builds a tracer. See Config for the sampling contract.
+func New(cfg Config) *Tracer {
+	t := &Tracer{rec: cfg.Recorder, exp: cfg.Exporter, rand: cfg.Rand}
+	if t.rand == nil {
+		t.rand = rand.Uint64
+	}
+	switch {
+	case cfg.SampleRate >= 1:
+		t.always = true
+		t.threshold = math.MaxUint64
+	case cfg.SampleRate > 0:
+		t.threshold = uint64(cfg.SampleRate * math.MaxUint64)
+	}
+	return t
+}
+
+// Recorder returns the tracer's span recorder (nil when not recording).
+func (t *Tracer) Recorder() *Recorder {
+	if t == nil {
+		return nil
+	}
+	return t.rec
+}
+
+// sampled is the deterministic head-sampling decision for a trace ID.
+func (t *Tracer) sampled(id TraceID) bool {
+	if t.always {
+		return true
+	}
+	return binary.BigEndian.Uint64(id[8:]) < t.threshold
+}
+
+func (t *Tracer) newTraceID() TraceID {
+	var id TraceID
+	for id.IsZero() {
+		binary.BigEndian.PutUint64(id[:8], t.rand())
+		binary.BigEndian.PutUint64(id[8:], t.rand())
+	}
+	return id
+}
+
+func (t *Tracer) newSpanID() SpanID {
+	var id SpanID
+	for id.IsZero() {
+		binary.BigEndian.PutUint64(id[:], t.rand())
+	}
+	return id
+}
+
+// Attr is one span attribute. Values must be JSON-encodable.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// Event is one timestamped point annotation inside a span.
+type Event struct {
+	Time time.Time
+	Name string
+}
+
+// Span is one in-flight operation of a sampled trace. The nil *Span is
+// the no-op handle: every method is safe and free on it, so call sites
+// never check. Spans are created by Tracer.StartRoot, Start, or
+// StartChild, and must be ended exactly once.
+type Span struct {
+	tr     *Tracer
+	sc     SpanContext
+	parent SpanID
+	name   string
+	start  time.Time
+
+	mu     sync.Mutex
+	attrs  []Attr
+	events []Event
+	errMsg string
+	ended  bool
+}
+
+// spanKey carries the current span on a context.
+type spanKey struct{}
+
+// ContextWith returns ctx carrying s. A nil span returns ctx unchanged.
+func ContextWith(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// FromContext returns the span carried by ctx, or nil.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// StartRoot opens a new trace (or continues the propagated parent) and
+// returns ctx carrying the root span. When ctx already carries a sampled
+// span the new span becomes its child instead — entry points can call
+// StartRoot unconditionally. An unsampled decision (or a nil tracer)
+// returns ctx unchanged and the nil no-op span, allocating nothing.
+func (t *Tracer) StartRoot(ctx context.Context, name string, parent SpanContext) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	if cur := FromContext(ctx); cur != nil {
+		child := cur.StartChild(name)
+		return ContextWith(ctx, child), child
+	}
+	tid := parent.TraceID
+	var psid SpanID
+	if parent.Valid() {
+		psid = parent.SpanID
+	} else {
+		tid = t.newTraceID()
+	}
+	if !(parent.Valid() && parent.Sampled) && !t.sampled(tid) {
+		return ctx, nil
+	}
+	s := t.open(name, tid, psid)
+	return ContextWith(ctx, s), s
+}
+
+// Start opens a child of the span carried by ctx and returns ctx carrying
+// it. A context with no span (the disarmed path) is returned unchanged
+// with the nil span, allocating nothing.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	cur := FromContext(ctx)
+	if cur == nil {
+		return ctx, nil
+	}
+	child := cur.StartChild(name)
+	return ContextWith(ctx, child), child
+}
+
+// StartChild opens a child span without touching a context — for code
+// that holds a span handle across goroutines (micro-batch flushes). Safe
+// on the nil span (returns nil).
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tr.open(name, s.sc.TraceID, s.sc.SpanID)
+}
+
+func (t *Tracer) open(name string, tid TraceID, parent SpanID) *Span {
+	s := &Span{
+		tr:     t,
+		sc:     SpanContext{TraceID: tid, SpanID: t.newSpanID(), Sampled: true},
+		parent: parent,
+		name:   name,
+		start:  obs.Now(),
+	}
+	t.rec.startActive(s)
+	return s
+}
+
+// Context returns the span's propagation identity (zero for nil).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.sc
+}
+
+// TraceIDString returns the span's trace ID in hex, or "" for nil — the
+// form run-log records stamp.
+func (s *Span) TraceIDString() string {
+	if s == nil {
+		return ""
+	}
+	return s.sc.TraceID.String()
+}
+
+// SpanIDString returns the span's ID in hex, or "" for nil.
+func (s *Span) SpanIDString() string {
+	if s == nil {
+		return ""
+	}
+	return s.sc.SpanID.String()
+}
+
+// SetAttr attaches a key/value attribute. No-op on nil.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// AddEvent appends a timestamped point annotation. No-op on nil.
+func (s *Span) AddEvent(name string) {
+	if s == nil {
+		return
+	}
+	now := obs.Now()
+	s.mu.Lock()
+	s.events = append(s.events, Event{Time: now, Name: name})
+	s.mu.Unlock()
+}
+
+// SetError marks the span failed. An errored span is retained in the
+// recorder's error ring at End, surviving eviction by healthy traffic.
+// No-op on nil or a nil error.
+func (s *Span) SetError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.mu.Lock()
+	s.errMsg = err.Error()
+	s.mu.Unlock()
+}
+
+// End finishes the span, delivering it to the recorder and exporter, and
+// returns its duration. Safe on nil (returns 0); a second End is ignored.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	end := obs.Now()
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return end.Sub(s.start)
+	}
+	s.ended = true
+	d := s.data(end)
+	s.mu.Unlock()
+	s.tr.rec.endActive(s, d)
+	s.tr.exp.export(d)
+	return end.Sub(s.start)
+}
+
+// data snapshots the span for recording; callers hold s.mu.
+func (s *Span) data(end time.Time) SpanData {
+	d := SpanData{
+		TraceID:    s.sc.TraceID.String(),
+		SpanID:     s.sc.SpanID.String(),
+		Name:       s.name,
+		Start:      s.start,
+		DurationUS: float64(end.Sub(s.start)) / float64(time.Microsecond),
+		Error:      s.errMsg,
+	}
+	if !s.parent.IsZero() {
+		d.ParentID = s.parent.String()
+	}
+	if len(s.attrs) > 0 {
+		d.Attrs = make(map[string]any, len(s.attrs))
+		for _, a := range s.attrs {
+			d.Attrs[a.Key] = a.Value
+		}
+	}
+	for _, e := range s.events {
+		d.Events = append(d.Events, EventData{
+			OffsetUS: float64(e.Time.Sub(s.start)) / float64(time.Microsecond),
+			Name:     e.Name,
+		})
+	}
+	return d
+}
+
+// SpanData is one finished span as recorded, exported, and served by
+// /tracez — the trace JSONL schema (documented in EXPERIMENTS.md).
+type SpanData struct {
+	TraceID    string         `json:"trace_id"`
+	SpanID     string         `json:"span_id"`
+	ParentID   string         `json:"parent_id,omitempty"`
+	Name       string         `json:"name"`
+	Start      time.Time      `json:"start"`
+	DurationUS float64        `json:"dur_us"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Events     []EventData    `json:"events,omitempty"`
+	Error      string         `json:"error,omitempty"`
+}
+
+// EventData is one span event, timed as an offset from the span start.
+type EventData struct {
+	OffsetUS float64 `json:"offset_us"`
+	Name     string  `json:"name"`
+}

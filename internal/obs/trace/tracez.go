@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// tracezPage is the JSON shape of GET /tracez?format=json.
+type tracezPage struct {
+	Active []SpanData `json:"active"`
+	Traces []Trace    `json:"traces"`
+	Errors []SpanData `json:"errors"`
+}
+
+// Handler serves the recorder's contents:
+//
+//	GET /tracez                  HTML: active spans, recent traces, errors
+//	GET /tracez?format=json      the same as JSON
+//	GET /tracez?trace=<hex id>   one trace (JSON)
+//
+// A nil recorder serves 503, so the route can be registered
+// unconditionally.
+func (r *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if r == nil {
+			http.Error(w, "tracing disabled", http.StatusServiceUnavailable)
+			return
+		}
+		if id := req.URL.Query().Get("trace"); id != "" {
+			tr, ok := r.TraceByID(id)
+			if !ok {
+				http.Error(w, "trace not retained", http.StatusNotFound)
+				return
+			}
+			writeTracezJSON(w, tr)
+			return
+		}
+		page := tracezPage{Active: r.Active(), Traces: r.Traces(), Errors: r.Errors()}
+		if req.URL.Query().Get("format") == "json" {
+			writeTracezJSON(w, page)
+			return
+		}
+		writeTracezHTML(w, page)
+	})
+}
+
+func writeTracezJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // response already committed
+}
+
+func writeTracezHTML(w http.ResponseWriter, page tracezPage) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	var b strings.Builder
+	b.WriteString(`<!DOCTYPE html><html><head><title>tracez</title><style>
+body{font-family:monospace;margin:1.5em}
+h2{border-bottom:1px solid #999}
+table{border-collapse:collapse}
+td,th{padding:2px 10px;text-align:left;border-bottom:1px solid #ddd}
+.err{color:#b00}
+pre{margin:.3em 0 1em;line-height:1.4}
+</style></head><body><h1>tracez</h1>`)
+	fmt.Fprintf(&b, "<p>%d active span(s), %d retained trace(s), %d retained error span(s)</p>",
+		len(page.Active), len(page.Traces), len(page.Errors))
+
+	b.WriteString("<h2>Active spans</h2>")
+	spanTable(&b, page.Active)
+
+	b.WriteString("<h2>Recent traces</h2>")
+	for _, tr := range page.Traces {
+		fmt.Fprintf(&b, `<h3><a href="?trace=%s">%s</a> — %s, %d span(s)</h3><pre>`,
+			tr.TraceID, tr.TraceID, durUS(tr.Root().DurationUS), len(tr.Spans))
+		writeTree(&b, tr.Spans)
+		b.WriteString("</pre>")
+	}
+
+	b.WriteString("<h2>Error spans</h2>")
+	spanTable(&b, page.Errors)
+	b.WriteString("</body></html>")
+	w.Write([]byte(b.String())) //nolint:errcheck // response already committed
+}
+
+func spanTable(b *strings.Builder, spans []SpanData) {
+	if len(spans) == 0 {
+		b.WriteString("<p>(none)</p>")
+		return
+	}
+	b.WriteString("<table><tr><th>name</th><th>trace</th><th>span</th><th>start</th><th>duration</th><th>error</th></tr>")
+	for _, d := range spans {
+		fmt.Fprintf(b, `<tr><td>%s</td><td><a href="?trace=%s">%s</a></td><td>%s</td><td>%s</td><td>%s</td><td class="err">%s</td></tr>`,
+			html.EscapeString(d.Name), d.TraceID, d.TraceID, d.SpanID,
+			d.Start.Format(time.RFC3339Nano), durUS(d.DurationUS), html.EscapeString(d.Error))
+	}
+	b.WriteString("</table>")
+}
+
+// writeTree renders one trace's spans as an indented tree. Spans whose
+// parent was evicted from the ring render as additional roots.
+func writeTree(b *strings.Builder, spans []SpanData) {
+	children := map[string][]SpanData{}
+	have := map[string]bool{}
+	for _, d := range spans {
+		have[d.SpanID] = true
+	}
+	var roots []SpanData
+	for _, d := range spans {
+		if d.ParentID != "" && have[d.ParentID] {
+			children[d.ParentID] = append(children[d.ParentID], d)
+		} else {
+			roots = append(roots, d)
+		}
+	}
+	var render func(d SpanData, depth int)
+	render = func(d SpanData, depth int) {
+		line := fmt.Sprintf("%s%-8s %s", strings.Repeat("  ", depth), durUS(d.DurationUS), html.EscapeString(d.Name))
+		if len(d.Attrs) > 0 {
+			keys := make([]string, 0, len(d.Attrs))
+			for k := range d.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			parts := make([]string, len(keys))
+			for i, k := range keys {
+				parts[i] = fmt.Sprintf("%s=%v", k, d.Attrs[k])
+			}
+			line += " {" + html.EscapeString(strings.Join(parts, " ")) + "}"
+		}
+		if d.Error != "" {
+			line += ` <span class="err">ERROR: ` + html.EscapeString(d.Error) + "</span>"
+		}
+		b.WriteString(line + "\n")
+		for _, c := range children[d.SpanID] {
+			render(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		render(r, 0)
+	}
+}
+
+func durUS(us float64) string {
+	return time.Duration(us * float64(time.Microsecond)).Round(time.Microsecond).String()
+}

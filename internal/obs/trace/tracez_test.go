@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestTracezHandler(t *testing.T) {
+	rec := NewRecorder(0)
+	tr := New(Config{SampleRate: 1, Recorder: rec})
+	ctx, root := tr.StartRoot(context.Background(), "serve/classify_request", SpanContext{})
+	_, child := Start(ctx, "serve/batch_wait")
+	child.End()
+	root.End()
+	_, bad := tr.StartRoot(context.Background(), "serve/broken", SpanContext{})
+	bad.SetError(errors.New("boom"))
+	bad.End()
+
+	h := rec.Handler()
+
+	// JSON dump: active, traces, errors.
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", "/tracez?format=json", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("json dump status %d", w.Code)
+	}
+	var dump struct {
+		Active []SpanData `json:"active"`
+		Traces []Trace    `json:"traces"`
+		Errors []SpanData `json:"errors"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &dump); err != nil {
+		t.Fatalf("json dump: %v", err)
+	}
+	if len(dump.Traces) != 2 {
+		t.Errorf("dump has %d traces, want 2", len(dump.Traces))
+	}
+	if len(dump.Errors) != 1 || dump.Errors[0].Name != "serve/broken" {
+		t.Errorf("dump errors = %v", dump.Errors)
+	}
+
+	// Single trace by ID.
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", "/tracez?trace="+root.TraceIDString(), nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("single-trace status %d", w.Code)
+	}
+	var tc Trace
+	if err := json.Unmarshal(w.Body.Bytes(), &tc); err != nil {
+		t.Fatalf("single trace: %v", err)
+	}
+	if len(tc.Spans) != 2 {
+		t.Errorf("trace has %d spans, want 2", len(tc.Spans))
+	}
+
+	// Unknown trace → 404.
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", "/tracez?trace="+strings.Repeat("ab", 16), nil))
+	if w.Code != http.StatusNotFound {
+		t.Errorf("unknown trace status %d, want 404", w.Code)
+	}
+
+	// Default HTML view names the spans.
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", "/tracez", nil))
+	body := w.Body.String()
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("html content type %q", ct)
+	}
+	for _, want := range []string{"serve/classify_request", "serve/batch_wait", "serve/broken"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("html view missing %q", want)
+		}
+	}
+}
+
+func TestTracezNilRecorderUnavailable(t *testing.T) {
+	var rec *Recorder
+	w := httptest.NewRecorder()
+	rec.Handler().ServeHTTP(w, httptest.NewRequest("GET", "/tracez", nil))
+	if w.Code != http.StatusServiceUnavailable {
+		t.Errorf("nil recorder status %d, want 503", w.Code)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"bstc/internal/dataset"
 	"bstc/internal/fault"
 	"bstc/internal/obs"
+	"bstc/internal/obs/trace"
 )
 
 // errWatchdog fails a batch whose flush outlived WatchdogFactor request
@@ -93,9 +94,13 @@ func deliver(p *pending, res result) {
 	}
 }
 
-// failBatch delivers err to every request of the batch.
+// failBatch delivers err to every request of the batch, failing and
+// ending any batch_wait spans so errored traces land in the recorder's
+// error ring instead of leaking as active.
 func failBatch(batch []*pending, err error) {
 	for _, p := range batch {
+		p.wait.SetError(err)
+		p.wait.End()
 		deliver(p, result{err: err})
 	}
 }
@@ -134,10 +139,24 @@ func (s *Server) dispatch(batch []*pending) {
 			return
 		}
 		enq := obs.Now()
+		// End every request's batch_wait span, collect the batch's trace
+		// IDs, and hang the flush span off the first traced request (the
+		// one that has waited longest).
+		var flush *trace.Span
+		var traceIDs []string
 		rows := make([]*bitset.Set, len(batch))
 		for i, p := range batch {
 			rows[i] = p.q
 			s.met.queueWait.Record(int64(enq.Sub(p.enqueued)))
+			if p.wait != nil {
+				p.wait.End()
+				traceIDs = append(traceIDs, p.wait.TraceIDString())
+				if flush == nil {
+					flush = p.wait.StartChild("serve/batch_flush")
+					flush.SetAttr("batch_size", len(batch))
+					flush.SetAttr("workers", s.cfg.Workers)
+				}
+			}
 		}
 		test := &dataset.Bool{
 			GeneNames:  s.art.Classifier.GeneNames,
@@ -148,16 +167,19 @@ func (s *Server) dispatch(batch []*pending) {
 
 		ph := obs.NewPhasesIn(s.cfg.Registry)
 		span := ph.Start("serve/classify")
+		classify := flush.StartChild("serve/classify")
 		preds := s.art.Classifier.ClassifyBatchParallel(test, s.cfg.Workers)
 		for i, p := range batch {
 			deliver(p, result{class: preds[i], confidence: s.art.Classifier.Confidence(p.q)})
 		}
+		classify.End()
 		classifyNS := span.End()
+		flush.End()
 
 		s.met.batches.Inc()
 		s.met.batchSamples.Add(int64(len(batch)))
 		s.met.batchSize.Record(int64(len(batch)))
-		s.recordBatch(len(batch), preds, classifyNS)
+		s.recordBatch(len(batch), preds, classifyNS, flush, traceIDs)
 	}()
 }
 
@@ -174,17 +196,20 @@ func (s *Server) watchdogFire(batch []*pending, limit time.Duration) {
 }
 
 // BatchRecord is one flushed micro-batch as reported by /runlogz: size,
-// classify wall-clock, and the per-class prediction counts.
+// classify wall-clock, the per-class prediction counts, and the trace IDs
+// of the sampled requests it carried.
 type BatchRecord struct {
 	Seq        int64          `json:"seq"`
 	Size       int            `json:"size"`
 	ClassifyMS float64        `json:"classify_ms"`
 	Classes    map[string]int `json:"classes,omitempty"`
+	TraceIDs   []string       `json:"trace_ids,omitempty"`
 }
 
 // recordBatch appends the batch to the /runlogz ring and, when configured,
-// emits an obs.RunRecord to the run log.
-func (s *Server) recordBatch(size int, preds []int, classify time.Duration) {
+// emits an obs.RunRecord to the run log, stamped with the flush span's
+// identity when the batch was traced.
+func (s *Server) recordBatch(size int, preds []int, classify time.Duration, flush *trace.Span, traceIDs []string) {
 	counts := make(map[string]int)
 	for _, c := range preds {
 		counts[s.art.Classifier.ClassNames[c]]++
@@ -193,6 +218,7 @@ func (s *Server) recordBatch(size int, preds []int, classify time.Duration) {
 		Size:       size,
 		ClassifyMS: float64(classify) / float64(time.Millisecond),
 		Classes:    counts,
+		TraceIDs:   traceIDs,
 	}
 	rec.Seq = s.ring.add(rec)
 	if s.cfg.RunLog != nil {
@@ -201,6 +227,8 @@ func (s *Server) recordBatch(size int, preds []int, classify time.Duration) {
 			Test:       int(rec.Seq),
 			Config:     map[string]float64{"batch_size": float64(size), "workers": float64(s.cfg.Workers)},
 			PhasesMS:   map[string]float64{"serve/classify": rec.ClassifyMS},
+			TraceID:    flush.TraceIDString(),
+			SpanID:     flush.SpanIDString(),
 		})
 	}
 }

@@ -15,9 +15,17 @@
 //
 //	POST /v1/classify  one sample ({"values": [...]} or {"items": [...]})
 //	GET  /v1/model     model metadata (classes, item vocabulary sizes)
-//	GET  /healthz      200 while serving, 503 while draining
-//	GET  /metrics      obs registry snapshot (counters, gauges, histograms)
+//	GET  /healthz      200 while serving, 503 while draining; build info
+//	GET  /metrics      obs registry snapshot (JSON; Prometheus text with
+//	                   ?format=prom or a text/plain Accept header)
 //	GET  /runlogz      ring of recent per-batch records
+//	GET  /tracez       sampled span trees (HTML; ?format=json)
+//	GET  /slo          latency/availability SLO windows and burn rates
+//
+// Classify requests propagate W3C traceparent: the header is extracted on
+// ingest, the sampling decision (or the caller's sampled flag) decides
+// whether the request produces a span tree, and the response carries the
+// resulting traceparent either way.
 package serve
 
 import (
@@ -37,6 +45,8 @@ import (
 	"bstc/internal/eval"
 	"bstc/internal/fault"
 	"bstc/internal/obs"
+	"bstc/internal/obs/trace"
+	"bstc/internal/version"
 )
 
 // Config tunes the server. The zero value of every field selects a sane
@@ -73,6 +83,18 @@ type Config struct {
 	// RunLogRing is how many recent batch records /runlogz keeps
 	// (default 64).
 	RunLogRing int
+	// Tracer records request-scoped spans: traceparent is extracted from
+	// classify requests and injected into their responses, and sampled
+	// requests produce a handler → batch wait → batch flush → classify
+	// span tree on /tracez (and the JSONL export, when the tracer has
+	// one). nil serves untraced with zero overhead.
+	Tracer *trace.Tracer
+	// SLOLatency is the classify latency objective's threshold: a 200
+	// answered within it is a good event (default 100ms).
+	SLOLatency time.Duration
+	// SLOTarget is the objective's good fraction for both the latency and
+	// availability SLOs (default 0.999).
+	SLOTarget float64
 }
 
 func (c Config) withDefaults() Config {
@@ -100,6 +122,12 @@ func (c Config) withDefaults() Config {
 	if c.RunLogRing <= 0 {
 		c.RunLogRing = 64
 	}
+	if c.SLOLatency <= 0 {
+		c.SLOLatency = 100 * time.Millisecond
+	}
+	if c.SLOTarget <= 0 || c.SLOTarget >= 1 {
+		c.SLOTarget = 0.999
+	}
 	return c
 }
 
@@ -114,11 +142,13 @@ type result struct {
 
 // pending is one admitted request waiting for its batch. done is buffered
 // so the batch worker can always deliver, even when the handler has already
-// given up on its deadline.
+// given up on its deadline. wait is the request's serve/batch_wait span
+// (nil when the request is untraced); the batch worker ends it at flush.
 type pending struct {
 	q        *bitset.Set
 	enqueued time.Time
 	done     chan result
+	wait     *trace.Span
 }
 
 // metrics holds the server's counter/histogram handles, resolved once at
@@ -164,6 +194,10 @@ type Server struct {
 	met  metrics
 	ring *batchRing
 
+	slos       *obs.SLOSet
+	sloAvail   *obs.SLO
+	sloLatency *obs.SLO
+
 	// retryAfter is cfg.RetryAfter rendered once as whole seconds for the
 	// Retry-After header.
 	retryAfter string
@@ -200,6 +234,13 @@ func New(art *eval.Artifact, cfg Config) *Server {
 		ring:       newBatchRing(cfg.RunLogRing),
 		retryAfter: strconv.Itoa(int(math.Ceil(cfg.RetryAfter.Seconds()))),
 	}
+	s.sloAvail = obs.NewSLO(obs.SLOConfig{Name: "classify_availability", Target: cfg.SLOTarget})
+	s.sloLatency = obs.NewSLO(obs.SLOConfig{
+		Name: "classify_latency", Target: cfg.SLOTarget, Threshold: cfg.SLOLatency,
+	})
+	s.slos = obs.NewSLOSet()
+	s.slos.Add(s.sloAvail)
+	s.slos.Add(s.sloLatency)
 	s.cond = sync.NewCond(&s.mu)
 	s.batcher.Add(1)
 	go s.runBatcher()
@@ -296,7 +337,8 @@ func (s *Server) Close() error { return s.Shutdown(context.Background()) }
 
 // Handler returns the HTTP API. A panic anywhere in a handler is contained
 // at this boundary: the request gets a 500, the panic and its stack go to
-// the run log, and the process keeps serving.
+// the run log, and the process keeps serving. Every /v1/classify answer
+// also feeds the availability and latency SLOs.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/classify", s.handleClassify)
@@ -304,17 +346,44 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/runlogz", s.handleRunlogz)
+	mux.Handle("/tracez", s.cfg.Tracer.Recorder().Handler())
+	mux.HandleFunc("/slo", s.handleSLO)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := obs.Now()
+		// Registered first so it runs after the recover below and sees the
+		// 500 a contained panic writes.
+		defer func() {
+			if r.URL.Path != "/v1/classify" {
+				return
+			}
+			s.sloAvail.Record(sw.status < http.StatusInternalServerError)
+			if sw.status == http.StatusOK {
+				s.sloLatency.RecordDuration(obs.Now().Sub(start))
+			}
+		}()
 		defer func() {
 			if rec := recover(); rec != nil {
 				perr := fault.Recovered("serve.handler", rec)
 				s.met.handlerPanic.Inc()
 				s.emitFailure("serve.handler", perr.Error(), perr.Stack)
-				writeError(w, http.StatusInternalServerError, "internal error")
+				writeError(sw, http.StatusInternalServerError, "internal error")
 			}
 		}()
-		mux.ServeHTTP(w, r)
+		mux.ServeHTTP(sw, r)
 	})
+}
+
+// statusWriter remembers the response status so the SLO middleware can
+// grade the request after the handler returns.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
 }
 
 // emitFailure records a contained failure (panic, watchdog expiry) with its
@@ -353,30 +422,50 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	s.met.requests.Inc()
 	start := obs.Now()
 
+	// Continue the caller's trace (W3C traceparent) or open a new one; the
+	// sampling decision is the tracer's. The response always carries a
+	// traceparent when the request did — sampled with our span ID, or the
+	// caller's IDs echoed with the flag cleared when head sampling said no —
+	// so clients can always correlate.
+	parent, _ := trace.Extract(r)
+	_, span := s.cfg.Tracer.StartRoot(r.Context(), "serve/classify_request", parent)
+	defer span.End()
+	if span != nil {
+		trace.Inject(w.Header(), span.Context())
+	} else if parent.Valid() {
+		parent.Sampled = false
+		trace.Inject(w.Header(), parent)
+	}
+
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBody+1))
 	if err != nil {
 		s.met.badRequest.Inc()
+		span.SetError(err)
 		writeError(w, http.StatusBadRequest, "read body: %v", err)
 		return
 	}
 	if len(body) > maxRequestBody {
 		s.met.badRequest.Inc()
+		span.SetError(fmt.Errorf("body exceeds %d bytes", maxRequestBody))
 		writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", maxRequestBody)
 		return
 	}
 	req, err := decodeRequest(body)
 	if err != nil {
 		s.met.badRequest.Inc()
+		span.SetError(err)
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 
 	if err := fault.Hit("serve.request"); err != nil {
+		span.SetError(err)
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 
 	if status := s.admit(); status != 0 {
+		span.AddEvent("rejected")
 		if status == http.StatusTooManyRequests {
 			s.rejectBusy(w, status, "overloaded: %d requests in flight", s.cfg.MaxInFlight)
 		} else {
@@ -389,23 +478,33 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	// Discretize on the request goroutine (spanned per request), so the
 	// batcher only ever sees rows in the classifier's item universe.
 	ph := obs.NewPhasesIn(s.cfg.Registry)
-	span := ph.Start("serve/discretize")
+	phSpan := ph.Start("serve/discretize")
+	disc := span.StartChild("serve/discretize")
 	q, err := s.rowOf(req)
-	span.End()
+	disc.End()
+	phSpan.End()
 	if err != nil {
 		s.met.badRequest.Inc()
+		span.SetError(err)
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	p := &pending{q: q, enqueued: obs.Now(), done: make(chan result, 1)}
+	// The batch_wait span covers enqueue through flush; the batch worker
+	// ends it, and its children (batch_flush → classify) hang off it.
+	wait := span.StartChild("serve/batch_wait")
+	p := &pending{q: q, enqueued: obs.Now(), done: make(chan result, 1), wait: wait}
 	select {
 	case s.queue <- p:
 	case <-ctx.Done():
 		s.met.deadlines.Inc()
-		writeError(w, http.StatusGatewayTimeout, "deadline exceeded before batching")
+		err := errors.New("deadline exceeded before batching")
+		wait.SetError(err)
+		wait.End()
+		span.SetError(err)
+		writeError(w, http.StatusGatewayTimeout, "%v", err)
 		return
 	}
 	select {
@@ -413,6 +512,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		if res.err != nil {
 			// A failed batch: watchdog expiries surface as timeouts, panics
 			// and injected faults as internal errors. The process lives on.
+			span.SetError(res.err)
 			if errors.Is(res.err, errWatchdog) {
 				writeError(w, http.StatusGatewayTimeout, "%v", res.err)
 			} else {
@@ -422,6 +522,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		}
 		s.met.ok.Inc()
 		s.met.latency.Record(int64(obs.Now().Sub(start)))
+		span.SetAttr("class", s.art.Classifier.ClassNames[res.class])
 		writeJSON(w, http.StatusOK, Response{
 			Class:      s.art.Classifier.ClassNames[res.class],
 			ClassIndex: res.class,
@@ -429,6 +530,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		})
 	case <-ctx.Done():
 		s.met.deadlines.Inc()
+		span.SetError(errors.New("deadline exceeded awaiting batch"))
 		writeError(w, http.StatusGatewayTimeout, "deadline exceeded awaiting batch")
 	}
 }
@@ -466,14 +568,31 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
 		w.Header().Set("Retry-After", s.retryAfter)
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "draining", "build": version.Get(),
+		})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "build": version.Get()})
 }
 
+// handleMetrics serves the registry as JSON by default and in the
+// Prometheus text exposition format when the request asks for it
+// (?format=prom, or a text/plain Accept header as scrapers send); the
+// Prometheus form also carries the SLO gauges.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if obs.WantsProm(r) {
+		w.Header().Set("Content-Type", obs.PromContentType)
+		obs.WritePrometheus(w, s.cfg.Registry) //nolint:errcheck // response committed
+		s.slos.WriteProm(w)                    //nolint:errcheck // response committed
+		return
+	}
 	writeJSON(w, http.StatusOK, s.cfg.Registry.Snapshot())
+}
+
+// handleSLO reports every objective's rolling windows and burn rates.
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.slos.Report())
 }
 
 func (s *Server) handleRunlogz(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,75 @@
+// Package version reports how the running binary was built, via
+// debug/buildinfo: module version, Go toolchain, and the VCS revision
+// stamped by `go build`. It feeds `bstc -version`, the bstcd /healthz
+// payload, and the Prometheus bstc_build_info metric.
+package version
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Info is the build identity of the running binary.
+type Info struct {
+	// Module is the main module path ("bstc").
+	Module string `json:"module"`
+	// Version is the module version, "(devel)" for source builds.
+	Version string `json:"version"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Revision is the VCS commit, when stamped ("" otherwise).
+	Revision string `json:"revision,omitempty"`
+	// Modified reports uncommitted changes at build time.
+	Modified bool `json:"modified,omitempty"`
+	// BuildTime is the VCS commit time, when stamped.
+	BuildTime string `json:"build_time,omitempty"`
+}
+
+var get = sync.OnceValue(func() Info {
+	info := Info{Module: "bstc", Version: "(devel)", GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if bi.Main.Path != "" {
+		info.Module = bi.Main.Path
+	}
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	if bi.GoVersion != "" {
+		info.GoVersion = bi.GoVersion
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.modified":
+			info.Modified = s.Value == "true"
+		case "vcs.time":
+			info.BuildTime = s.Value
+		}
+	}
+	return info
+})
+
+// Get returns the build info, computed once.
+func Get() Info { return get() }
+
+// String renders the one-line human form `bstc -version` prints.
+func (i Info) String() string {
+	s := fmt.Sprintf("%s %s %s", i.Module, i.Version, i.GoVersion)
+	if i.Revision != "" {
+		rev := i.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " rev " + rev
+		if i.Modified {
+			s += " (modified)"
+		}
+	}
+	return s
+}

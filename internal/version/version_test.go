@@ -1,0 +1,33 @@
+package version
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGet(t *testing.T) {
+	bi := Get()
+	if bi.Module == "" {
+		t.Error("Module is empty")
+	}
+	if bi.GoVersion == "" {
+		t.Error("GoVersion is empty")
+	}
+	if bi.Version == "" {
+		t.Error("Version is empty (expected at least \"(devel)\" or \"unknown\")")
+	}
+	// Get is memoized: the same value comes back.
+	if Get() != bi {
+		t.Error("Get is not stable across calls")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := Get().String()
+	if !strings.Contains(s, Get().GoVersion) {
+		t.Errorf("String() = %q, missing Go version %q", s, Get().GoVersion)
+	}
+	if !strings.HasPrefix(s, Get().Module) {
+		t.Errorf("String() = %q, should start with module %q", s, Get().Module)
+	}
+}
