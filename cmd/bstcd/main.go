@@ -2,9 +2,15 @@
 // over HTTP, batching concurrent classify requests through the parallel
 // evaluation kernel.
 //
-//	bstcd -model model.bstc [-addr :8080] [-batch 32] [-max-wait 2ms]
+//	bstcd -model model.bstc [-mmap] [-addr :8080] [-batch 32] [-max-wait 2ms]
 //	      [-max-inflight 128] [-workers N] [-timeout 5s] [-runlog batches.jsonl]
 //	      [-trace spans.jsonl] [-trace-sample 0.1] [-slo-latency 100ms] [-slo-target 0.999]
+//
+// With -mmap the model must be a format-v2 artifact (`bstc artifact
+// -format v2`); it is served zero-copy out of a read-only mapping, so cold
+// start skips deserializing the bitset payload and replicas on one host
+// share a single page-cache copy. The measured load time lands on the
+// serve.artifact_load_ns gauge and /v1/model either way.
 //
 // Endpoints (see internal/serve): POST /v1/classify, GET /v1/model,
 // /healthz (with build info), /metrics (JSON, or Prometheus text with
@@ -17,6 +23,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -50,6 +57,7 @@ func main() {
 func run(ctx context.Context, args []string, stdout io.Writer, ready func(net.Addr)) error {
 	fs := flag.NewFlagSet("bstcd", flag.ContinueOnError)
 	model := fs.String("model", "", "artifact written by `bstc artifact` (required)")
+	mmapModel := fs.Bool("mmap", false, "serve a v2 artifact zero-copy out of a read-only memory mapping (page cache shared across replicas)")
 	addr := fs.String("addr", ":8080", "listen address")
 	batch := fs.Int("batch", 0, "micro-batch flush threshold (default 32)")
 	maxWait := fs.Duration("max-wait", 0, "max time a non-full batch waits (default 2ms)")
@@ -71,15 +79,37 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready func(net.Ad
 		return fmt.Errorf("-model is required")
 	}
 
-	f, err := os.Open(*model)
-	if err != nil {
-		return err
+	// Cold-start load, timed for the serve.artifact_load_ns gauge: the mmap
+	// path parses only the v2 metadata section and aliases the bitset words
+	// in place, so it is the number to watch when rollout speed matters.
+	var (
+		art       *eval.Artifact
+		artFormat string
+	)
+	loadStart := time.Now()
+	if *mmapModel {
+		mapped, err := eval.LoadArtifactMapped(*model)
+		if err != nil {
+			return fmt.Errorf("load %s: %w", *model, err)
+		}
+		defer mapped.Close()
+		art, artFormat = mapped.Artifact, "v2+mmap"
+	} else {
+		b, err := os.ReadFile(*model)
+		if err != nil {
+			return err
+		}
+		art, err = eval.LoadArtifact(bytes.NewReader(b))
+		if err != nil {
+			return fmt.Errorf("load %s: %w", *model, err)
+		}
+		if bytes.HasPrefix(b, []byte("BSTCART2")) {
+			artFormat = "v2"
+		} else {
+			artFormat = "gob"
+		}
 	}
-	art, err := eval.LoadArtifact(f)
-	f.Close()
-	if err != nil {
-		return fmt.Errorf("load %s: %w", *model, err)
-	}
+	loadNanos := time.Since(loadStart).Nanoseconds()
 
 	cfg := serve.Config{
 		BatchSize:      *batch,
@@ -92,6 +122,9 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready func(net.Ad
 		Registry:       obs.NewRegistry(),
 		SLOLatency:     *sloLatency,
 		SLOTarget:      *sloTarget,
+
+		ArtifactLoadNanos: loadNanos,
+		ArtifactFormat:    artFormat,
 	}
 	if *runlogPath != "" {
 		rl, err := obs.OpenRunLog(*runlogPath)
@@ -120,8 +153,9 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready func(net.Ad
 		return err
 	}
 	httpSrv := &http.Server{Handler: s.Handler()}
-	fmt.Fprintf(stdout, "bstcd: serving %d-class model (%d items) on http://%s\n",
-		len(art.Classifier.ClassNames), art.Disc.NumItems(), ln.Addr())
+	fmt.Fprintf(stdout, "bstcd: serving %d-class model (%d items, %s, loaded in %s) on http://%s\n",
+		len(art.Classifier.ClassNames), art.Disc.NumItems(), artFormat,
+		time.Duration(loadNanos), ln.Addr())
 	if ready != nil {
 		ready(ln.Addr())
 	}

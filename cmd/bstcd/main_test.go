@@ -188,3 +188,95 @@ func TestRunlogFile(t *testing.T) {
 		t.Fatalf("run log has no serve.batch records: %s", data)
 	}
 }
+
+// TestServeMmap boots the daemon on a v2 artifact with -mmap and verifies
+// zero-copy serving answers exactly like the in-memory pipeline, and that
+// /v1/model reports the mapped format and a measured load time.
+func TestServeMmap(t *testing.T) {
+	_, art, rows := writeArtifact(t)
+	model := filepath.Join(t.TempDir(), "model.v2.bstc")
+	if err := eval.WriteArtifactFile(model, art, eval.FormatV2); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	addrCh := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	var out bytes.Buffer
+	go func() {
+		done <- run(ctx,
+			[]string{"-model", model, "-mmap", "-addr", "127.0.0.1:0", "-batch", "4", "-max-wait", "1ms"},
+			&out, func(a net.Addr) { addrCh <- a })
+	}()
+	var base string
+	select {
+	case a := <-addrCh:
+		base = "http://" + a.String()
+	case err := <-done:
+		t.Fatalf("daemon exited before ready: %v (output: %s)", err, out.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	resp, err := http.Get(base + "/v1/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var meta struct {
+		ArtifactFormat string `json:"artifact_format"`
+		ArtifactLoadNs int64  `json:"artifact_load_ns"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&meta); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if meta.ArtifactFormat != "v2+mmap" {
+		t.Errorf("artifact_format = %q, want v2+mmap", meta.ArtifactFormat)
+	}
+	if meta.ArtifactLoadNs <= 0 {
+		t.Errorf("artifact_load_ns = %d, want > 0", meta.ArtifactLoadNs)
+	}
+
+	for i, row := range rows {
+		body, err := json.Marshal(map[string][]float64{"values": row})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(base+"/v1/classify", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got struct {
+			ClassIndex int     `json:"class_index"`
+			Confidence float64 `json:"confidence"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("sample %d: status %d", i, resp.StatusCode)
+		}
+		wantClass, wantConf, err := art.ClassifyRow(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ClassIndex != wantClass || got.Confidence != wantConf {
+			t.Fatalf("sample %d: mapped daemon got (%d, %v), want (%d, %v)",
+				i, got.ClassIndex, got.Confidence, wantClass, wantConf)
+		}
+	}
+
+	// -mmap on a v1 gob file must fail loudly, not serve garbage.
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	gobModel, _, _ := writeArtifact(t)
+	if err := run(context.Background(),
+		[]string{"-model", gobModel, "-mmap", "-addr", "127.0.0.1:0"},
+		&out, nil); err == nil {
+		t.Error("-mmap on a v1 gob artifact should error")
+	}
+}

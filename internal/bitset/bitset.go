@@ -20,6 +20,10 @@ const wordBits = 64
 type Set struct {
 	words []uint64
 	n     int
+	// frozen marks read-only sets whose words alias externally owned (and
+	// possibly write-protected) memory, e.g. a mmapped artifact region — see
+	// View. Mutators panic on frozen sets instead of corrupting shared pages.
+	frozen bool
 }
 
 // New returns an empty Set over the universe [0, n).
@@ -44,12 +48,14 @@ func (s *Set) Len() int { return s.n }
 
 // Add inserts element i. It panics if i is outside the universe.
 func (s *Set) Add(i int) {
+	s.guardWrite()
 	s.check(i)
 	s.words[i/wordBits] |= 1 << (uint(i) % wordBits)
 }
 
 // Remove deletes element i. It panics if i is outside the universe.
 func (s *Set) Remove(i int) {
+	s.guardWrite()
 	s.check(i)
 	s.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
 }
@@ -67,6 +73,20 @@ func (s *Set) check(i int) {
 		panic(fmt.Sprintf("bitset: index %d out of universe [0,%d)", i, s.n))
 	}
 }
+
+// guardWrite panics when s is a frozen view: its words alias externally
+// owned memory (often a read-only mapping, where a store would fault with
+// SIGSEGV anyway), so every mutator calls this first to fail with a clear
+// message instead.
+func (s *Set) guardWrite() {
+	if s.frozen {
+		panic("bitset: write to read-only view")
+	}
+}
+
+// Frozen reports whether s is a read-only view (see View); mutators panic
+// on frozen sets.
+func (s *Set) Frozen() bool { return s.frozen }
 
 // Count returns the number of elements in the set.
 func (s *Set) Count() int {
@@ -96,6 +116,7 @@ func (s *Set) Clone() *Set {
 
 // Clear removes every element, keeping the universe size.
 func (s *Set) Clear() {
+	s.guardWrite()
 	for i := range s.words {
 		s.words[i] = 0
 	}
@@ -103,6 +124,7 @@ func (s *Set) Clear() {
 
 // Fill adds every element of the universe.
 func (s *Set) Fill() {
+	s.guardWrite()
 	for i := range s.words {
 		s.words[i] = ^uint64(0)
 	}
@@ -124,6 +146,7 @@ func (s *Set) sameUniverse(t *Set) {
 
 // And sets s to the intersection s ∩ t and returns s.
 func (s *Set) And(t *Set) *Set {
+	s.guardWrite()
 	s.sameUniverse(t)
 	for i := range s.words {
 		s.words[i] &= t.words[i]
@@ -133,6 +156,7 @@ func (s *Set) And(t *Set) *Set {
 
 // Or sets s to the union s ∪ t and returns s.
 func (s *Set) Or(t *Set) *Set {
+	s.guardWrite()
 	s.sameUniverse(t)
 	for i := range s.words {
 		s.words[i] |= t.words[i]
@@ -142,6 +166,7 @@ func (s *Set) Or(t *Set) *Set {
 
 // AndNot sets s to the difference s \ t and returns s.
 func (s *Set) AndNot(t *Set) *Set {
+	s.guardWrite()
 	s.sameUniverse(t)
 	for i := range s.words {
 		s.words[i] &^= t.words[i]
@@ -151,6 +176,7 @@ func (s *Set) AndNot(t *Set) *Set {
 
 // Xor sets s to the symmetric difference s △ t and returns s.
 func (s *Set) Xor(t *Set) *Set {
+	s.guardWrite()
 	s.sameUniverse(t)
 	for i := range s.words {
 		s.words[i] ^= t.words[i]
@@ -160,6 +186,7 @@ func (s *Set) Xor(t *Set) *Set {
 
 // Complement sets s to universe \ s and returns s.
 func (s *Set) Complement() *Set {
+	s.guardWrite()
 	for i := range s.words {
 		s.words[i] = ^s.words[i]
 	}
@@ -170,6 +197,7 @@ func (s *Set) Complement() *Set {
 // CopyFrom sets s to the contents of t. The two sets must share a universe;
 // unlike Clone, no memory is allocated.
 func (s *Set) CopyFrom(t *Set) {
+	s.guardWrite()
 	s.sameUniverse(t)
 	copy(s.words, t.words)
 }
@@ -178,6 +206,7 @@ func (s *Set) CopyFrom(t *Set) {
 // a universe; dst may alias s or t. Unlike Intersect, no memory is allocated,
 // which is what keeps the miner's per-node cost flat (see internal/carminer).
 func (s *Set) IntersectInto(dst, t *Set) *Set {
+	dst.guardWrite()
 	s.sameUniverse(t)
 	s.sameUniverse(dst)
 	for i := range dst.words {
@@ -189,6 +218,7 @@ func (s *Set) IntersectInto(dst, t *Set) *Set {
 // OrInto sets dst to s ∪ t and returns dst. All three sets must share a
 // universe; dst may alias s or t.
 func (s *Set) OrInto(dst, t *Set) *Set {
+	dst.guardWrite()
 	s.sameUniverse(t)
 	s.sameUniverse(dst)
 	for i := range dst.words {
@@ -200,6 +230,7 @@ func (s *Set) OrInto(dst, t *Set) *Set {
 // AndNotInto sets dst to s \ t and returns dst. All three sets must share a
 // universe; dst may alias s or t.
 func (s *Set) AndNotInto(dst, t *Set) *Set {
+	dst.guardWrite()
 	s.sameUniverse(t)
 	s.sameUniverse(dst)
 	for i := range dst.words {
@@ -355,16 +386,31 @@ func (s *Set) MarshalBinary() ([]byte, error) {
 	return out, nil
 }
 
+// maxInt is the largest value representable by int on this platform; the
+// decoder bounds untrusted sizes against it before any int conversion.
+const maxInt = int(^uint(0) >> 1)
+
 // UnmarshalBinary implements encoding.BinaryUnmarshaler.
 func (s *Set) UnmarshalBinary(data []byte) error {
+	s.guardWrite()
 	if len(data) < 8 || (len(data)-8)%8 != 0 {
 		return fmt.Errorf("bitset: malformed binary data (%d bytes)", len(data))
 	}
-	n := int(getUint64(data))
+	// The universe size is attacker-controlled: validate it in uint64 space
+	// against the word count implied by len(data) before ever converting to
+	// int. A direct int(u) would wrap on 32-bit platforms (e.g. u = 2³² + 1
+	// becomes 1) and n+wordBits-1 would overflow for n near maxInt, making
+	// the word-count cross-check pass on garbage.
+	u := getUint64(data)
 	words := (len(data) - 8) / 8
-	if n < 0 || words != (n+wordBits-1)/wordBits {
-		return fmt.Errorf("bitset: binary data has %d words for universe %d", words, n)
+	if u > uint64(maxInt) {
+		return fmt.Errorf("bitset: universe size %d overflows int", u)
 	}
+	// u ≤ maxInt ≤ 2⁶³-1, so u+wordBits-1 cannot overflow uint64.
+	if (u+wordBits-1)/wordBits != uint64(words) {
+		return fmt.Errorf("bitset: binary data has %d words for universe %d", words, u)
+	}
+	n := int(u)
 	decoded := make([]uint64, words)
 	for i := range decoded {
 		decoded[i] = getUint64(data[8+8*i:])

@@ -25,6 +25,23 @@ func FuzzUnmarshalBinary(f *testing.F) {
 	f.Add([]byte(nil))
 	f.Add([]byte{1, 2, 3})
 	f.Add(make([]byte, 16)) // universe 0 with one spurious word
+	// Boundary universe sizes: values whose int conversion wraps on 32-bit
+	// platforms (2³¹, 2³²+1), the plain-int overflow edges (2⁶³-1, 2⁶³,
+	// 2⁶⁴-1), and the largest n for which n+wordBits-1 used to overflow.
+	// Each is paired with a word count a wrapped/overflowed check might
+	// accept; the decoder must reject all of them in uint64 space.
+	boundary := func(n uint64, words int) []byte {
+		b := make([]byte, 8+8*words)
+		putUint64(b, n)
+		return b
+	}
+	f.Add(boundary(1<<31, 1))           // int32 wraps negative
+	f.Add(boundary(1<<32+1, 1))         // int32 wraps to 1
+	f.Add(boundary(1<<63-1, 2))         // maxInt64: n+63 overflows int64
+	f.Add(boundary(1<<63, 1))           // int64 wraps negative
+	f.Add(boundary(^uint64(0), 0))      // 2⁶⁴-1: n+63 overflows uint64 too
+	f.Add(boundary(^uint64(0)-62, 0))   // exactly wraps (n+63 == 0)
+	f.Add(boundary(uint64(1)<<31-1, 1)) // maxInt32 but far too few words
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var s Set
 		if err := s.UnmarshalBinary(data); err != nil {
@@ -43,5 +60,6 @@ func FuzzUnmarshalBinary(f *testing.F) {
 		if m := s.Max(); m >= s.Len() {
 			t.Fatalf("max member %d outside universe %d", m, s.Len())
 		}
+		checkInvariants(t, "fuzz", &s)
 	})
 }

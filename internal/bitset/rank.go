@@ -1,0 +1,130 @@
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// rankBlockWords is the rank directory's block width: one cumulative
+// popcount entry per 8 words (512 bits). Rank then costs one directory
+// lookup plus at most 8 word popcounts, and the directory adds only
+// 1/128th of the set's size in memory (one uint32 per 64 bytes of words).
+const rankBlockWords = 8
+
+// Index is an immutable rank/select directory over a Set: per-block
+// cumulative popcounts in the style of succinct bitset structures, giving
+// O(1) Count, O(rankBlockWords) Rank and O(log blocks + rankBlockWords)
+// Select instead of a full scan over the words.
+//
+// The Index is a companion to the Set, not part of it, so the Set's
+// mutators stay allocation-free and the hot mining kernels pay nothing for
+// sets that never need rank queries. Build one with BuildIndex once the set
+// has reached its final contents; mutating the underlying set afterwards
+// invalidates the directory silently. Frozen view sets (see View) cannot be
+// mutated, so their indexes stay valid for the life of the mapping.
+type Index struct {
+	s *Set
+	// blocks[b] is the number of set bits in words[0 : b*rankBlockWords].
+	// One entry per started block plus a final total entry, so Count and
+	// the Select binary search need no special cases. uint32 bounds the
+	// universe at 2³²-1 bits (512 MiB of words) — far beyond any gene or
+	// sample universe in this codebase; BuildIndex checks.
+	blocks []uint32
+}
+
+// BuildIndex scans the set once and returns its rank/select directory.
+// The directory references the set's words; do not mutate s afterwards.
+func (s *Set) BuildIndex() *Index {
+	if uint64(s.n) >= 1<<32 {
+		panic(fmt.Sprintf("bitset: universe %d too large for a rank directory", s.n))
+	}
+	nblocks := (len(s.words) + rankBlockWords - 1) / rankBlockWords
+	ix := &Index{s: s, blocks: make([]uint32, nblocks+1)}
+	total := uint32(0)
+	for b := 0; b < nblocks; b++ {
+		ix.blocks[b] = total
+		end := (b + 1) * rankBlockWords
+		if end > len(s.words) {
+			end = len(s.words)
+		}
+		for _, w := range s.words[b*rankBlockWords : end] {
+			total += uint32(bits.OnesCount64(w))
+		}
+	}
+	ix.blocks[nblocks] = total
+	return ix
+}
+
+// Set returns the set the directory was built over.
+func (ix *Index) Set() *Set { return ix.s }
+
+// Count returns the number of elements in the indexed set in O(1).
+func (ix *Index) Count() int { return int(ix.blocks[len(ix.blocks)-1]) }
+
+// Rank returns the number of elements strictly less than i — the prefix
+// popcount of [0, i). Arguments are clamped to the universe: Rank(n) (or
+// anything larger) is the total count, negative i ranks 0.
+func (ix *Index) Rank(i int) int {
+	if i <= 0 {
+		return 0
+	}
+	if i >= ix.s.n {
+		return ix.Count()
+	}
+	wi := i / wordBits
+	b := wi / rankBlockWords
+	r := int(ix.blocks[b])
+	for _, w := range ix.s.words[b*rankBlockWords : wi] {
+		r += bits.OnesCount64(w)
+	}
+	if rem := uint(i) % wordBits; rem != 0 {
+		r += bits.OnesCount64(ix.s.words[wi] & (1<<rem - 1))
+	}
+	return r
+}
+
+// Select returns the position of the k-th smallest element (0-based), the
+// inverse of Rank: Rank(Select(k)) == k for every k in [0, Count()). It
+// returns -1 when k is out of range.
+func (ix *Index) Select(k int) int {
+	if k < 0 || k >= ix.Count() {
+		return -1
+	}
+	// Binary search the directory for the block holding the k-th bit: the
+	// last block whose cumulative count is ≤ k.
+	lo, hi := 0, len(ix.blocks)-1
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if int(ix.blocks[mid]) <= k {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	rem := k - int(ix.blocks[lo])
+	for wi := lo * rankBlockWords; ; wi++ {
+		c := bits.OnesCount64(ix.s.words[wi])
+		if rem < c {
+			return wi*wordBits + selectInWord(ix.s.words[wi], rem)
+		}
+		rem -= c
+	}
+}
+
+// selectInWord returns the position of the k-th set bit of w (0-based).
+// k must be < OnesCount64(w). The halving search runs in constant time
+// regardless of k, unlike the clear-lowest-bit loop.
+func selectInWord(w uint64, k int) int {
+	pos := 0
+	for width := uint(32); width >= 1; width >>= 1 {
+		low := w & (1<<width - 1)
+		if c := bits.OnesCount64(low); k >= c {
+			k -= c
+			w >>= width
+			pos += int(width)
+		} else {
+			w = low
+		}
+	}
+	return pos
+}

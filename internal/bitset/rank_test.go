@@ -1,0 +1,123 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// rankNaive is the O(words) reference: count members < i by scanning.
+func rankNaive(s *Set, i int) int {
+	c := 0
+	s.ForEach(func(e int) bool {
+		if e < i {
+			c++
+			return true
+		}
+		return false
+	})
+	return c
+}
+
+func TestIndexRankAgainstNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for _, n := range []int{0, 1, 63, 64, 65, 127, 512, 513, 1000, 4096, 5000} {
+		for _, density := range []float64{0, 0.01, 0.5, 1} {
+			s := New(n)
+			for i := 0; i < n; i++ {
+				if r.Float64() < density {
+					s.Add(i)
+				}
+			}
+			ix := s.BuildIndex()
+			if got, want := ix.Count(), s.Count(); got != want {
+				t.Fatalf("n=%d density=%v: Index.Count = %d, Set.Count = %d", n, density, got, want)
+			}
+			// Every word boundary, block boundary, and a random sprinkle.
+			probes := []int{-5, -1, 0, 1, n - 1, n, n + 1, n + 100}
+			for i := 0; i <= n; i += 64 {
+				probes = append(probes, i, i-1, i+1)
+			}
+			for k := 0; k < 50; k++ {
+				probes = append(probes, r.Intn(n+1))
+			}
+			for _, i := range probes {
+				want := 0
+				if i > 0 {
+					want = rankNaive(s, i)
+				}
+				if got := ix.Rank(i); got != want {
+					t.Fatalf("n=%d density=%v: Rank(%d) = %d, want %d", n, density, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestIndexSelectIsRankInverse(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	for _, n := range []int{0, 1, 64, 65, 512, 513, 4096, 5001} {
+		s := randomSet(r, n)
+		ix := s.BuildIndex()
+		members := s.Indices()
+		if len(members) != ix.Count() {
+			t.Fatalf("n=%d: %d members, Count %d", n, len(members), ix.Count())
+		}
+		for k, want := range members {
+			got := ix.Select(k)
+			if got != want {
+				t.Fatalf("n=%d: Select(%d) = %d, want %d", n, k, got, want)
+			}
+			if rk := ix.Rank(got); rk != k {
+				t.Fatalf("n=%d: Rank(Select(%d)) = %d", n, k, rk)
+			}
+		}
+		for _, k := range []int{-1, len(members), len(members) + 7} {
+			if got := ix.Select(k); got != -1 {
+				t.Fatalf("n=%d: Select(%d) = %d, want -1", n, k, got)
+			}
+		}
+	}
+}
+
+func TestSelectInWordExhaustive(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	words := []uint64{0x1, 1 << 63, 0xAAAAAAAAAAAAAAAA, ^uint64(0), 0x8000000000000001}
+	for i := 0; i < 200; i++ {
+		words = append(words, r.Uint64())
+	}
+	for _, w := range words {
+		k := 0
+		for b := 0; b < 64; b++ {
+			if w&(1<<uint(b)) != 0 {
+				if got := selectInWord(w, k); got != b {
+					t.Fatalf("selectInWord(%#x, %d) = %d, want %d", w, k, got, b)
+				}
+				k++
+			}
+		}
+	}
+}
+
+func TestBuildIndexOnEmptyAndFull(t *testing.T) {
+	empty := New(300)
+	ix := empty.BuildIndex()
+	if ix.Count() != 0 || ix.Rank(300) != 0 || ix.Select(0) != -1 {
+		t.Fatal("empty set index is not empty")
+	}
+	full := New(300)
+	full.Fill()
+	ix = full.BuildIndex()
+	if ix.Count() != 300 {
+		t.Fatalf("full index Count = %d", ix.Count())
+	}
+	for _, i := range []int{0, 1, 64, 299, 300} {
+		if ix.Rank(i) != i {
+			t.Fatalf("full set Rank(%d) = %d", i, ix.Rank(i))
+		}
+	}
+	for _, k := range []int{0, 63, 299} {
+		if ix.Select(k) != k {
+			t.Fatalf("full set Select(%d) = %d", k, ix.Select(k))
+		}
+	}
+}

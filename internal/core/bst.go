@@ -46,9 +46,23 @@ type BST struct {
 	// sample h: the paper's (h: -g_l1 … -g_lm) with genes h\c, or, when
 	// h ⊆ c, the positive list (h: g_l1 … g_lm) with genes c\h.
 	pairList [][]rules.Clause
+	// cullOnce guards the lazy culling state below: it is only needed when
+	// a query evaluates with CullListsTo > 0, so it is built on the first
+	// such query (concurrency-safe) instead of at construction or load —
+	// default-path cold starts skip it entirely.
+	cullOnce sync.Once
 	// cullOrders holds, per column, the outside positions ordered by
-	// ascending list length; precomputed for §8's list culling.
+	// ascending list length, for §8's list culling.
 	cullOrders [][]int
+	// outsideIdx[g] is geneOutside[g]'s rank/select directory. Its O(1)
+	// Count replaces the per-cell popcount scan in the BSTCE culling check;
+	// Rank/Select stay available for covering diagnostics. Built once per
+	// table, never after a mutation.
+	outsideIdx []*bitset.Index
+	// pairSize[c][h] caches |pairList[c][h].Genes|, so each pair-value cache
+	// miss pays one intersection count instead of two full word scans (see
+	// rules.Clause.SatisfactionFractionSized).
+	pairSize [][]int32
 	// pairExpr lazily caches pairList[c][h].Expr() for the rule-mining
 	// paths, which revisit the same pair clauses across many rules. Mining
 	// methods are not safe for concurrent use because of this cache;
@@ -126,7 +140,7 @@ func NewBST(d *dataset.Bool, ci int) (*BST, error) {
 			t.pairList[c][h] = rules.Clause{Genes: bitset.Difference(cg, hg)}
 		}
 	}
-	t.buildCullOrders()
+	t.buildDerived()
 
 	met.bstBuilds.Inc()
 	if met.bstCells != nil {

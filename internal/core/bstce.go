@@ -125,11 +125,14 @@ func (t *BST) cellValue(q *bitset.Set, s *evalScratch, g, c int, opts EvalOption
 	pv := s.column(c, len(t.OutsideSamples))
 
 	outs := t.geneOutside[g]
-	if k := opts.CullListsTo; k > 0 && outs.Count() > k {
+	// The rank directory answers the covering check in O(1); the scan-based
+	// outs.Count() here used to cost a full word pass per cell per query.
+	if k := opts.CullListsTo; k > 0 && t.cullIdx()[g].Count() > k {
 		// §8's list culling: consider only the cell's k shortest (most
 		// discriminating) exclusion lists. The per-column shortest-first
-		// order is precomputed at construction time, so culling genuinely
-		// reduces per-query work instead of adding sorting overhead.
+		// order is precomputed on the first culled query, so culling
+		// genuinely reduces per-query work instead of adding sorting
+		// overhead.
 		v := 1.0
 		taken := 0
 		for _, h := range t.cullOrder(c) {
@@ -173,7 +176,7 @@ func (t *BST) cellValue(q *bitset.Set, s *evalScratch, g, c int, opts EvalOption
 func (t *BST) pairValue(q *bitset.Set, pv []float64, c, h int) float64 {
 	if math.IsNaN(pv[h]) {
 		met.clauseCacheMiss.Inc()
-		pv[h] = t.pairList[c][h].SatisfactionFraction(q)
+		pv[h] = t.pairList[c][h].SatisfactionFractionSized(q, int(t.pairSize[c][h]))
 	} else {
 		met.clauseCacheHits.Inc()
 	}
@@ -181,20 +184,55 @@ func (t *BST) pairValue(q *bitset.Set, pv []float64, c, h int) float64 {
 }
 
 // cullOrder returns column c's outside positions ordered by ascending
-// exclusion-list length. The orders are precomputed by NewBST so that
-// evaluation stays safe for concurrent queries.
+// exclusion-list length. Only valid after cullIdx (or buildCullState) ran.
 func (t *BST) cullOrder(c int) []int { return t.cullOrders[c] }
 
-// buildCullOrders sorts each column's outside positions by list length.
-func (t *BST) buildCullOrders() {
+// cullIdx returns the per-gene rank directories, building the whole culling
+// state on first use. sync.Once keeps the build safe under concurrent
+// queries, and tables evaluated without CullListsTo never pay for it — the
+// lazy build is what keeps artifact cold start proportional to the metadata
+// actually needed on the default path.
+func (t *BST) cullIdx() []*bitset.Index {
+	t.cullOnce.Do(t.buildCullState)
+	return t.outsideIdx
+}
+
+// buildDerived computes the evaluation state every query path touches: the
+// pair-clause size cache feeding SatisfactionFractionSized. It runs once at
+// construction and once on every load path (gob v1, mapped v2). The
+// culling-only state (cull orders, rank directories) is built lazily by
+// cullIdx instead, so loads and non-culling queries never pay for it.
+func (t *BST) buildDerived() {
+	t.pairSize = make([][]int32, len(t.pairList))
+	for c := range t.pairList {
+		sizes := make([]int32, len(t.pairList[c]))
+		for h := range t.pairList[c] {
+			sizes[h] = int32(t.pairList[c][h].Genes.Count())
+		}
+		t.pairSize[c] = sizes
+	}
+}
+
+// buildCullState materializes §8's culling accelerators: per-gene rank
+// directories over the outside-expresser sets (O(1) covering checks) and
+// per-column outside positions sorted by exclusion-list length. The sort
+// compares the cached pairSize values, not live popcounts, so building the
+// orders is O(columns · outside log outside) regardless of the gene
+// universe width.
+func (t *BST) buildCullState() {
+	t.outsideIdx = make([]*bitset.Index, len(t.geneOutside))
+	for g, outs := range t.geneOutside {
+		t.outsideIdx[g] = outs.BuildIndex()
+	}
 	t.cullOrders = make([][]int, len(t.ClassSamples))
 	for c := range t.ClassSamples {
+		sizes := t.pairSize[c]
 		order := make([]int, len(t.OutsideSamples))
 		for h := range order {
 			order[h] = h
 		}
 		sort.SliceStable(order, func(a, b int) bool {
-			return t.pairList[c][order[a]].Genes.Count() < t.pairList[c][order[b]].Genes.Count()
+			return sizes[order[a]] < sizes[order[b]]
 		})
 		t.cullOrders[c] = order
 	}

@@ -72,7 +72,7 @@ func (t *BST) RuleSatisfaction(q *bitset.Set, m MCBAR, opts EvalOptions) float64
 	m.Support.ForEach(func(c int) bool {
 		v := 1.0
 		m.Excluded.ForEach(func(h int) bool {
-			f := t.pairList[c][h].SatisfactionFraction(q)
+			f := t.pairList[c][h].SatisfactionFractionSized(q, int(t.pairSize[c][h]))
 			if opts.Arithmetization == ProductCombine {
 				v *= f
 			} else if f < v {

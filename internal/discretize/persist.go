@@ -51,6 +51,21 @@ func LoadModel(r io.Reader) (*Model, error) {
 	return modelFromDTO(dto)
 }
 
+// NewModel assembles a model from its persisted parts — gene count, per-gene
+// cut points, item and class vocabularies — applying the same structural
+// validation as LoadModel and rebuilding the derived index fields. It is the
+// constructor for alternative save formats (internal/eval's mapped v2 layout)
+// so every load path shares one validation gate.
+func NewModel(numGenes int, geneCuts [][]float64, itemNames, classNames []string) (*Model, error) {
+	return modelFromDTO(modelDTO{
+		Version:    modelFormatVersion,
+		NumGenes:   numGenes,
+		GeneCuts:   geneCuts,
+		ItemNames:  itemNames,
+		ClassNames: classNames,
+	})
+}
+
 func modelFromDTO(dto modelDTO) (*Model, error) {
 	if dto.Version != modelFormatVersion {
 		return nil, fmt.Errorf("discretize: model format version %d, want %d", dto.Version, modelFormatVersion)

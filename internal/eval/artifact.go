@@ -96,16 +96,29 @@ func (a *Artifact) Save(w io.Writer) error {
 	})
 }
 
-// LoadArtifact reads an artifact previously written by Save, validating the
-// framing, both nested streams, and that the halves agree: the classifier's
-// item vocabulary must be exactly the discretizer's, or every classification
-// through the pair would silently misread items.
+// LoadArtifact reads an artifact previously written by Save or SaveV2,
+// sniffing the magic to dispatch between the v1 gob stream and the v2 flat
+// layout (decoded copying, since a reader offers no stable memory to alias;
+// use LoadArtifactMapped for the zero-copy path). Both formats are
+// validated end to end, including that the halves agree: the classifier's
+// item vocabulary must be exactly the discretizer's, or every
+// classification through the pair would silently misread items.
 func LoadArtifact(r io.Reader) (*Artifact, error) {
 	if err := fault.Hit("eval.artifact.load"); err != nil {
 		return nil, err
 	}
 	magic := make([]byte, len(artifactMagic))
-	if _, err := io.ReadFull(r, magic); err != nil {
+	if _, err := io.ReadFull(r, magic[:len(artifactMagicV2)]); err != nil {
+		return nil, fmt.Errorf("%w: reading magic: %w", ErrCorruptArtifact, err)
+	}
+	if string(magic[:len(artifactMagicV2)]) == artifactMagicV2 {
+		rest, err := io.ReadAll(r)
+		if err != nil {
+			return nil, fmt.Errorf("%w: reading v2 image: %w", ErrCorruptArtifact, err)
+		}
+		return decodeV2(append(magic[:len(artifactMagicV2)], rest...), false)
+	}
+	if _, err := io.ReadFull(r, magic[len(artifactMagicV2):]); err != nil {
 		return nil, fmt.Errorf("%w: reading magic: %w", ErrCorruptArtifact, err)
 	}
 	if string(magic) != artifactMagic {

@@ -23,6 +23,28 @@ func FuzzLoadArtifact(f *testing.F) {
 	f.Add(good[:len(good)/2])
 	f.Add([]byte(nil))
 	f.Add(bytes.Replace(good, []byte{0x01}, []byte{0x02}, 3))
+	// v2 flat-layout seeds: the full image, the bare magic, a header-only
+	// prefix, a mid-metadata truncation, and one byte short of complete, so
+	// the fuzzer explores the offset-indexed decoder, not just gob.
+	var seedV2 bytes.Buffer
+	if err := art.SaveV2(&seedV2); err != nil {
+		f.Fatal(err)
+	}
+	goodV2 := seedV2.Bytes()
+	f.Add(goodV2)
+	f.Add([]byte(artifactMagicV2))
+	for _, n := range []int{v2HeaderLen, v2HeaderLen + 16, len(goodV2) / 2, len(goodV2) - 1} {
+		if n >= 0 && n <= len(goodV2) {
+			f.Add(goodV2[:n])
+		}
+	}
+	for _, off := range []int{8, v2HeaderLen + 4, len(goodV2) / 2, len(goodV2) - 2} {
+		if off >= 0 && off < len(goodV2) {
+			flipped := append([]byte(nil), goodV2...)
+			flipped[off] ^= 0x10
+			f.Add(flipped)
+		}
+	}
 	// Truncations at framing-sensitive offsets: inside the magic, just past
 	// it, inside the JSON frame, and one byte short of complete.
 	for _, n := range []int{3, len(artifactMagic), len(artifactMagic) + 2, 3 * len(good) / 4, len(good) - 1} {

@@ -1,0 +1,69 @@
+package eval
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const goldenV1Path = "testdata/artifact_v1.golden"
+
+// TestGoldenV1BackCompat proves v1 gob artifacts written by earlier
+// releases still load: the committed golden file (trained on the
+// tinyContinuous fixture when the v1 framing was pinned) must load, match
+// a freshly trained artifact bit-exactly on every fixture sample, and
+// re-save byte-identically — so the v1 writer as well as the reader is
+// still wire-compatible.
+//
+// Regenerate with UPDATE_GOLDEN=1 only alongside a deliberate,
+// documented format break.
+func TestGoldenV1BackCompat(t *testing.T) {
+	c := tinyContinuous()
+	fresh, err := TrainArtifact(c, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		var buf bytes.Buffer
+		if err := fresh.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenV1Path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenV1Path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	golden, err := os.ReadFile(goldenV1Path)
+	if err != nil {
+		t.Fatalf("reading golden v1 artifact (regenerate with UPDATE_GOLDEN=1): %v", err)
+	}
+	loaded, err := LoadArtifact(bytes.NewReader(golden))
+	if err != nil {
+		t.Fatalf("golden v1 artifact no longer loads: %v", err)
+	}
+	for i, row := range c.Values {
+		wantClass, wantConf, err := fresh.ClassifyRow(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotClass, gotConf, err := loaded.ClassifyRow(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantClass != gotClass || math.Float64bits(wantConf) != math.Float64bits(gotConf) {
+			t.Fatalf("sample %d: golden artifact predicts (%d, %v), fresh training (%d, %v)",
+				i, gotClass, gotConf, wantClass, wantConf)
+		}
+	}
+	var again bytes.Buffer
+	if err := loaded.Save(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(golden, again.Bytes()) {
+		t.Fatal("re-saving the golden v1 artifact changed its bytes: v1 writer drifted")
+	}
+}

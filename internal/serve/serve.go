@@ -95,6 +95,14 @@ type Config struct {
 	// SLOTarget is the objective's good fraction for both the latency and
 	// availability SLOs (default 0.999).
 	SLOTarget float64
+	// ArtifactLoadNanos is the daemon's measured cold-start artifact load
+	// time. When positive it lands on the serve.artifact_load_ns gauge and
+	// /v1/model, so deploys can compare gob-decode vs mmap cold starts in
+	// the wild. 0 leaves both unset.
+	ArtifactLoadNanos int64
+	// ArtifactFormat names how the model was loaded ("gob", "v2", "v2+mmap")
+	// for /v1/model. Empty omits the field.
+	ArtifactFormat string
 }
 
 func (c Config) withDefaults() Config {
@@ -242,6 +250,9 @@ func New(art *eval.Artifact, cfg Config) *Server {
 	s.slos.Add(s.sloAvail)
 	s.slos.Add(s.sloLatency)
 	s.cond = sync.NewCond(&s.mu)
+	if cfg.ArtifactLoadNanos > 0 {
+		reg.Gauge("serve.artifact_load_ns").Set(cfg.ArtifactLoadNanos)
+	}
 	s.batcher.Add(1)
 	go s.runBatcher()
 	return s
@@ -557,12 +568,19 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"classes":        s.art.Classifier.ClassNames,
 		"genes":          s.art.Disc.NumGenes(),
 		"selected_genes": s.art.Disc.NumSelectedGenes(),
 		"items":          s.art.Disc.NumItems(),
-	})
+	}
+	if s.cfg.ArtifactFormat != "" {
+		body["artifact_format"] = s.cfg.ArtifactFormat
+	}
+	if s.cfg.ArtifactLoadNanos > 0 {
+		body["artifact_load_ns"] = s.cfg.ArtifactLoadNanos
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
