@@ -2,8 +2,8 @@ GO ?= go
 
 # The hot-path benchmark set tracked in BENCH_hotpath.json (see
 # EXPERIMENTS.md, "Hot-path benchmarks").
-HOTPATH_BENCH = BenchmarkTopK|BenchmarkEvaluate|BenchmarkClassify|BenchmarkClassifyBatchParallel|BenchmarkIntersect|BenchmarkKey|BenchmarkIntersectInto|BenchmarkAppendKey|BenchmarkRank|BenchmarkCountLoop|BenchmarkSelect|BenchmarkBuildIndex|BenchmarkArtifactColdStart|BenchmarkMappedClassifyRow
-HOTPATH_PKGS = ./internal/bitset/ ./internal/carminer/ ./internal/core/ ./internal/eval/
+HOTPATH_BENCH = BenchmarkTopK|BenchmarkTopKParallel|BenchmarkTopKApprox|BenchmarkSketchOffer|BenchmarkEvaluate|BenchmarkClassify|BenchmarkClassifyBatchParallel|BenchmarkIntersect|BenchmarkKey|BenchmarkIntersectInto|BenchmarkAppendKey|BenchmarkRank|BenchmarkCountLoop|BenchmarkSelect|BenchmarkBuildIndex|BenchmarkArtifactColdStart|BenchmarkMappedClassifyRow
+HOTPATH_PKGS = ./internal/bitset/ ./internal/carminer/ ./internal/core/ ./internal/eval/ ./internal/sketch/
 
 # Every native fuzz target, as "package:Target" pairs for fuzz-smoke
 # (go test allows only one -fuzz pattern per invocation).
@@ -13,7 +13,8 @@ FUZZ_TARGETS = \
 	./internal/dataset:FuzzReadContinuous \
 	./internal/dataset:FuzzReadARFF \
 	./internal/eval:FuzzLoadArtifact \
-	./internal/serve:FuzzDecodeRequest
+	./internal/serve:FuzzDecodeRequest \
+	./internal/sketch:FuzzSketch
 FUZZTIME ?= 10s
 
 # The chaos suite: every fault-injection, panic-containment, watchdog,
@@ -25,7 +26,7 @@ CHAOS_TESTS = Chaos|Fault|Panic|Watchdog|Checkpoint|Deadline|Cancel|RetryAfter|T
 CHAOS_PKGS = ./internal/fault/ ./internal/dataset/ ./internal/eval/ ./internal/serve/
 CHAOS_SEED ?= 1
 
-.PHONY: check vet lint build test race bench bench-json bench-smoke fuzz-smoke chaos
+.PHONY: check vet lint build test race bench bench-json bench-smoke bench-gate fuzz-smoke chaos
 
 # The tier-1 gate plus the race-sensitive packages: the obs counters are
 # hit concurrently by parallel batch classification, eval threads the
@@ -71,11 +72,25 @@ bench-json:
 	$(GO) test -run '^$$' -bench '$(HOTPATH_BENCH)' -benchmem $(HOTPATH_PKGS) \
 		| $(GO) run ./cmd/benchjson -o BENCH_hotpath.json
 
-# bench-smoke runs every hot-path benchmark once and parses the output,
-# writing nowhere, so benchmark code cannot rot between perf PRs.
+# bench-smoke runs every hot-path benchmark 20 times and gates against the
+# committed BENCH_hotpath.json: a >25% allocs/op regression fails the build.
+# Allocation counts are deterministic and hardware-independent, so this gate
+# is safe on any CI runner; the ns/op side of the gate stays dormant here
+# (20 iterations never reach -gate-min-iters) because wall-clock numbers
+# from different machines aren't comparable. Use bench-gate for a full
+# timed comparison on the machine that produced BENCH_hotpath.json.
 bench-smoke:
-	$(GO) test -run '^$$' -bench '$(HOTPATH_BENCH)' -benchtime 1x -benchmem $(HOTPATH_PKGS) \
-		| $(GO) run ./cmd/benchjson -o /tmp/bench_smoke.json && rm -f /tmp/bench_smoke.json
+	$(GO) test -run '^$$' -bench '$(HOTPATH_BENCH)' -benchtime 20x -benchmem $(HOTPATH_PKGS) \
+		| $(GO) run ./cmd/benchjson -gate 25 -gate-min-iters 1000 -baseline BENCH_hotpath.json -o /tmp/bench_smoke.json \
+		&& rm -f /tmp/bench_smoke.json
+
+# bench-gate is the full regression gate: default benchtime, both ns/op and
+# allocs/op compared against the committed BENCH_hotpath.json at 25%. Run it
+# on hardware comparable to what produced the committed numbers.
+bench-gate:
+	$(GO) test -run '^$$' -bench '$(HOTPATH_BENCH)' -benchmem $(HOTPATH_PKGS) \
+		| $(GO) run ./cmd/benchjson -gate 25 -baseline BENCH_hotpath.json -o /tmp/bench_gate.json \
+		&& rm -f /tmp/bench_gate.json
 
 chaos:
 	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -count=1 -run '$(CHAOS_TESTS)' $(CHAOS_PKGS)

@@ -12,6 +12,16 @@
 // existed, its current numbers are promoted to baseline), so regenerating
 // after an optimization records the before/after pair. Delete the file to
 // reset the baseline. The schema is documented in EXPERIMENTS.md.
+//
+// With -gate PCT the command additionally compares the run against a
+// committed reference (-baseline FILE, its "benchmarks" section) and exits
+// non-zero when any benchmark present in both regresses by more than PCT
+// percent in ns/op or allocs/op — the bench-smoke regression gate. ns/op is
+// gated only when the run measured at least -gate-min-iters iterations
+// (single-shot timings are noise); allocs/op always gates, with a small
+// absolute slack absorbing warmup effects, since allocation counts are
+// deterministic. The ns gate assumes the run and the reference came from
+// comparable hardware.
 package main
 
 import (
@@ -56,6 +66,9 @@ func main() {
 
 func run() error {
 	out := flag.String("o", "BENCH_hotpath.json", "output JSON file (also the baseline source)")
+	gate := flag.Float64("gate", 0, "fail when a benchmark regresses more than this percent vs -baseline (0 = no gate)")
+	gateBase := flag.String("baseline", "", "reference file for -gate (its \"benchmarks\" section); defaults to the -o file before this run updates it")
+	gateMinIters := flag.Int64("gate-min-iters", 10, "gate ns/op only when the current run measured at least this many iterations")
 	flag.Parse()
 
 	got := map[string]Result{}
@@ -80,6 +93,25 @@ func run() error {
 	}
 	if len(got) == 0 {
 		return fmt.Errorf("no benchmark lines on stdin (run with -bench and -benchmem)")
+	}
+
+	// The gate reference is read before -o is rewritten, so gating against
+	// the same file compares to its committed contents.
+	var ref map[string]Result
+	if *gate > 0 {
+		refPath := *gateBase
+		if refPath == "" {
+			refPath = *out
+		}
+		prev, err := os.ReadFile(refPath)
+		if err != nil {
+			return fmt.Errorf("gate baseline: %w", err)
+		}
+		var old File
+		if err := json.Unmarshal(prev, &old); err != nil {
+			return fmt.Errorf("gate baseline %s is not benchjson output: %w", refPath, err)
+		}
+		ref = old.Benchmarks
 	}
 
 	f := File{Benchmarks: got}
@@ -118,7 +150,53 @@ func run() error {
 		}
 		fmt.Fprintln(os.Stderr, line)
 	}
+	if *gate > 0 {
+		if fails := gateFailures(got, ref, *gate, *gateMinIters); len(fails) > 0 {
+			for _, msg := range fails {
+				fmt.Fprintln(os.Stderr, "benchjson: GATE:", msg)
+			}
+			return fmt.Errorf("%d benchmark(s) regressed more than %.0f%% vs baseline", len(fails), *gate)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: gate ok (no regression beyond %.0f%% across %d tracked benchmarks)\n",
+			*gate, len(ref))
+	}
 	return nil
+}
+
+// gateFailures compares cur against the reference and returns one message
+// per benchmark breaching the pct regression allowance. Benchmarks absent
+// from the reference are recorded but not gated. ns/op is compared only
+// when the current run measured at least minIters iterations — single-shot
+// smoke timings are noise — while allocs/op, being deterministic, always
+// compares, with an absolute slack of max(2, ref·pct/100) absorbing one-off
+// warmup allocations.
+func gateFailures(cur, ref map[string]Result, pct float64, minIters int64) []string {
+	names := make([]string, 0, len(cur))
+	for n := range cur {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var fails []string
+	for _, n := range names {
+		c := cur[n]
+		b, ok := ref[n]
+		if !ok {
+			continue
+		}
+		if c.Iterations >= minIters && b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*(1+pct/100) {
+			fails = append(fails, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (+%.1f%%, allowance %.0f%%)",
+				n, c.NsPerOp, b.NsPerOp, 100*(c.NsPerOp/b.NsPerOp-1), pct))
+		}
+		slack := int64(float64(b.AllocsPerOp) * pct / 100)
+		if slack < 2 {
+			slack = 2
+		}
+		if c.AllocsPerOp > b.AllocsPerOp+slack {
+			fails = append(fails, fmt.Sprintf("%s: %d allocs/op vs baseline %d (allowance +%d)",
+				n, c.AllocsPerOp, b.AllocsPerOp, slack))
+		}
+	}
+	return fails
 }
 
 // marshalStable renders the file with sorted keys and trailing newline so

@@ -13,6 +13,15 @@ var met struct {
 	revisitSkips *obs.Counter // carminer.topk.revisit_skips — closed nodes reached again
 	groups       *obs.Counter // carminer.topk.groups — closed rule groups recorded
 
+	// Dynamic-floor machinery (exact-safe pruning added on top of the
+	// SIGMOD'05 prunes) and the opt-in approximate mode.
+	floorSkips  *obs.Counter // carminer.topk.floor_skips — groups rejected before allocation
+	floorPrunes *obs.Counter // carminer.topk.floor_prunes — subtrees cut by the raised minsup
+	slackPrunes *obs.Counter // carminer.topk.slack_prunes — approx-only slack capacity cuts
+	sketchSkips *obs.Counter // carminer.topk.sketch_skips — approx-only hot-node revisit cuts
+	sketchEvict *obs.Counter // carminer.sketch.evictions — space-saving entries displaced
+	sketchBound *obs.Gauge   // carminer.sketch.bound — widest per-shard overcount bound seen
+
 	// Budget/deadline accounting shared by every miner taking a Budget.
 	deadlinePolls   *obs.Counter // carminer.deadline.polls
 	deadlineExpired *obs.Counter // carminer.deadline.expired
@@ -33,6 +42,12 @@ func SetMetrics(r *obs.Registry) {
 	met.prunedConf = r.Counter("carminer.topk.pruned_confidence")
 	met.revisitSkips = r.Counter("carminer.topk.revisit_skips")
 	met.groups = r.Counter("carminer.topk.groups")
+	met.floorSkips = r.Counter("carminer.topk.floor_skips")
+	met.floorPrunes = r.Counter("carminer.topk.floor_prunes")
+	met.slackPrunes = r.Counter("carminer.topk.slack_prunes")
+	met.sketchSkips = r.Counter("carminer.topk.sketch_skips")
+	met.sketchEvict = r.Counter("carminer.sketch.evictions")
+	met.sketchBound = r.Gauge("carminer.sketch.bound")
 	met.deadlinePolls = r.Counter("carminer.deadline.polls")
 	met.deadlineExpired = r.Counter("carminer.deadline.expired")
 	met.ctxStops = r.Counter("carminer.ctx.stops")

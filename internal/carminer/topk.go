@@ -31,6 +31,7 @@ import (
 	"bstc/internal/dataset"
 	"bstc/internal/fault"
 	"bstc/internal/obs"
+	"bstc/internal/sketch"
 )
 
 // ErrBudgetExceeded reports that mining hit its deadline; partial results
@@ -100,6 +101,13 @@ type RuleGroup struct {
 	// them at most); nil until MineLowerBounds runs.
 	LowerBounds []*bitset.Set
 
+	// ArrivalEstimate and ArrivalError are filled only by approximate runs:
+	// the sketch's estimate of how often the enumeration arrived at this
+	// closed node, with ArrivalEstimate − ArrivalError a guaranteed lower
+	// bound. Support and Confidence stay exact in every mode.
+	ArrivalEstimate uint64
+	ArrivalError    uint64
+
 	// key is the ClassRows bitset key. A closed itemset is exactly the
 	// intersection of the class rows containing it, so key identifies the
 	// group: equal keys imply equal groups. It doubles as the canonical
@@ -135,6 +143,20 @@ type TopKConfig struct {
 	// expired Budget are timing-dependent, exactly like DNF cells in the
 	// evaluation harness. The budget is honored by each worker.
 	Workers int
+	// MaxNodes, when positive, bounds the enumeration nodes each miner
+	// (each shard, in parallel mode) may visit; exceeding it stops the run
+	// with ErrBudgetExceeded and partial results. Unlike the wall-clock
+	// Deadline this budget is deterministic: the same configuration always
+	// stops at the same node.
+	MaxNodes int
+	// Approx opts into approximate mining (see ApproxConfig); the zero
+	// value keeps the miner exact.
+	Approx ApproxConfig
+
+	// disableFloors turns off the dynamic-floor machinery so package tests
+	// can diff its output against the reference pruning. Not exported: the
+	// floors are exact-safe, so production runs always want them.
+	disableFloors bool
 }
 
 // TopKResult is the output of TopKCoveringRuleGroups: the deduplicated
@@ -147,6 +169,9 @@ type TopKResult struct {
 	// PerRow maps each class row index to its top-k covering groups,
 	// pointers into Groups.
 	PerRow map[int][]*RuleGroup
+	// Approx carries the error accounting of an approximate run; nil in
+	// exact mode.
+	Approx *ApproxReport
 }
 
 // TopKCoveringRuleGroups mines, for every class-ci training row, the k most
@@ -162,6 +187,9 @@ func TopKCoveringRuleGroups(ctx context.Context, d *dataset.Bool, ci int, cfg To
 	}
 	if cfg.MinSupport < 0 || cfg.MinSupport > 1 {
 		return nil, fmt.Errorf("carminer: minimum support %v outside [0,1]", cfg.MinSupport)
+	}
+	if err := cfg.Approx.validate(); err != nil {
+		return nil, err
 	}
 	var classRows []int
 	for i, cl := range d.Classes {
@@ -180,17 +208,26 @@ func TopKCoveringRuleGroups(ctx context.Context, d *dataset.Bool, ci int, cfg To
 	var (
 		groups map[string]*RuleGroup
 		covers [][]*RuleGroup
+		rep    *ApproxReport
 		err    error
 	)
+	if cfg.Approx.Enabled() {
+		rep = &ApproxReport{
+			Width:        cfg.Approx.ResolveWidth(),
+			Epsilon:      cfg.Approx.ResolveEpsilon(),
+			SupportSlack: supportSlack(cfg.Approx, len(classRows)),
+		}
+	}
 	if workers := cfg.Workers; workers > 1 && len(classRows) > 1 {
-		groups, covers, err = mineParallel(ctx, d, ci, classRows, minSup, cfg, workers)
+		groups, covers, err = mineParallel(ctx, d, ci, classRows, minSup, cfg, workers, rep)
 	} else {
 		m := newTopkMiner(ctx, d, ci, classRows, minSup, cfg)
 		err = m.run()
+		m.annotateApprox(rep)
 		groups, covers = m.groups, m.covers
 	}
 
-	res := &TopKResult{Class: ci, PerRow: make(map[int][]*RuleGroup, len(classRows))}
+	res := &TopKResult{Class: ci, Approx: rep, PerRow: make(map[int][]*RuleGroup, len(classRows))}
 	for pos, lst := range covers {
 		if lst != nil {
 			res.PerRow[classRows[pos]] = lst
@@ -222,7 +259,7 @@ func TopKCoveringRuleGroups(ctx context.Context, d *dataset.Bool, ci int, cfg To
 // run dropped it. Every run therefore discovers a superset of the groups in
 // the canonical full-enumeration top-k, and re-offering the merged union
 // through the strict total order reproduces exactly that top-k.
-func mineParallel(ctx context.Context, d *dataset.Bool, ci int, classRows []int, minSup int, cfg TopKConfig, workers int) (map[string]*RuleGroup, [][]*RuleGroup, error) {
+func mineParallel(ctx context.Context, d *dataset.Bool, ci int, classRows []int, minSup int, cfg TopKConfig, workers int, rep *ApproxReport) (map[string]*RuleGroup, [][]*RuleGroup, error) {
 	if workers > len(classRows) {
 		workers = len(classRows)
 	}
@@ -250,6 +287,9 @@ func mineParallel(ctx context.Context, d *dataset.Bool, ci int, classRows []int,
 		}(w)
 	}
 	wg.Wait()
+	for _, m := range miners {
+		m.annotateApprox(rep)
+	}
 
 	// A contained panic outranks orderly stops (budget/ctx): the caller
 	// must see the real failure, not a DNF that happens to accompany it.
@@ -330,6 +370,31 @@ type topkMiner struct {
 	// rows outside the class.
 	rowPos []int32
 
+	// Dynamic-floor state. fullRows counts class rows whose top-k list is
+	// full; once all are, (floorConf, floorSup) caches the weakest k-th
+	// entry across rows — the floor every new group must beat somewhere —
+	// recomputed lazily when floorDirty. effMinSup starts at minSup and is
+	// raised to the weakest floor's support once every floor demands full
+	// confidence, which makes the capacity prune strictly stronger while
+	// provably preserving the output (see refreshFloor). noFloors reverts
+	// prunable to the reference O(rows) scan for differential tests.
+	effMinSup  int
+	fullRows   int
+	floorDirty bool
+	floorConf  float64
+	floorSup   int
+	noFloors   bool
+
+	// Approximate mode (nil sk = exact): sk counts node arrivals by class
+	// support key, slack is the ⌈ε·|C_i|⌉ capacity slack, maxNodes the
+	// deterministic node budget (0 = unlimited; also honored in exact
+	// mode), and skSkips/slackCuts the per-miner error accounting.
+	sk        *sketch.Sketch
+	slack     int
+	maxNodes  int
+	skSkips   uint64
+	slackCuts uint64
+
 	// root is the synthetic root itemset (the full gene set); depth[l]
 	// holds level l's running intersection and class support set, reused
 	// across the whole enumeration so dfs itself never allocates bitsets.
@@ -359,6 +424,13 @@ func newTopkMiner(ctx context.Context, d *dataset.Bool, ci int, classRows []int,
 		root:      bitset.New(d.NumGenes()),
 		depth:     make([]levelScratch, len(classRows)),
 		keyBuf:    make([]byte, 0, (d.NumSamples()+7)/8+8),
+	}
+	m.effMinSup = minSup
+	m.maxNodes = cfg.MaxNodes
+	m.noFloors = cfg.disableFloors
+	if cfg.Approx.Enabled() {
+		m.sk = sketch.New(cfg.Approx.ResolveWidth())
+		m.slack = supportSlack(cfg.Approx, len(classRows))
 	}
 	for i := range m.rowPos {
 		m.rowPos[i] = -1
@@ -398,7 +470,14 @@ func (m *topkMiner) runRoots(offset, stride int) error {
 func (m *topkMiner) dfs(itemset *bitset.Set, idx, level int) error {
 	m.nodes++
 	met.nodes.Inc()
-	if m.nodes%64 == 0 {
+	// Amortized stop poll, aligned to fire on the miner's very first node:
+	// with the dynamic floors whole runs can finish under one 64-node
+	// stride, and budget expiry / fault injection must still be observed.
+	if m.nodes&63 == 1 {
+		if m.maxNodes > 0 && m.nodes > m.maxNodes {
+			m.retainCovering()
+			return ErrBudgetExceeded
+		}
 		if err := m.budget.Check(m.ctx); err != nil {
 			m.retainCovering()
 			return err
@@ -427,12 +506,25 @@ func (m *topkMiner) dfs(itemset *bitset.Set, idx, level int) error {
 		}
 	}
 	m.keyBuf = classSet.AppendKey(m.keyBuf[:0])
+	if m.sk != nil {
+		m.sk.Offer(m.keyBuf, 1)
+	}
 	support := classSet.Count()
 	si, revisit := m.states[string(m.keyBuf)] // map-from-bytes: no alloc on hit
 	if revisit {
 		if idx >= int(m.explored[si]) {
 			met.revisitSkips.Inc()
 			return nil // subtree already covered from an earlier index
+		}
+		// Approximate mode: a node the sketch certifies as hot has been
+		// arrived at from enough directions already; skip re-expanding the
+		// uncovered gap. This is the one prune that can drop exact results
+		// (the gap may hold a group reachable only through it), traded for
+		// cutting the revisit tail that dominates dense profiles.
+		if m.sk != nil && m.sk.SeenAtLeast(m.keyBuf, approxHotVisits) {
+			m.skSkips++
+			met.sketchSkips.Inc()
+			return nil
 		}
 	} else {
 		key := string(m.keyBuf)
@@ -446,16 +538,27 @@ func (m *topkMiner) dfs(itemset *bitset.Set, idx, level int) error {
 	// Support grows going down (descendants intersect more rows, shrinking
 	// the itemset and enlarging its closure), so the minsup prune is a
 	// capacity bound: even absorbing every remaining candidate row cannot
-	// lift a descendant's support above support + remaining.
-	if support < m.minSup {
+	// lift a descendant's support above support + remaining. effMinSup is
+	// the floor-raised minimum (== minSup until every row's top-k is full
+	// of full-confidence groups), and approximate mode adds a slack on top.
+	if support < m.effMinSup+m.slack {
 		remaining := 0
 		for j := idx + 1; j < len(m.classRows); j++ {
 			if !classSet.Contains(m.classRows[j]) {
 				remaining++
 			}
 		}
-		if support+remaining < m.minSup {
+		capacity := support + remaining
+		switch {
+		case capacity < m.minSup:
 			met.prunedSup.Inc()
+			return nil
+		case capacity < m.effMinSup:
+			met.floorPrunes.Inc()
+			return nil
+		case m.slack > 0 && capacity < m.effMinSup+m.slack:
+			m.slackCuts++
+			met.slackPrunes.Inc()
 			return nil
 		}
 	}
@@ -482,16 +585,23 @@ func (m *topkMiner) dfs(itemset *bitset.Set, idx, level int) error {
 }
 
 // record builds the group and offers it to the top-k list of every covered
-// row. itemset and classSet live in the dfs scratch stack, so they are
-// cloned only when some row actually keeps the group; a group rejected by
-// every top-k list costs nothing beyond the probe.
+// row. The admissibility probe runs first: when no covered row's top-k
+// would keep the group, record returns before allocating the RuleGroup at
+// all — on dense profiles the vast majority of closed nodes die here.
+// itemset and classSet live in the dfs scratch stack, so they are cloned
+// only when some row actually keeps the group.
 func (m *topkMiner) record(itemset, classSet *bitset.Set, key string, support, total int) {
+	conf := float64(support) / float64(total)
+	if !m.admissible(classSet, conf, support, key) {
+		met.floorSkips.Inc()
+		return
+	}
 	met.groups.Inc()
 	g := &RuleGroup{
 		Class:      m.ci,
 		Support:    support,
 		TotalRows:  total,
-		Confidence: float64(support) / float64(total),
+		Confidence: conf,
 		key:        key,
 	}
 	kept := false
@@ -508,8 +618,34 @@ func (m *topkMiner) record(itemset, classSet *bitset.Set, key string, support, t
 	}
 }
 
+// admissible reports whether some covered row's top-k would keep a group
+// with the given stats: a non-full list always would; a full list iff the
+// group beats its current worst entry in coverLess order. The comparison
+// mirrors coverLess exactly, so offer keeps a group iff admissible said so.
+func (m *topkMiner) admissible(classSet *bitset.Set, conf float64, support int, key string) bool {
+	adm := false
+	classSet.ForEach(func(r int) bool {
+		lst := m.covers[m.rowPos[r]]
+		if len(lst) < m.k {
+			adm = true
+			return false
+		}
+		worst := lst[len(lst)-1]
+		if conf > worst.Confidence ||
+			(conf == worst.Confidence && (support > worst.Support ||
+				(support == worst.Support && key < worst.key))) {
+			adm = true
+			return false
+		}
+		return true
+	})
+	return adm
+}
+
 // offer inserts g into the top-k of the class row at position pos in
-// coverLess order, reporting whether the list kept it.
+// coverLess order, reporting whether the list kept it. A kept offer that
+// fills the list or changes its k-th entry moves that row's floor, so the
+// cached global floor is marked stale.
 func (m *topkMiner) offer(pos int, g *RuleGroup) bool {
 	lst := m.covers[pos]
 	at := len(lst)
@@ -522,6 +658,7 @@ func (m *topkMiner) offer(pos int, g *RuleGroup) bool {
 	if at >= m.k {
 		return false
 	}
+	wasFull := len(lst) >= m.k
 	lst = append(lst, nil)
 	copy(lst[at+1:], lst[at:])
 	lst[at] = g
@@ -529,6 +666,12 @@ func (m *topkMiner) offer(pos int, g *RuleGroup) bool {
 		lst = lst[:m.k]
 	}
 	m.covers[pos] = lst
+	if len(lst) == m.k {
+		if !wasFull {
+			m.fullRows++
+		}
+		m.floorDirty = true
+	}
 	return true
 }
 
@@ -539,22 +682,67 @@ func (m *topkMiner) offer(pos int, g *RuleGroup) bool {
 // class row's current k-th best rule already beats that bound (or matches
 // it at the maximal possible support), no descendant can enter any top-k
 // list and the subtree is useless.
+//
+// The decision needs only the weakest k-th entry across rows — the cached
+// floor — turning the reference O(rows) scan into O(1) per node, with the
+// scan paid once per floor movement in refreshFloor. Both branches decide
+// identically: the floor is the lexicographic minimum of the per-row worst
+// (confidence, support) pairs, so it fails the bound test iff some row does.
 func (m *topkMiner) prunable(outside int) bool {
 	nc := len(m.classRows)
 	bound := float64(nc) / float64(nc+outside)
-	for _, lst := range m.covers {
-		if len(lst) < m.k {
-			return false
+	if m.noFloors {
+		for _, lst := range m.covers {
+			if len(lst) < m.k {
+				return false
+			}
+			worst := lst[len(lst)-1]
+			if worst.Confidence < bound {
+				return false
+			}
+			if worst.Confidence == bound && worst.Support < nc {
+				return false
+			}
 		}
-		worst := lst[len(lst)-1]
-		if worst.Confidence < bound {
-			return false
-		}
-		if worst.Confidence == bound && worst.Support < nc {
-			return false
-		}
+		return true
+	}
+	if m.fullRows < len(m.covers) {
+		return false
+	}
+	if m.floorDirty {
+		m.refreshFloor()
+	}
+	if m.floorConf < bound {
+		return false
+	}
+	if m.floorConf == bound && m.floorSup < nc {
+		return false
 	}
 	return true
+}
+
+// refreshFloor recomputes the weakest k-th cover entry across class rows
+// (every list is full when this runs) and, when every floor already demands
+// full confidence, raises the effective minimum support to the weakest
+// floor's support. The raise is exact-safe: with floorConf == 1 every row's
+// worst entry has confidence 1 and support ≥ floorSup, so a group with
+// support < floorSup loses every coverLess comparison against every worst
+// entry — now and, floors being monotone, at the end of the run — and can
+// never enter any final top-k. Support exactly floorSup stays minable (the
+// key tie-break can still admit it), hence the capacity prune's strict <.
+func (m *topkMiner) refreshFloor() {
+	m.floorDirty = false
+	m.floorConf, m.floorSup = 2, 0 // above any reachable confidence
+	for _, lst := range m.covers {
+		worst := lst[len(lst)-1]
+		if worst.Confidence < m.floorConf ||
+			(worst.Confidence == m.floorConf && worst.Support < m.floorSup) {
+			m.floorConf, m.floorSup = worst.Confidence, worst.Support
+		}
+	}
+	if m.floorConf == 1 && m.floorSup > m.effMinSup {
+		m.effMinSup = m.floorSup
+	}
 }
 
 // retainCovering keeps only the groups present in some row's final top-k

@@ -100,6 +100,13 @@ func (cfg CVConfig) recordConfig() map[string]float64 {
 		m["min_support"] = cfg.RCBT.MinSupport
 		m["k"] = float64(cfg.RCBT.K)
 		m["nl"] = float64(cfg.RCBT.NL)
+		if cfg.RCBT.MaxNodes > 0 {
+			m["max_nodes"] = float64(cfg.RCBT.MaxNodes)
+		}
+		if cfg.RCBT.Approx.Enabled() {
+			m["approx_width"] = float64(cfg.RCBT.Approx.ResolveWidth())
+			m["approx_epsilon"] = cfg.RCBT.Approx.ResolveEpsilon()
+		}
 	}
 	return m
 }

@@ -46,6 +46,14 @@ type Config struct {
 	// (≤ 1 mines serially). Completed results are identical for every
 	// value; see carminer.TopKConfig.Workers.
 	Workers int
+	// MaxNodes, when positive, is a deterministic per-class node budget for
+	// the Top-k miner (per shard with Workers > 1); exceeding it surfaces
+	// carminer.ErrBudgetExceeded exactly like a deadline.
+	MaxNodes int
+	// Approx opts the Top-k miner into approximate mining (see
+	// carminer.ApproxConfig). Lower-bound mining and classifier assembly
+	// stay exact; only the set of mined groups may shrink.
+	Approx carminer.ApproxConfig
 }
 
 // DefaultConfig returns the author-suggested parameter values used
@@ -89,6 +97,8 @@ func Mine(ctx context.Context, d *dataset.Bool, cfg Config) ([]*carminer.TopKRes
 			K:          cfg.K,
 			Budget:     cfg.Budget,
 			Workers:    cfg.Workers,
+			MaxNodes:   cfg.MaxNodes,
+			Approx:     cfg.Approx,
 		})
 		results[ci] = res
 		if err != nil {

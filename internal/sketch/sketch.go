@@ -1,0 +1,312 @@
+// Package sketch implements the space-saving summary of Metwally, Agrawal
+// and El Abbadi ("Efficient Computation of Frequent and Top-k Elements in
+// Data Streams", ICDT'05) over opaque byte keys — the approximate counting
+// substrate of the Top-k miner's approximate mode.
+//
+// A Sketch of width w tracks at most w distinct keys. Offering a tracked key
+// adds the offered weight to its counter; offering an untracked key when the
+// sketch is full evicts the minimum-count entry and inherits its count as
+// the newcomer's starting point, remembering that inherited amount as the
+// entry's maximum possible overcount (maxError).
+//
+// # Error math
+//
+// Counter totals are conserved: every Offer adds exactly its weight to one
+// counter, so the counters always sum to N, the total offered weight. The
+// minimum counter is therefore at most N/w, and since every overcount is an
+// inherited minimum, every estimate obeys
+//
+//	true(key) ≤ Estimate(key) ≤ true(key) + N/w.
+//
+// Choosing w = ⌈1/ε⌉ bounds every overcount by εN. The same bound covers
+// untracked keys: a key absent from a full sketch was never offered more
+// than the current minimum count (the minimum is non-decreasing once the
+// sketch fills, and an evicted key's count never exceeded it), so Estimate
+// reports (min, min) for absent keys and the invariants above still hold.
+//
+// Merge preserves the sandwich invariant (estimate − maxError ≤ true ≤
+// estimate) for the concatenated streams via an explicit floor: the merged
+// sketch remembers the largest count an absent key could have accumulated
+// across both inputs, and newcomers inherit it. A merged sketch's worst-case
+// overcount is ErrorBound(), which can exceed Epsilon()·N() when the inputs'
+// widths differ; the εN form is guaranteed only for offer-only sketches.
+//
+// All operations are deterministic: ties in the eviction heap break on the
+// key bytes, so identical offer sequences produce identical sketches.
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Entry is one tracked key with its count estimate and overcount bound:
+// Count − MaxError ≤ true count ≤ Count.
+type Entry struct {
+	Key      string
+	Count    uint64
+	MaxError uint64
+}
+
+// Sketch is a space-saving summary. The zero value is unusable; construct
+// with New or NewEpsilon. Not safe for concurrent use.
+type Sketch struct {
+	width int
+	// entries is a binary min-heap on (count, key): entries[0] is the
+	// eviction victim. index maps each key to its heap position.
+	entries   []Entry
+	index     map[string]int
+	n         uint64
+	evictions uint64
+	// floor upper-bounds the true count of any untracked key while the
+	// sketch is below width. Always 0 for offer-only sketches (an untracked
+	// key of a non-full sketch was never offered); Merge raises it to cover
+	// keys the inputs may have evicted or the merge truncated. Every tracked
+	// count is ≥ floor, so once the sketch fills the heap minimum dominates.
+	floor uint64
+}
+
+// New returns a sketch tracking at most width keys; width < 1 is clamped to
+// 1 (a single-counter summary with error bound N).
+func New(width int) *Sketch {
+	if width < 1 {
+		width = 1
+	}
+	return &Sketch{width: width, index: make(map[string]int, width)}
+}
+
+// NewEpsilon returns a sketch whose overcounts are bounded by eps·N, i.e.
+// one of width ⌈1/eps⌉. eps outside (0, 1] is an error.
+func NewEpsilon(eps float64) (*Sketch, error) {
+	if !(eps > 0 && eps <= 1) {
+		return nil, fmt.Errorf("sketch: epsilon %v outside (0, 1]", eps)
+	}
+	return New(int(math.Ceil(1 / eps))), nil
+}
+
+// Width returns the maximum number of tracked keys.
+func (s *Sketch) Width() int { return s.width }
+
+// Epsilon returns the relative error guarantee 1/width: every estimate's
+// overcount is at most Epsilon()·N().
+func (s *Sketch) Epsilon() float64 { return 1 / float64(s.width) }
+
+// Len returns the number of currently tracked keys.
+func (s *Sketch) Len() int { return len(s.entries) }
+
+// N returns the total weight offered so far.
+func (s *Sketch) N() uint64 { return s.n }
+
+// Evictions returns how many tracked keys have been displaced.
+func (s *Sketch) Evictions() uint64 { return s.evictions }
+
+// MinCount returns the smallest tracked count when the sketch is full, and
+// the merge floor (0 for offer-only sketches) otherwise. It upper-bounds the
+// true count of every untracked key and every overcount, and is
+// non-decreasing once the sketch fills.
+func (s *Sketch) MinCount() uint64 {
+	if len(s.entries) < s.width {
+		return s.floor
+	}
+	return s.entries[0].Count
+}
+
+// ErrorBound returns the current worst-case overcount of any estimate:
+// MinCount, which never exceeds ⌈Epsilon()·N()⌉.
+func (s *Sketch) ErrorBound() uint64 { return s.MinCount() }
+
+// Offer adds weight to key's counter, evicting the minimum entry when the
+// key is untracked and the sketch is full. The key bytes are copied only
+// when a new entry is created, so offering tracked keys does not allocate.
+func (s *Sketch) Offer(key []byte, weight uint64) {
+	s.n += weight
+	if i, ok := s.index[string(key)]; ok { // map-from-bytes: no alloc
+		s.entries[i].Count += weight
+		s.siftDown(i)
+		return
+	}
+	if len(s.entries) < s.width {
+		// Newcomers inherit the floor: below it, an untracked key's prior
+		// weight cannot be ruled out (only relevant after a Merge).
+		s.entries = append(s.entries, Entry{Key: string(key), Count: s.floor + weight, MaxError: s.floor})
+		s.index[s.entries[len(s.entries)-1].Key] = len(s.entries) - 1
+		s.siftUp(len(s.entries) - 1)
+		return
+	}
+	min := s.entries[0]
+	delete(s.index, min.Key)
+	s.entries[0] = Entry{Key: string(key), Count: min.Count + weight, MaxError: min.Count}
+	s.index[s.entries[0].Key] = 0
+	s.siftDown(0)
+	s.evictions++
+}
+
+// Estimate returns the count estimate and overcount bound for key. For a
+// tracked key these are its entry's values; for an untracked key both are
+// MinCount (its true count cannot exceed the minimum tracked count, and the
+// estimate may overcount by all of it). In both cases
+// estimate − maxError ≤ true count ≤ estimate.
+func (s *Sketch) Estimate(key []byte) (estimate, maxError uint64, tracked bool) {
+	if i, ok := s.index[string(key)]; ok {
+		return s.entries[i].Count, s.entries[i].MaxError, true
+	}
+	m := s.MinCount()
+	return m, m, false
+}
+
+// SeenAtLeast reports whether key's true offered weight is guaranteed to be
+// at least n — i.e. its guaranteed count (estimate − maxError) reaches n.
+// False negatives happen after evictions; false positives never do.
+func (s *Sketch) SeenAtLeast(key []byte, n uint64) bool {
+	i, ok := s.index[string(key)]
+	if !ok {
+		return false
+	}
+	return s.entries[i].Count-s.entries[i].MaxError >= n
+}
+
+// Entries returns the tracked entries sorted by count descending, maxError
+// ascending, key ascending — a deterministic ranking.
+func (s *Sketch) Entries() []Entry {
+	out := make([]Entry, len(s.entries))
+	copy(out, s.entries)
+	sort.Slice(out, func(i, j int) bool { return entryLess(out[i], out[j]) })
+	return out
+}
+
+// entryLess ranks a above b: higher count first, then smaller error, then
+// smaller key.
+func entryLess(a, b Entry) bool {
+	if a.Count != b.Count {
+		return a.Count > b.Count
+	}
+	if a.MaxError != b.MaxError {
+		return a.MaxError < b.MaxError
+	}
+	return a.Key < b.Key
+}
+
+// GuaranteedTopK returns the entries provably among the k heaviest keys of
+// the whole stream: ranked entries whose guaranteed count (Count − MaxError)
+// is at least the best possible true count of every key outside the first k
+// ranks — the (k+1)-th entry's Count, or MinCount when fewer than k+1 keys
+// are tracked (no untracked key can exceed it).
+func (s *Sketch) GuaranteedTopK(k int) []Entry {
+	if k <= 0 {
+		return nil
+	}
+	ranked := s.Entries()
+	bound := s.MinCount()
+	if k < len(ranked) {
+		bound = ranked[k].Count
+		ranked = ranked[:k]
+	}
+	out := ranked[:0:len(ranked)]
+	for _, e := range ranked {
+		if e.Count-e.MaxError >= bound {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Merge combines two summaries into a new sketch of width max(s, o.width)
+// covering both streams. A key absent from one input contributes that
+// input's MinCount to its combined count and error — the tightest upper
+// bound the absent side can certify — and the combined ranking is truncated
+// to the new width, evicting the smallest counts. Estimates are monotone:
+// merged estimates never fall below either input's, and the per-key
+// invariant estimate − maxError ≤ true ≤ estimate carries over to the
+// combined stream.
+func (s *Sketch) Merge(o *Sketch) *Sketch {
+	width := s.width
+	if o.width > width {
+		width = o.width
+	}
+	m := New(width)
+	m.n = s.n + o.n
+	m.evictions = s.evictions + o.evictions
+	combined := make([]Entry, 0, len(s.entries)+len(o.entries))
+	sMin, oMin := s.MinCount(), o.MinCount()
+	for _, e := range s.entries {
+		c, err := e.Count, e.MaxError
+		if j, ok := o.index[e.Key]; ok {
+			c += o.entries[j].Count
+			err += o.entries[j].MaxError
+		} else {
+			c += oMin
+			err += oMin
+		}
+		combined = append(combined, Entry{Key: e.Key, Count: c, MaxError: err})
+	}
+	for _, e := range o.entries {
+		if _, ok := s.index[e.Key]; ok {
+			continue // already combined above
+		}
+		combined = append(combined, Entry{Key: e.Key, Count: e.Count + sMin, MaxError: e.MaxError + sMin})
+	}
+	sort.Slice(combined, func(i, j int) bool { return entryLess(combined[i], combined[j]) })
+	// Keys absent from the merged sketch could have accumulated up to the
+	// sum of the inputs' untracked-key bounds, or the largest truncated
+	// count, whichever is higher — that becomes the merged floor.
+	m.floor = sMin + oMin
+	if len(combined) > width {
+		m.evictions += uint64(len(combined) - width)
+		if c := combined[width].Count; c > m.floor {
+			m.floor = c
+		}
+		combined = combined[:width]
+	}
+	for _, e := range combined {
+		m.entries = append(m.entries, e)
+		m.index[e.Key] = len(m.entries) - 1
+		m.siftUp(len(m.entries) - 1)
+	}
+	return m
+}
+
+// heapLess orders the eviction heap: smaller count first, ties broken on
+// larger error then larger key (the entry ranked last by entryLess goes
+// first), keeping eviction order deterministic.
+func (s *Sketch) heapLess(i, j int) bool {
+	a, b := s.entries[i], s.entries[j]
+	if a.Count != b.Count {
+		return a.Count < b.Count
+	}
+	return entryLess(b, a)
+}
+
+func (s *Sketch) swap(i, j int) {
+	s.entries[i], s.entries[j] = s.entries[j], s.entries[i]
+	s.index[s.entries[i].Key] = i
+	s.index[s.entries[j].Key] = j
+}
+
+func (s *Sketch) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.heapLess(i, parent) {
+			return
+		}
+		s.swap(i, parent)
+		i = parent
+	}
+}
+
+func (s *Sketch) siftDown(i int) {
+	for {
+		least := i
+		if l := 2*i + 1; l < len(s.entries) && s.heapLess(l, least) {
+			least = l
+		}
+		if r := 2*i + 2; r < len(s.entries) && s.heapLess(r, least) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		s.swap(i, least)
+		i = least
+	}
+}
