@@ -13,6 +13,7 @@ FUZZ_TARGETS = \
 	./internal/dataset:FuzzReadContinuous \
 	./internal/dataset:FuzzReadARFF \
 	./internal/eval:FuzzLoadArtifact \
+	./internal/registry:FuzzManifest \
 	./internal/serve:FuzzDecodeRequest \
 	./internal/sketch:FuzzSketch
 FUZZTIME ?= 10s
@@ -22,11 +23,11 @@ FUZZTIME ?= 10s
 # CHAOS_SEED picks the deterministic fault schedule for the seeded sweep
 # (TestChaosSweep); CI runs a small seed matrix, and a failing seed
 # reproduces locally with the same value.
-CHAOS_TESTS = Chaos|Fault|Panic|Watchdog|Checkpoint|Deadline|Cancel|RetryAfter|Truncation|BitFlips|Corrupt|Resilience
-CHAOS_PKGS = ./internal/fault/ ./internal/dataset/ ./internal/eval/ ./internal/serve/
+CHAOS_TESTS = Chaos|Fault|Panic|Watchdog|Checkpoint|Deadline|Cancel|RetryAfter|Truncation|BitFlips|Corrupt|Resilience|Swap
+CHAOS_PKGS = ./internal/fault/ ./internal/dataset/ ./internal/eval/ ./internal/serve/ ./internal/registry/
 CHAOS_SEED ?= 1
 
-.PHONY: check vet lint build test race bench bench-json bench-smoke bench-gate fuzz-smoke chaos
+.PHONY: check vet lint build test race bench bench-json bench-smoke bench-gate fuzz-smoke chaos load-smoke load-report
 
 # The tier-1 gate plus the race-sensitive packages: the obs counters are
 # hit concurrently by parallel batch classification, eval threads the
@@ -57,7 +58,8 @@ race:
 	$(GO) test -race ./internal/obs/... ./internal/eval/... \
 		./internal/discretize/... ./internal/core/... \
 		./internal/carminer/... ./internal/experiments/... \
-		./internal/serve/... ./cmd/bstcd/...
+		./internal/registry/... ./internal/serve/... \
+		./cmd/bstcd/... ./cmd/bstcload/...
 
 test:
 	$(GO) test ./...
@@ -94,6 +96,20 @@ bench-gate:
 
 chaos:
 	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -count=1 -run '$(CHAOS_TESTS)' $(CHAOS_PKGS)
+
+# load-smoke is the self-contained serving-tier check: bstcload trains a
+# synthetic model, boots the serving tier, and drives a short seeded load
+# run with a loose throughput gate (any working build clears 50 rps; the
+# gate exists to catch a serving tier that stops answering). load-report
+# refreshes the committed BENCH_serving.json with a longer run — numbers
+# are machine-dependent, so refresh it on hardware comparable to the last.
+load-smoke:
+	$(GO) run ./cmd/bstcload -synth -requests 500 -concurrency 4 -seed 1 \
+		-min-rps 50 -report /tmp/load_smoke.json && rm -f /tmp/load_smoke.json
+
+load-report:
+	$(GO) run ./cmd/bstcload -synth -requests 2000 -concurrency 8 -seed 42 \
+		-report BENCH_serving.json
 
 # fuzz-smoke gives each target FUZZTIME of coverage-guided fuzzing (default
 # 10s) seeded from the committed corpora in testdata/fuzz/. Any crasher is

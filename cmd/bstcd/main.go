@@ -1,16 +1,34 @@
-// Command bstcd serves a trained BSTC artifact (written by `bstc artifact`)
+// Command bstcd serves trained BSTC artifacts (written by `bstc artifact`)
 // over HTTP, batching concurrent classify requests through the parallel
 // evaluation kernel.
 //
-//	bstcd -model model.bstc [-mmap] [-addr :8080] [-batch 32] [-max-wait 2ms]
-//	      [-max-inflight 128] [-workers N] [-timeout 5s] [-runlog batches.jsonl]
-//	      [-trace spans.jsonl] [-trace-sample 0.1] [-slo-latency 100ms] [-slo-target 0.999]
+//	bstcd -model model.bstc [-mmap] [-model-version v1] [-addr :8080]
+//	bstcd -registry DIR [-registry-poll 5s] [-addr :8080]
+//	      [-batch 32] [-max-wait 2ms] [-max-inflight 128] [-workers N]
+//	      [-timeout 5s] [-runlog batches.jsonl] [-trace spans.jsonl]
+//	      [-trace-sample 0.1] [-slo-latency 100ms] [-slo-target 0.999]
 //
-// With -mmap the model must be a format-v2 artifact (`bstc artifact
-// -format v2`); it is served zero-copy out of a read-only mapping, so cold
-// start skips deserializing the bitset payload and replicas on one host
-// share a single page-cache copy. The measured load time lands on the
-// serve.artifact_load_ns gauge and /v1/model either way.
+// Single-model mode (-model) serves one artifact file. With -mmap the model
+// must be a format-v2 artifact (`bstc artifact -format v2`); it is served
+// zero-copy out of a read-only mapping, so cold start skips deserializing
+// the bitset payload and replicas on one host share a single page-cache
+// copy. The measured load time lands on the serve.artifact_load_ns gauge
+// and /v1/model either way.
+//
+// Registry mode (-registry) serves a model registry directory: artifact
+// files plus a manifest.json naming versions and the route (stable version,
+// optional canary with a deterministic traffic percentage — see
+// internal/registry). Versions load through a warm LRU cache, mapped
+// zero-copy when the file is format v2.
+//
+// Both modes hot-reload on SIGHUP with no dropped requests: registry mode
+// re-reads the manifest and atomically swaps to its route; single-model
+// mode re-loads the -model file as a new version. With -registry-poll the
+// daemon also watches the manifest and swaps when it changes. A reload
+// that fails to load leaves the current versions serving untouched. Swaps
+// are observable on /v1/model (version, fingerprint, generation, canary)
+// and every classify response names its version (model_version,
+// X-Model-Version).
 //
 // Endpoints (see internal/serve): POST /v1/classify, GET /v1/model,
 // /healthz (with build info), /metrics (JSON, or Prometheus text with
@@ -32,6 +50,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"syscall"
 	"time"
@@ -39,6 +58,7 @@ import (
 	"bstc/internal/eval"
 	"bstc/internal/obs"
 	"bstc/internal/obs/trace"
+	"bstc/internal/registry"
 	"bstc/internal/serve"
 )
 
@@ -56,8 +76,11 @@ func main() {
 // server is accepting connections (tests bind :0 and read the port here).
 func run(ctx context.Context, args []string, stdout io.Writer, ready func(net.Addr)) error {
 	fs := flag.NewFlagSet("bstcd", flag.ContinueOnError)
-	model := fs.String("model", "", "artifact written by `bstc artifact` (required)")
+	model := fs.String("model", "", "artifact written by `bstc artifact` (this or -registry is required)")
+	modelVersion := fs.String("model-version", "v1", "version name for the -model artifact")
 	mmapModel := fs.Bool("mmap", false, "serve a v2 artifact zero-copy out of a read-only memory mapping (page cache shared across replicas)")
+	registryDir := fs.String("registry", "", "serve a model registry directory (manifest.json routing; hot-reload on SIGHUP)")
+	registryPoll := fs.Duration("registry-poll", 0, "also watch the registry manifest and swap when it changes (0 disables)")
 	addr := fs.String("addr", ":8080", "listen address")
 	batch := fs.Int("batch", 0, "micro-batch flush threshold (default 32)")
 	maxWait := fs.Duration("max-wait", 0, "max time a non-full batch waits (default 2ms)")
@@ -75,41 +98,9 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready func(net.Ad
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *model == "" {
-		return fmt.Errorf("-model is required")
+	if (*model == "") == (*registryDir == "") {
+		return fmt.Errorf("exactly one of -model or -registry is required")
 	}
-
-	// Cold-start load, timed for the serve.artifact_load_ns gauge: the mmap
-	// path parses only the v2 metadata section and aliases the bitset words
-	// in place, so it is the number to watch when rollout speed matters.
-	var (
-		art       *eval.Artifact
-		artFormat string
-	)
-	loadStart := time.Now()
-	if *mmapModel {
-		mapped, err := eval.LoadArtifactMapped(*model)
-		if err != nil {
-			return fmt.Errorf("load %s: %w", *model, err)
-		}
-		defer mapped.Close()
-		art, artFormat = mapped.Artifact, "v2+mmap"
-	} else {
-		b, err := os.ReadFile(*model)
-		if err != nil {
-			return err
-		}
-		art, err = eval.LoadArtifact(bytes.NewReader(b))
-		if err != nil {
-			return fmt.Errorf("load %s: %w", *model, err)
-		}
-		if bytes.HasPrefix(b, []byte("BSTCART2")) {
-			artFormat = "v2"
-		} else {
-			artFormat = "gob"
-		}
-	}
-	loadNanos := time.Since(loadStart).Nanoseconds()
 
 	cfg := serve.Config{
 		BatchSize:      *batch,
@@ -122,9 +113,6 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready func(net.Ad
 		Registry:       obs.NewRegistry(),
 		SLOLatency:     *sloLatency,
 		SLOTarget:      *sloTarget,
-
-		ArtifactLoadNanos: loadNanos,
-		ArtifactFormat:    artFormat,
 	}
 	if *runlogPath != "" {
 		rl, err := obs.OpenRunLog(*runlogPath)
@@ -146,36 +134,137 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready func(net.Ad
 		traceCfg.Exporter = exp
 	}
 	cfg.Tracer = trace.New(traceCfg)
-	s := serve.New(art, cfg)
+
+	// Boot the stable version: from the registry route, or the -model file.
+	var (
+		s       *serve.Server
+		reg     *registry.Registry
+		reloads int
+	)
+	if *registryDir != "" {
+		var err error
+		reg, err = registry.Open(registry.Config{Dir: *registryDir})
+		if err != nil {
+			return err
+		}
+		defer reg.Close()
+		man, err := reg.Manifest()
+		if err != nil {
+			return err
+		}
+		h, err := reg.Acquire(man, man.Serve.Model, man.Serve.Stable)
+		if err != nil {
+			return err
+		}
+		s = serve.NewFromModel(handleToModel(h), cfg)
+		if man.Serve.Canary != "" {
+			if err := applyManifest(s, reg, man); err != nil {
+				s.Close()
+				return err
+			}
+		}
+	} else {
+		d, err := loadModelFile(*model, *modelVersion, *mmapModel)
+		if err != nil {
+			return err
+		}
+		s = serve.NewFromModel(d, cfg)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
+		s.Close()
 		return err
 	}
 	httpSrv := &http.Server{Handler: s.Handler()}
-	fmt.Fprintf(stdout, "bstcd: serving %d-class model (%d items, %s, loaded in %s) on http://%s\n",
-		len(art.Classifier.ClassNames), art.Disc.NumItems(), artFormat,
-		time.Duration(loadNanos), ln.Addr())
+	stable, canary, pct := s.Route()
+	art := s.Artifact()
+	fmt.Fprintf(stdout, "bstcd: serving %d-class model (%d items, %s) on http://%s\n",
+		len(art.Classifier.ClassNames), art.Disc.NumItems(), routeBanner(stable, canary, pct), ln.Addr())
 	if ready != nil {
 		ready(ln.Addr())
+	}
+
+	// SIGHUP reloads; a failed reload logs and keeps the current versions
+	// serving. In registry mode -registry-poll additionally swaps when the
+	// manifest file changes.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	manifestDigest := func() string {
+		if reg == nil {
+			return ""
+		}
+		b, err := os.ReadFile(filepath.Join(*registryDir, registry.ManifestName))
+		if err != nil {
+			return ""
+		}
+		return eval.FileDigest(b)
+	}
+	lastManifest := manifestDigest()
+	reload := func() {
+		if reg != nil {
+			man, err := reg.Manifest()
+			if err != nil {
+				fmt.Fprintf(stdout, "bstcd: reload failed (%v); keeping current route\n", err)
+				return
+			}
+			if err := applyManifest(s, reg, man); err != nil {
+				fmt.Fprintf(stdout, "bstcd: reload failed (%v); keeping current route\n", err)
+				return
+			}
+		} else {
+			reloads++
+			d, err := loadModelFile(*model, fmt.Sprintf("%s.%d", *modelVersion, reloads), *mmapModel)
+			if err != nil {
+				fmt.Fprintf(stdout, "bstcd: reload failed (%v); keeping current model\n", err)
+				return
+			}
+			if err := s.Apply(serve.Update{Stable: d}); err != nil {
+				fmt.Fprintf(stdout, "bstcd: reload failed (%v); keeping current model\n", err)
+				return
+			}
+		}
+		stable, canary, pct := s.Route()
+		fmt.Fprintf(stdout, "bstcd: reloaded generation %d: %s\n",
+			s.Generation(), routeBanner(stable, canary, pct))
+	}
+	var pollC <-chan time.Time
+	if reg != nil && *registryPoll > 0 {
+		tick := time.NewTicker(*registryPoll)
+		defer tick.Stop()
+		pollC = tick.C
 	}
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 
-	select {
-	case err := <-serveErr:
-		s.Close()
-		return err
-	case <-ctx.Done():
+loop:
+	for {
+		select {
+		case err := <-serveErr:
+			s.Close()
+			return err
+		case <-hup:
+			reload()
+			lastManifest = manifestDigest()
+		case <-pollC:
+			if d := manifestDigest(); d != "" && d != lastManifest {
+				lastManifest = d
+				reload()
+			}
+		case <-ctx.Done():
+			break loop
+		}
 	}
 
 	fmt.Fprintln(stdout, "bstcd: draining")
 	dctx, dcancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer dcancel()
-	// Drain the batching layer first: admitted requests are answered and
-	// pending batches flush immediately, so the HTTP handlers below can
-	// finish. New requests arriving meanwhile get fast 503s.
+	// Drain the batching layer first: admitted requests are answered,
+	// pending batches flush immediately, every version retires and releases
+	// its artifact handle, so the HTTP handlers below can finish. New
+	// requests arriving meanwhile get fast 503s.
 	if err := s.Shutdown(dctx); err != nil {
 		return fmt.Errorf("drain: %w", err)
 	}
@@ -185,4 +274,94 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready func(net.Ad
 	<-serveErr // always http.ErrServerClosed after Shutdown
 	fmt.Fprintln(stdout, "bstcd: stopped")
 	return nil
+}
+
+// handleToModel adapts a registry handle into a serving model descriptor;
+// the Release hook returns the handle to the registry's warm cache once the
+// version has fully drained.
+func handleToModel(h *registry.Handle) *serve.Model {
+	fp := h.Digest
+	if len(fp) > 16 {
+		fp = fp[:16]
+	}
+	return &serve.Model{
+		Version:     h.ModelVersion,
+		Artifact:    h.Artifact,
+		Fingerprint: fp,
+		Format:      h.Format,
+		LoadNanos:   h.LoadNanos,
+		Release:     h.Release,
+	}
+}
+
+// applyManifest acquires the manifest's routed versions and swaps the
+// server to them. On any error the handles are returned and the server's
+// current route is untouched.
+func applyManifest(s *serve.Server, reg *registry.Registry, man *registry.Manifest) error {
+	hs, err := reg.Acquire(man, man.Serve.Model, man.Serve.Stable)
+	if err != nil {
+		return err
+	}
+	u := serve.Update{
+		Stable:        handleToModel(hs),
+		CanaryPercent: man.Serve.CanaryPercent,
+		Seed:          man.Serve.Seed,
+	}
+	if man.Serve.Canary != "" {
+		hc, err := reg.Acquire(man, man.Serve.Model, man.Serve.Canary)
+		if err != nil {
+			hs.Release()
+			return err
+		}
+		u.Canary = handleToModel(hc)
+	}
+	return s.Apply(u) // Apply releases the update's handles on error
+}
+
+// loadModelFile loads one artifact file for single-model mode, timing the
+// cold start. The mapped path parses only the v2 metadata section and
+// aliases the bitset words in place, so it is the number to watch when
+// rollout speed matters; its Release hook unmaps once the version drains.
+func loadModelFile(path, version string, useMmap bool) (*serve.Model, error) {
+	start := time.Now()
+	if useMmap {
+		mapped, err := eval.LoadArtifactMapped(path)
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %w", path, err)
+		}
+		return &serve.Model{
+			Version:   version,
+			Artifact:  mapped.Artifact,
+			Format:    "v2+mmap",
+			LoadNanos: time.Since(start).Nanoseconds(),
+			Release:   func() { mapped.Close() },
+		}, nil
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	art, err := eval.LoadArtifact(bytes.NewReader(b))
+	if err != nil {
+		return nil, fmt.Errorf("load %s: %w", path, err)
+	}
+	format := "gob"
+	if bytes.HasPrefix(b, []byte("BSTCART2")) {
+		format = "v2"
+	}
+	return &serve.Model{
+		Version:     version,
+		Artifact:    art,
+		Fingerprint: eval.FileDigest(b)[:16],
+		Format:      format,
+		LoadNanos:   time.Since(start).Nanoseconds(),
+	}, nil
+}
+
+// routeBanner renders the live route for log lines.
+func routeBanner(stable, canary string, pct float64) string {
+	if canary == "" {
+		return "stable=" + stable
+	}
+	return fmt.Sprintf("stable=%s canary=%s@%.1f%%", stable, canary, pct)
 }

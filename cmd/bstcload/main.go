@@ -1,0 +1,394 @@
+// Command bstcload drives classify load at a bstcd fleet and reports
+// latency, throughput, and SLO attainment.
+//
+//	bstcload -url http://host:8080 [-concurrency 8] [-duration 5s]
+//	bstcload -model model.bstc [-requests 2000]     (self-hosted target)
+//	bstcload -synth [-requests 2000]                (self-contained smoke)
+//	         [-seed 1] [-batch 32] [-report load.json] [-min-rps 100]
+//	         [-max-p99 250ms] [-timeout 5s]
+//
+// Exactly one target: -url aims at a running daemon, -model boots the
+// serving tier in-process on a loopback port around that artifact file, and
+// -synth does the same around a model trained on a synthetic expression
+// matrix (no inputs needed — this is the CI smoke mode).
+//
+// The generator is deterministic in -seed: the row mix, the order workers
+// claim requests, and every X-Routing-Key are derived from it, so two runs
+// against the same fleet split identically across a canary. Rows come from
+// the synthetic training matrix in -synth mode and from seeded uniform
+// draws (sized by GET /v1/model's gene count) otherwise.
+//
+// The report (written to -report, else stdout) captures request/ok/failure
+// counts, wall time, throughput, latency quantiles (p50/p90/p95/p99/max),
+// a per-HTTP-status histogram, per-model-version answer counts (from
+// X-Model-Version — a live canary shows up as two buckets), and the
+// server's /v1/model and /slo documents. -min-rps and -max-p99 turn the
+// run into a gate: the process exits non-zero when the fleet misses them.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bstc/internal/eval"
+	"bstc/internal/obs"
+	"bstc/internal/serve"
+	"bstc/internal/synth"
+)
+
+func main() {
+	if err := run(context.Background(), os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bstcload:", err)
+		os.Exit(1)
+	}
+}
+
+// Report is the load run's result document; EXPERIMENTS.md documents the
+// schema.
+type Report struct {
+	Target        string          `json:"target"`
+	Seed          int64           `json:"seed"`
+	Concurrency   int             `json:"concurrency"`
+	Requests      int             `json:"requests"`
+	OK            int             `json:"ok"`
+	Failures      int             `json:"failures"`
+	DurationSecs  float64         `json:"duration_seconds"`
+	ThroughputRPS float64         `json:"throughput_rps"`
+	LatencyMS     Quantiles       `json:"latency_ms"`
+	Status        map[string]int  `json:"status"`
+	Versions      map[string]int  `json:"versions"`
+	Model         json.RawMessage `json:"model,omitempty"`
+	SLO           json.RawMessage `json:"slo,omitempty"`
+}
+
+// Quantiles summarizes a latency distribution in milliseconds.
+type Quantiles struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+// sample is one completed request.
+type sample struct {
+	nanos   int64
+	status  int
+	version string
+}
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("bstcload", flag.ContinueOnError)
+	url := fs.String("url", "", "base URL of a running bstcd (this, -model, or -synth is required)")
+	model := fs.String("model", "", "serve this artifact file in-process and load against it")
+	synthMode := fs.Bool("synth", false, "train a synthetic model in-process and load against it")
+	seed := fs.Int64("seed", 1, "seeds the row mix and routing keys; same seed, same canary split")
+	concurrency := fs.Int("concurrency", 8, "concurrent load workers")
+	requests := fs.Int("requests", 0, "stop after this many requests (0: run for -duration)")
+	duration := fs.Duration("duration", 5*time.Second, "how long to drive load when -requests is 0")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-request timeout")
+	batch := fs.Int("batch", 0, "micro-batch size for the self-hosted server (default 32)")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "classify workers for the self-hosted server")
+	reportPath := fs.String("report", "", "write the JSON report here (default: stdout)")
+	minRPS := fs.Float64("min-rps", 0, "fail the run below this throughput (0 disables)")
+	maxP99 := fs.Duration("max-p99", 0, "fail the run above this p99 latency (0 disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	targets := 0
+	for _, set := range []bool{*url != "", *model != "", *synthMode} {
+		if set {
+			targets++
+		}
+	}
+	if targets != 1 {
+		return fmt.Errorf("exactly one of -url, -model, or -synth is required")
+	}
+	if *concurrency < 1 {
+		return fmt.Errorf("-concurrency must be at least 1")
+	}
+
+	// Self-hosted targets: boot the serving tier on a loopback port.
+	base := *url
+	var rows [][]float64
+	if base == "" {
+		art, trainRows, err := selfArtifact(*model, *synthMode, *seed)
+		if err != nil {
+			return err
+		}
+		rows = trainRows
+		s := serve.New(art, serve.Config{
+			BatchSize:   *batch,
+			Workers:     *workers,
+			MaxInFlight: maxInt(128, 4**concurrency),
+			Registry:    obs.NewRegistry(),
+		})
+		defer s.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		httpSrv := &http.Server{Handler: s.Handler()}
+		go httpSrv.Serve(ln)
+		defer httpSrv.Close()
+		base = "http://" + ln.Addr().String()
+	}
+
+	client := &http.Client{
+		Timeout: *timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        *concurrency * 2,
+			MaxIdleConnsPerHost: *concurrency * 2,
+		},
+	}
+	modelDoc, err := getJSON(client, base+"/v1/model")
+	if err != nil {
+		return fmt.Errorf("target %s: %w", base, err)
+	}
+	if rows == nil {
+		rows, err = syntheticRows(modelDoc, *seed)
+		if err != nil {
+			return err
+		}
+	}
+	bodies := make([][]byte, len(rows))
+	for i, row := range rows {
+		if bodies[i], err = json.Marshal(map[string][]float64{"values": row}); err != nil {
+			return err
+		}
+	}
+
+	// Drive the load: workers claim globally-ordered request slots, so the
+	// i-th request always carries the same row and routing key regardless
+	// of scheduling.
+	runCtx := ctx
+	if *requests == 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(ctx, *duration)
+		defer cancel()
+	}
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		perWork = make([][]sample, *concurrency)
+	)
+	start := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if *requests > 0 && int(i) >= *requests {
+					return
+				}
+				if runCtx.Err() != nil {
+					return
+				}
+				perWork[w] = append(perWork[w], fire(client, base, bodies[int(i)%len(bodies)], i, *seed))
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Aggregate.
+	rep := Report{
+		Target:       base,
+		Seed:         *seed,
+		Concurrency:  *concurrency,
+		DurationSecs: elapsed.Seconds(),
+		Status:       map[string]int{},
+		Versions:     map[string]int{},
+		Model:        modelDoc,
+	}
+	var lat []int64
+	for _, samples := range perWork {
+		for _, s := range samples {
+			rep.Requests++
+			if s.status == http.StatusOK {
+				rep.OK++
+				lat = append(lat, s.nanos)
+			} else {
+				rep.Failures++
+			}
+			rep.Status[fmt.Sprint(s.status)]++
+			if s.version != "" {
+				rep.Versions[s.version]++
+			}
+		}
+	}
+	if rep.Requests == 0 {
+		return fmt.Errorf("no requests completed against %s", base)
+	}
+	rep.ThroughputRPS = float64(rep.Requests) / elapsed.Seconds()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	rep.LatencyMS = quantiles(lat)
+	if doc, err := getJSON(client, base+"/slo"); err == nil {
+		rep.SLO = doc
+	}
+
+	fmt.Fprintf(stdout, "bstcload: %d requests in %.2fs (%.0f rps), ok=%d fail=%d, p50=%.2fms p99=%.2fms max=%.2fms\n",
+		rep.Requests, rep.DurationSecs, rep.ThroughputRPS, rep.OK, rep.Failures,
+		rep.LatencyMS.P50, rep.LatencyMS.P99, rep.LatencyMS.Max)
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if *reportPath != "" {
+		if err := os.WriteFile(*reportPath, out, 0o644); err != nil {
+			return err
+		}
+	} else {
+		stdout.Write(out)
+	}
+
+	// Gates last, so the report lands even on a failed run.
+	if *minRPS > 0 && rep.ThroughputRPS < *minRPS {
+		return fmt.Errorf("throughput %.1f rps below -min-rps %.1f", rep.ThroughputRPS, *minRPS)
+	}
+	if *maxP99 > 0 && rep.LatencyMS.P99 > float64(maxP99.Nanoseconds())/1e6 {
+		return fmt.Errorf("p99 %.2fms above -max-p99 %s", rep.LatencyMS.P99, maxP99)
+	}
+	return nil
+}
+
+// fire sends one classify request and records its outcome. Failures to even
+// get a response count as status 0.
+func fire(client *http.Client, base string, body []byte, i int64, seed int64) sample {
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/classify", bytes.NewReader(body))
+	if err != nil {
+		return sample{status: 0}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(serve.RoutingKeyHeader, fmt.Sprintf("load-%d-%d", seed, i))
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return sample{nanos: time.Since(start).Nanoseconds(), status: 0}
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return sample{
+		nanos:   time.Since(start).Nanoseconds(),
+		status:  resp.StatusCode,
+		version: resp.Header.Get(serve.ModelVersionHeader),
+	}
+}
+
+// selfArtifact produces the model for a self-hosted target: loaded from the
+// -model file, or trained on a seeded synthetic expression matrix. The
+// returned rows, when non-nil, are real samples to classify.
+func selfArtifact(path string, synthMode bool, seed int64) (*eval.Artifact, [][]float64, error) {
+	if synthMode {
+		p := synth.Profile{
+			Name:            "loadgen",
+			NumGenes:        60,
+			ClassNames:      []string{"tumor", "normal"},
+			ClassSizes:      []int{40, 40},
+			InformativeFrac: 0.3,
+			Separation:      2.5,
+			Dropout:         0.05,
+			Seed:            seed,
+		}
+		c, err := p.Generate()
+		if err != nil {
+			return nil, nil, err
+		}
+		art, err := eval.TrainArtifact(c, nil, runtime.GOMAXPROCS(0))
+		if err != nil {
+			return nil, nil, err
+		}
+		return art, c.Values, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	art, err := eval.LoadArtifact(f)
+	if err != nil {
+		return nil, nil, fmt.Errorf("load %s: %w", path, err)
+	}
+	return art, nil, nil
+}
+
+// syntheticRows derives a seeded row mix for an external target from its
+// advertised gene count.
+func syntheticRows(modelDoc json.RawMessage, seed int64) ([][]float64, error) {
+	var meta struct {
+		Genes int `json:"genes"`
+	}
+	if err := json.Unmarshal(modelDoc, &meta); err != nil {
+		return nil, err
+	}
+	if meta.Genes <= 0 {
+		return nil, fmt.Errorf("target reports %d genes", meta.Genes)
+	}
+	r := rand.New(rand.NewSource(seed))
+	rows := make([][]float64, 64)
+	for i := range rows {
+		row := make([]float64, meta.Genes)
+		for g := range row {
+			row[g] = r.Float64() * 10
+		}
+		rows[i] = row
+	}
+	return rows, nil
+}
+
+// getJSON fetches one endpoint and returns its raw body.
+func getJSON(client *http.Client, url string) (json.RawMessage, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: status %d", url, resp.StatusCode)
+	}
+	return body, nil
+}
+
+// quantiles summarizes sorted latencies in milliseconds.
+func quantiles(sorted []int64) Quantiles {
+	if len(sorted) == 0 {
+		return Quantiles{}
+	}
+	at := func(p float64) float64 {
+		i := int(p * float64(len(sorted)-1))
+		return float64(sorted[i]) / 1e6
+	}
+	return Quantiles{
+		P50: at(0.50),
+		P90: at(0.90),
+		P95: at(0.95),
+		P99: at(0.99),
+		Max: float64(sorted[len(sorted)-1]) / 1e6,
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -220,6 +220,24 @@ func (ss *SLOSet) Add(s *SLO) {
 	ss.mu.Unlock()
 }
 
+// Remove drops every objective with the given name, so a retired model
+// version's SLOs stop appearing on /slo and in the exposition. Removing a
+// name that is not registered is a no-op.
+func (ss *SLOSet) Remove(name string) {
+	if ss == nil {
+		return
+	}
+	ss.mu.Lock()
+	kept := ss.slos[:0]
+	for _, s := range ss.slos {
+		if s.Name() != name {
+			kept = append(kept, s)
+		}
+	}
+	ss.slos = kept
+	ss.mu.Unlock()
+}
+
 // Report evaluates every registered objective.
 func (ss *SLOSet) Report() []SLOReport {
 	if ss == nil {

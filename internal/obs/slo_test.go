@@ -109,6 +109,7 @@ func TestSLONilReceivers(t *testing.T) {
 	}
 	var ss *SLOSet
 	ss.Add(NewSLO(SLOConfig{Name: "x"}))
+	ss.Remove("x")
 	if ss.Report() != nil {
 		t.Error("nil set Report not nil")
 	}
@@ -123,6 +124,9 @@ func TestSLOSetHandlerAndProm(t *testing.T) {
 	s := NewSLO(SLOConfig{Name: "classify_availability", Target: 0.999})
 	ss.Add(s)
 	ss.Add(nil) // ignored
+	ss.Add(NewSLO(SLOConfig{Name: "retired_version"}))
+	ss.Remove("retired_version")
+	ss.Remove("never_registered") // no-op
 	s.Record(true)
 	s.Record(false)
 

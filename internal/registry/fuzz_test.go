@@ -1,0 +1,53 @@
+package registry
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// FuzzManifest hammers the manifest parser: whatever the bytes, it must
+// return a manifest or an error — never panic — and anything it accepts
+// must satisfy the invariants the serving tier relies on (resolved route,
+// local paths, unique keys, a sane canary split).
+func FuzzManifest(f *testing.F) {
+	f.Add([]byte(validManifest))
+	f.Add([]byte(`{"version":1,"models":[{"name":"m","model_version":"v1","path":"m.bstc"}]}`))
+	f.Add([]byte(`{"version":1,"models":[{"name":"m","model_version":"v1","path":"../m"}]}`))
+	f.Add([]byte(`{"version":2}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"version":1,"models":[{"name":"m","model_version":"v1","path":"a","sha256":"00"}]}`))
+	f.Add([]byte(`{"version":1,"models":[{"name":"m","model_version":"v1","path":"a"}],"serve":{"canary_percent":1e309}}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ParseManifest(data)
+		if err != nil {
+			return
+		}
+		if m.Serve.Model == "" || m.Serve.Stable == "" {
+			t.Fatalf("accepted manifest with unresolved route: %+v", m.Serve)
+		}
+		if _, ok := m.Find(m.Serve.Model, m.Serve.Stable); !ok {
+			t.Fatalf("accepted route to missing stable %s@%s", m.Serve.Model, m.Serve.Stable)
+		}
+		if m.Serve.Canary != "" {
+			if _, ok := m.Find(m.Serve.Model, m.Serve.Canary); !ok {
+				t.Fatalf("accepted route to missing canary %s@%s", m.Serve.Model, m.Serve.Canary)
+			}
+		}
+		if p := m.Serve.CanaryPercent; !(p >= 0 && p <= 100) {
+			t.Fatalf("accepted canary_percent %v", p)
+		}
+		seen := map[string]bool{}
+		for _, e := range m.Models {
+			if seen[e.Key()] {
+				t.Fatalf("accepted duplicate key %s", e.Key())
+			}
+			seen[e.Key()] = true
+			if !filepath.IsLocal(e.Path) {
+				t.Fatalf("accepted escaping path %q", e.Path)
+			}
+		}
+	})
+}

@@ -1,0 +1,118 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+)
+
+// validManifest is a correct two-version manifest with a canary route.
+const validManifest = `{
+  "version": 1,
+  "models": [
+    {"name": "bstc", "model_version": "v1", "path": "model-v1.bstc"},
+    {"name": "bstc", "model_version": "v2", "path": "model-v2.bstc"}
+  ],
+  "serve": {"model": "bstc", "stable": "v1", "canary": "v2", "canary_percent": 10, "seed": 42}
+}`
+
+func TestParseManifestValid(t *testing.T) {
+	m, err := ParseManifest([]byte(validManifest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Models) != 2 {
+		t.Fatalf("models = %d, want 2", len(m.Models))
+	}
+	if m.Serve.Stable != "v1" || m.Serve.Canary != "v2" || m.Serve.CanaryPercent != 10 || m.Serve.Seed != 42 {
+		t.Fatalf("route = %+v", m.Serve)
+	}
+	if _, ok := m.Find("bstc", "v2"); !ok {
+		t.Error("Find(bstc, v2) missed")
+	}
+	if _, ok := m.Find("bstc", "v9"); ok {
+		t.Error("Find(bstc, v9) hit")
+	}
+	if got := m.Models[0].Key(); got != "bstc@v1" {
+		t.Errorf("Key() = %q", got)
+	}
+}
+
+// TestParseManifestDefaults: model and stable resolve when unambiguous.
+func TestParseManifestDefaults(t *testing.T) {
+	m, err := ParseManifest([]byte(`{
+	  "version": 1,
+	  "models": [{"name": "only", "model_version": "v7", "path": "m.bstc"}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Serve.Model != "only" || m.Serve.Stable != "v7" {
+		t.Fatalf("defaults not resolved: %+v", m.Serve)
+	}
+}
+
+func TestParseManifestRejects(t *testing.T) {
+	cases := []struct {
+		name, body, wantErr string
+	}{
+		{"not JSON", `{nope`, "manifest"},
+		{"wrong version", `{"version": 2, "models": [{"name":"m","model_version":"v1","path":"p"}]}`, "version 2"},
+		{"no models", `{"version": 1, "models": []}`, "no models"},
+		{"empty name", `{"version":1,"models":[{"name":"","model_version":"v1","path":"p"}]}`, "invalid name"},
+		{"bad name chars", `{"version":1,"models":[{"name":"a b","model_version":"v1","path":"p"}]}`, "invalid name"},
+		{"bad version chars", `{"version":1,"models":[{"name":"m","model_version":"v@1","path":"p"}]}`, "invalid model_version"},
+		{"absolute path", `{"version":1,"models":[{"name":"m","model_version":"v1","path":"/etc/passwd"}]}`, "path"},
+		{"traversal path", `{"version":1,"models":[{"name":"m","model_version":"v1","path":"../x"}]}`, "path"},
+		{"empty path", `{"version":1,"models":[{"name":"m","model_version":"v1","path":""}]}`, "path"},
+		{"short sha", `{"version":1,"models":[{"name":"m","model_version":"v1","path":"p","sha256":"abcd"}]}`, "sha256"},
+		{"non-hex sha", `{"version":1,"models":[{"name":"m","model_version":"v1","path":"p","sha256":"` + strings.Repeat("z", 64) + `"}]}`, "sha256"},
+		{"duplicate", `{"version":1,"models":[
+			{"name":"m","model_version":"v1","path":"a"},
+			{"name":"m","model_version":"v1","path":"b"}]}`, "duplicate"},
+		{"ambiguous stable", `{"version":1,"models":[
+			{"name":"m","model_version":"v1","path":"a"},
+			{"name":"m","model_version":"v2","path":"b"}]}`, "serve.stable required"},
+		{"ambiguous model", `{"version":1,"models":[
+			{"name":"m","model_version":"v1","path":"a"},
+			{"name":"n","model_version":"v1","path":"b"}]}`, "serve.model required"},
+		{"unknown route model", `{"version":1,"models":[{"name":"m","model_version":"v1","path":"a"}],
+			"serve":{"model":"x"}}`, "no entries"},
+		{"unknown stable", `{"version":1,"models":[{"name":"m","model_version":"v1","path":"a"}],
+			"serve":{"stable":"v9"}}`, "serve.stable"},
+		{"unknown canary", `{"version":1,"models":[{"name":"m","model_version":"v1","path":"a"}],
+			"serve":{"canary":"v9","canary_percent":5}}`, "serve.canary"},
+		{"canary == stable", `{"version":1,"models":[{"name":"m","model_version":"v1","path":"a"}],
+			"serve":{"stable":"v1","canary":"v1","canary_percent":5}}`, "both"},
+		{"percent > 100", validCanaryPercent("101"), "canary_percent"},
+		{"percent < 0", validCanaryPercent("-3"), "canary_percent"},
+		{"percent without canary", `{"version":1,"models":[{"name":"m","model_version":"v1","path":"a"}],
+			"serve":{"canary_percent":5}}`, "no canary version"},
+		{"unknown field", `{"version":1,"models":[{"name":"m","model_version":"v1","path":"a"}],"bogus":1}`, "bogus"},
+		{"trailing data", `{"version":1,"models":[{"name":"m","model_version":"v1","path":"a"}]} {}`, "trailing"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseManifest([]byte(tc.body))
+			if err == nil {
+				t.Fatalf("accepted: %s", tc.body)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func validCanaryPercent(pct string) string {
+	return `{"version":1,"models":[
+		{"name":"m","model_version":"v1","path":"a"},
+		{"name":"m","model_version":"v2","path":"b"}],
+		"serve":{"stable":"v1","canary":"v2","canary_percent":` + pct + `}}`
+}
+
+func TestParseManifestTooLarge(t *testing.T) {
+	huge := []byte(`{"version": 1, "models": [` + strings.Repeat(" ", maxManifestBytes) + `]}`)
+	if _, err := ParseManifest(huge); err == nil {
+		t.Fatal("oversized manifest accepted")
+	}
+}

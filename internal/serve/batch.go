@@ -18,13 +18,15 @@ import (
 // timeouts; handlers map it to 504.
 var errWatchdog = errors.New("serve: batch watchdog expired")
 
-// runBatcher is the coalescing loop: it accumulates admitted requests into
-// a batch and dispatches when the batch fills, when the oldest request has
-// waited MaxWait, or immediately once the server is draining. Dispatch runs
-// on its own goroutine so the next batch forms while the previous one
-// classifies.
-func (s *Server) runBatcher() {
-	defer s.batcher.Done()
+// runBatcher is one version's coalescing loop: it accumulates requests
+// routed to this version into a batch and dispatches when the batch fills,
+// when the oldest request has waited MaxWait, or immediately once the
+// version (or the whole server) is draining. Dispatch runs on its own
+// goroutine so the next batch forms while the previous one classifies.
+// Batches never mix versions — each model has its own queue and loop.
+func (m *model) runBatcher() {
+	defer m.batcher.Done()
+	cfg := &m.s.cfg
 	timer := time.NewTimer(time.Hour)
 	if !timer.Stop() {
 		<-timer.C
@@ -40,44 +42,44 @@ func (s *Server) runBatcher() {
 	flush := func() {
 		stopTimer()
 		if len(batch) > 0 {
-			s.dispatch(batch)
+			m.dispatch(batch)
 			batch = nil
 		}
 	}
 	for {
 		if len(batch) == 0 {
 			select {
-			case p, ok := <-s.queue:
+			case p, ok := <-m.queue:
 				if !ok {
 					return
 				}
 				batch = append(batch, p)
-				if len(batch) >= s.cfg.BatchSize || s.Draining() {
+				if len(batch) >= cfg.BatchSize || m.draining() {
 					flush()
 					continue
 				}
-				timer.Reset(s.cfg.MaxWait)
+				timer.Reset(cfg.MaxWait)
 				timerLive = true
-			case <-s.kick:
+			case <-m.kick:
 				// Draining with nothing buffered: loop around; the next
 				// queue receive (or close) resolves promptly.
 			}
 			continue
 		}
 		select {
-		case p, ok := <-s.queue:
+		case p, ok := <-m.queue:
 			if !ok {
 				flush()
 				return
 			}
 			batch = append(batch, p)
-			if len(batch) >= s.cfg.BatchSize || s.Draining() {
+			if len(batch) >= cfg.BatchSize || m.draining() {
 				flush()
 			}
 		case <-timer.C:
 			timerLive = false
 			flush()
-		case <-s.kick:
+		case <-m.kick:
 			flush()
 		}
 	}
@@ -116,13 +118,14 @@ func failBatch(batch []*pending, err error) {
 // stack in the run log, and a watchdog fails the batch with 504s — plus an
 // all-goroutine stack dump — if the flush outlives WatchdogFactor request
 // timeouts. Either way the server keeps taking requests.
-func (s *Server) dispatch(batch []*pending) {
-	s.inflightBatches.Add(1)
+func (m *model) dispatch(batch []*pending) {
+	s := m.s
+	m.inflightBatches.Add(1)
 	go func() {
-		defer s.inflightBatches.Done()
+		defer m.inflightBatches.Done()
 		if s.cfg.WatchdogFactor > 0 {
 			limit := time.Duration(s.cfg.WatchdogFactor) * s.cfg.RequestTimeout
-			wd := time.AfterFunc(limit, func() { s.watchdogFire(batch, limit) })
+			wd := time.AfterFunc(limit, func() { m.watchdogFire(batch, limit) })
 			defer wd.Stop()
 		}
 		defer func() {
@@ -155,12 +158,13 @@ func (s *Server) dispatch(batch []*pending) {
 					flush = p.wait.StartChild("serve/batch_flush")
 					flush.SetAttr("batch_size", len(batch))
 					flush.SetAttr("workers", s.cfg.Workers)
+					flush.SetAttr("model_version", m.version)
 				}
 			}
 		}
 		test := &dataset.Bool{
-			GeneNames:  s.art.Classifier.GeneNames,
-			ClassNames: s.art.Classifier.ClassNames,
+			GeneNames:  m.art.Classifier.GeneNames,
+			ClassNames: m.art.Classifier.ClassNames,
 			Classes:    make([]int, len(batch)),
 			Rows:       rows,
 		}
@@ -168,9 +172,9 @@ func (s *Server) dispatch(batch []*pending) {
 		ph := obs.NewPhasesIn(s.cfg.Registry)
 		span := ph.Start("serve/classify")
 		classify := flush.StartChild("serve/classify")
-		preds := s.art.Classifier.ClassifyBatchParallel(test, s.cfg.Workers)
+		preds := m.art.Classifier.ClassifyBatchParallel(test, s.cfg.Workers)
 		for i, p := range batch {
-			deliver(p, result{class: preds[i], confidence: s.art.Classifier.Confidence(p.q)})
+			deliver(p, result{class: preds[i], confidence: m.art.Classifier.Confidence(p.q)})
 		}
 		classify.End()
 		classifyNS := span.End()
@@ -179,27 +183,32 @@ func (s *Server) dispatch(batch []*pending) {
 		s.met.batches.Inc()
 		s.met.batchSamples.Add(int64(len(batch)))
 		s.met.batchSize.Record(int64(len(batch)))
-		s.recordBatch(len(batch), preds, classifyNS, flush, traceIDs)
+		m.met.batches.Inc()
+		m.met.batchSamples.Add(int64(len(batch)))
+		m.met.batchSize.Record(int64(len(batch)))
+		m.recordBatch(len(batch), preds, classifyNS, flush, traceIDs)
 	}()
 }
 
 // watchdogFire is the batch watchdog's timer body: count it, dump every
 // goroutine's stack to the run log (the wedged worker is in there), and fail
 // the batch so its callers stop waiting.
-func (s *Server) watchdogFire(batch []*pending, limit time.Duration) {
+func (m *model) watchdogFire(batch []*pending, limit time.Duration) {
+	s := m.s
 	s.met.watchdogs.Inc()
 	buf := make([]byte, 1<<20)
 	buf = buf[:runtime.Stack(buf, true)]
 	s.emitFailure("serve.watchdog",
-		fmt.Sprintf("batch of %d still flushing after %v", len(batch), limit), buf)
+		fmt.Sprintf("batch of %d (version %s) still flushing after %v", len(batch), m.version, limit), buf)
 	failBatch(batch, errWatchdog)
 }
 
 // BatchRecord is one flushed micro-batch as reported by /runlogz: size,
-// classify wall-clock, the per-class prediction counts, and the trace IDs
-// of the sampled requests it carried.
+// the version that classified it, classify wall-clock, the per-class
+// prediction counts, and the trace IDs of the sampled requests it carried.
 type BatchRecord struct {
 	Seq        int64          `json:"seq"`
+	Version    string         `json:"version,omitempty"`
 	Size       int            `json:"size"`
 	ClassifyMS float64        `json:"classify_ms"`
 	Classes    map[string]int `json:"classes,omitempty"`
@@ -209,12 +218,14 @@ type BatchRecord struct {
 // recordBatch appends the batch to the /runlogz ring and, when configured,
 // emits an obs.RunRecord to the run log, stamped with the flush span's
 // identity when the batch was traced.
-func (s *Server) recordBatch(size int, preds []int, classify time.Duration, flush *trace.Span, traceIDs []string) {
+func (m *model) recordBatch(size int, preds []int, classify time.Duration, flush *trace.Span, traceIDs []string) {
+	s := m.s
 	counts := make(map[string]int)
 	for _, c := range preds {
-		counts[s.art.Classifier.ClassNames[c]]++
+		counts[m.art.Classifier.ClassNames[c]]++
 	}
 	rec := BatchRecord{
+		Version:    m.version,
 		Size:       size,
 		ClassifyMS: float64(classify) / float64(time.Millisecond),
 		Classes:    counts,
@@ -224,6 +235,7 @@ func (s *Server) recordBatch(size int, preds []int, classify time.Duration, flus
 	if s.cfg.RunLog != nil {
 		s.cfg.RunLog.Emit(obs.RunRecord{
 			Experiment: "serve.batch",
+			Dataset:    m.version,
 			Test:       int(rec.Seq),
 			Config:     map[string]float64{"batch_size": float64(size), "workers": float64(s.cfg.Workers)},
 			PhasesMS:   map[string]float64{"serve/classify": rec.ClassifyMS},

@@ -50,11 +50,14 @@ func (r *Request) validate() error {
 	return nil
 }
 
-// Response is the body of a successful classification.
+// Response is the body of a successful classification. ModelVersion names
+// the artifact version that produced it (also sent as X-Model-Version), so
+// clients can attribute every answer during a hot swap or canary rollout.
 type Response struct {
-	Class      string  `json:"class"`
-	ClassIndex int     `json:"class_index"`
-	Confidence float64 `json:"confidence"`
+	Class        string  `json:"class"`
+	ClassIndex   int     `json:"class_index"`
+	Confidence   float64 `json:"confidence"`
+	ModelVersion string  `json:"model_version"`
 }
 
 // errorBody is the JSON shape of every non-2xx response.

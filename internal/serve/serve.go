@@ -1,26 +1,37 @@
-// Package serve is the online classification layer over a trained BSTC
-// artifact (internal/eval.Artifact): an HTTP/JSON service that coalesces
+// Package serve is the online classification layer over trained BSTC
+// artifacts (internal/eval.Artifact): an HTTP/JSON service that coalesces
 // concurrent single-sample requests into micro-batches routed through the
 // parallel classify kernel, under production constraints — per-request
 // deadlines, bounded in-flight concurrency with load shedding, and a
 // graceful drain that completes everything already admitted.
 //
-// The request path is: decode → discretize (per request, spanned) → enqueue
-// → micro-batch flush on size or max-wait → core.ClassifyBatchParallel
-// (per batch, spanned) → per-request response. Predictions are exactly what
-// core.Classify returns for the same row; batching changes latency, never
-// results.
+// The server is multi-model: it routes over an atomically swappable
+// snapshot of named versions (a stable plus an optional canary taking a
+// deterministic hash-based slice of traffic), each with its own micro-batch
+// pipeline, labeled serve.* metrics, and SLO trackers. Apply hot-swaps the
+// routing table with drain-old/warm-new semantics — see router.go.
+//
+// The request path is: decode → route (stable/canary) → discretize (per
+// request, spanned, by the routed version) → enqueue → micro-batch flush on
+// size or max-wait → core.ClassifyBatchParallel (per batch, spanned) →
+// per-request response. Predictions are exactly what core.Classify returns
+// for the same row under the same version; batching and routing change
+// latency and placement, never results.
 //
 // Endpoints:
 //
-//	POST /v1/classify  one sample ({"values": [...]} or {"items": [...]})
-//	GET  /v1/model     model metadata (classes, item vocabulary sizes)
+//	POST /v1/classify  one sample ({"values": [...]} or {"items": [...]});
+//	                   the response names the serving version
+//	                   (model_version, X-Model-Version)
+//	GET  /v1/model     model metadata (classes, item vocabulary sizes,
+//	                   version, fingerprint, canary route)
 //	GET  /healthz      200 while serving, 503 while draining; build info
 //	GET  /metrics      obs registry snapshot (JSON; Prometheus text with
 //	                   ?format=prom or a text/plain Accept header)
 //	GET  /runlogz      ring of recent per-batch records
 //	GET  /tracez       sampled span trees (HTML; ?format=json)
-//	GET  /slo          latency/availability SLO windows and burn rates
+//	GET  /slo          latency/availability SLO windows and burn rates,
+//	                   global and per live version
 //
 // Classify requests propagate W3C traceparent: the header is extracted on
 // ingest, the sampling decision (or the caller's sampled flag) decides
@@ -39,6 +50,7 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bstc/internal/bitset"
@@ -57,8 +69,8 @@ type Config struct {
 	// MaxWait is how long a non-full batch waits for company before it is
 	// flushed anyway (default 2ms). Smaller trades throughput for latency.
 	MaxWait time.Duration
-	// MaxInFlight bounds admitted-but-unanswered requests; excess load is
-	// shed with 429 (default 4×BatchSize).
+	// MaxInFlight bounds admitted-but-unanswered requests across all
+	// versions; excess load is shed with 429 (default 4×BatchSize).
 	MaxInFlight int
 	// Workers is the goroutine count handed to ClassifyBatchParallel per
 	// batch (default GOMAXPROCS; the kernel clamps to the batch size).
@@ -76,9 +88,11 @@ type Config struct {
 	RetryAfter time.Duration
 	// Registry receives the serving metrics (request/batch counters,
 	// latency and batch-size histograms, discretize/classify phase
-	// timings). nil serves uninstrumented.
+	// timings), both globally and labeled per version. nil serves
+	// uninstrumented.
 	Registry *obs.Registry
-	// RunLog, when non-nil, receives one obs.RunRecord per flushed batch.
+	// RunLog, when non-nil, receives one obs.RunRecord per flushed batch
+	// and per route swap.
 	RunLog *obs.RunLog
 	// RunLogRing is how many recent batch records /runlogz keeps
 	// (default 64).
@@ -95,6 +109,12 @@ type Config struct {
 	// SLOTarget is the objective's good fraction for both the latency and
 	// availability SLOs (default 0.999).
 	SLOTarget float64
+	// Version names the initial artifact build handed to New (default
+	// "v1"). Responses and per-version metrics carry it.
+	Version string
+	// Fingerprint is the initial artifact's content identity for
+	// /v1/model (eval.Fingerprint or a file digest). Empty omits it.
+	Fingerprint string
 	// ArtifactLoadNanos is the daemon's measured cold-start artifact load
 	// time. When positive it lands on the serve.artifact_load_ns gauge and
 	// /v1/model, so deploys can compare gob-decode vs mmap cold starts in
@@ -136,6 +156,9 @@ func (c Config) withDefaults() Config {
 	if c.SLOTarget <= 0 || c.SLOTarget >= 1 {
 		c.SLOTarget = 0.999
 	}
+	if c.Version == "" {
+		c.Version = "v1"
+	}
 	return c
 }
 
@@ -159,51 +182,56 @@ type pending struct {
 	wait     *trace.Span
 }
 
-// metrics holds the server's counter/histogram handles, resolved once at
-// construction (all nil-safe when the registry is nil).
+// metrics holds the server's global counter/histogram handles, resolved
+// once at construction (all nil-safe when the registry is nil). Per-version
+// labeled series live on each model (vmetrics).
 type metrics struct {
-	requests     *obs.Counter
-	ok           *obs.Counter
-	badRequest   *obs.Counter
-	shed         *obs.Counter
-	drainRejects *obs.Counter
-	deadlines    *obs.Counter
-	batchPanics  *obs.Counter
-	handlerPanic *obs.Counter
-	watchdogs    *obs.Counter
-	batches      *obs.Counter
-	batchSamples *obs.Counter
-	inflightPeak *obs.Gauge
-	batchSize    *obs.Histogram
-	latency      *obs.Histogram
-	queueWait    *obs.Histogram
+	requests        *obs.Counter
+	ok              *obs.Counter
+	badRequest      *obs.Counter
+	shed            *obs.Counter
+	drainRejects    *obs.Counter
+	deadlines       *obs.Counter
+	batchPanics     *obs.Counter
+	handlerPanic    *obs.Counter
+	watchdogs       *obs.Counter
+	batches         *obs.Counter
+	batchSamples    *obs.Counter
+	swaps           *obs.Counter
+	swapFails       *obs.Counter
+	canaryRequests  *obs.Counter
+	canaryFallbacks *obs.Counter
+	inflightPeak    *obs.Gauge
+	routeGen        *obs.Gauge
+	canaryShare     *obs.Gauge
+	batchSize       *obs.Histogram
+	latency         *obs.Histogram
+	queueWait       *obs.Histogram
 }
 
-// Server coalesces classify requests into micro-batches over one artifact.
-// Create with New, expose with Handler, stop with Shutdown (drains) or
-// Close (drains with no deadline).
+// Server routes classify requests across model versions and coalesces them
+// into per-version micro-batches. Create with New, swap versions with
+// Apply, expose with Handler, stop with Shutdown (drains) or Close (drains
+// with no deadline).
 type Server struct {
-	art     *eval.Artifact
-	cfg     Config
-	itemIdx map[string]int
+	cfg Config
 
-	queue chan *pending
-	kick  chan struct{} // nudges the batcher to flush early during drain
+	// route is the live routing table; handlers Load it per request and
+	// Apply Stores a fresh one, so routing reads never take a lock.
+	route    atomic.Pointer[snapshot]
+	applyMu  sync.Mutex     // serializes Apply and the final Shutdown teardown
+	retireWG sync.WaitGroup // background retirements started by Apply
 
 	mu       sync.Mutex
 	cond     *sync.Cond
-	active   int  // admitted requests not yet answered
+	active   int  // admitted requests not yet answered (all versions)
 	draining bool // no new admissions
-	stop     sync.Once
-
-	batcher         sync.WaitGroup // the batcher goroutine
-	inflightBatches sync.WaitGroup // dispatched batch workers
 
 	met  metrics
 	ring *batchRing
 
 	slos       *obs.SLOSet
-	sloAvail   *obs.SLO
+	sloAvail   *obs.SLO // all-version availability, as before multi-model
 	sloLatency *obs.SLO
 
 	// retryAfter is cfg.RetryAfter rendered once as whole seconds for the
@@ -211,33 +239,51 @@ type Server struct {
 	retryAfter string
 }
 
-// New builds a server around a loaded artifact. The batcher goroutine
-// starts immediately; the server is ready to accept requests.
+// New builds a server around one loaded artifact, installed as the stable
+// version cfg.Version. The version's batcher starts immediately; the
+// server is ready to accept requests (and Apply can add versions later).
 func New(art *eval.Artifact, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return NewFromModel(&Model{
+		Version:     cfg.Version,
+		Artifact:    art,
+		Fingerprint: cfg.Fingerprint,
+		Format:      cfg.ArtifactFormat,
+		LoadNanos:   cfg.ArtifactLoadNanos,
+	}, cfg)
+}
+
+// NewFromModel is New for a fully described version — callers that load
+// through the model registry pass the handle's identity and Release hook,
+// so the artifact flows back to the registry cache when the version
+// eventually retires.
+func NewFromModel(d *Model, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	reg := cfg.Registry
 	s := &Server{
-		art:     art,
-		cfg:     cfg,
-		itemIdx: art.Disc.ItemIndex(),
-		queue:   make(chan *pending, cfg.MaxInFlight),
-		kick:    make(chan struct{}, 1),
+		cfg: cfg,
 		met: metrics{
-			requests:     reg.Counter("serve.requests"),
-			ok:           reg.Counter("serve.ok"),
-			badRequest:   reg.Counter("serve.bad_request"),
-			shed:         reg.Counter("serve.shed"),
-			drainRejects: reg.Counter("serve.rejected_draining"),
-			deadlines:    reg.Counter("serve.deadline_exceeded"),
-			batchPanics:  reg.Counter("serve.batch_panics"),
-			handlerPanic: reg.Counter("serve.handler_panics"),
-			watchdogs:    reg.Counter("serve.watchdog_fires"),
-			batches:      reg.Counter("serve.batches"),
-			batchSamples: reg.Counter("serve.batch_samples"),
-			inflightPeak: reg.Gauge("serve.inflight_peak"),
-			batchSize:    reg.Histogram("serve.batch_size"),
-			latency:      reg.Histogram("serve.latency_ns"),
-			queueWait:    reg.Histogram("serve.queue_wait_ns"),
+			requests:        reg.Counter("serve.requests"),
+			ok:              reg.Counter("serve.ok"),
+			badRequest:      reg.Counter("serve.bad_request"),
+			shed:            reg.Counter("serve.shed"),
+			drainRejects:    reg.Counter("serve.rejected_draining"),
+			deadlines:       reg.Counter("serve.deadline_exceeded"),
+			batchPanics:     reg.Counter("serve.batch_panics"),
+			handlerPanic:    reg.Counter("serve.handler_panics"),
+			watchdogs:       reg.Counter("serve.watchdog_fires"),
+			batches:         reg.Counter("serve.batches"),
+			batchSamples:    reg.Counter("serve.batch_samples"),
+			swaps:           reg.Counter("serve.swaps"),
+			swapFails:       reg.Counter("serve.swap_failures"),
+			canaryRequests:  reg.Counter("serve.canary_requests"),
+			canaryFallbacks: reg.Counter("serve.canary_fallbacks"),
+			inflightPeak:    reg.Gauge("serve.inflight_peak"),
+			routeGen:        reg.Gauge("serve.route_generation"),
+			canaryShare:     reg.Gauge("serve.canary_permille"),
+			batchSize:       reg.Histogram("serve.batch_size"),
+			latency:         reg.Histogram("serve.latency_ns"),
+			queueWait:       reg.Histogram("serve.queue_wait_ns"),
 		},
 		ring:       newBatchRing(cfg.RunLogRing),
 		retryAfter: strconv.Itoa(int(math.Ceil(cfg.RetryAfter.Seconds()))),
@@ -250,16 +296,17 @@ func New(art *eval.Artifact, cfg Config) *Server {
 	s.slos.Add(s.sloAvail)
 	s.slos.Add(s.sloLatency)
 	s.cond = sync.NewCond(&s.mu)
-	if cfg.ArtifactLoadNanos > 0 {
-		reg.Gauge("serve.artifact_load_ns").Set(cfg.ArtifactLoadNanos)
+	if d.LoadNanos > 0 {
+		reg.Gauge("serve.artifact_load_ns").Set(d.LoadNanos)
 	}
-	s.batcher.Add(1)
-	go s.runBatcher()
+	s.route.Store(&snapshot{gen: 1, stable: s.newModel(d)})
+	s.met.routeGen.Set(1)
 	return s
 }
 
-// Artifact returns the model the server classifies with.
-func (s *Server) Artifact() *eval.Artifact { return s.art }
+// Artifact returns the current stable version's model. The routing table
+// is read atomically, so this is safe against a concurrent Apply.
+func (s *Server) Artifact() *eval.Artifact { return s.route.Load().stable.art }
 
 // Draining reports whether the server has stopped admitting requests.
 func (s *Server) Draining() bool {
@@ -306,19 +353,21 @@ func (s *Server) release() {
 
 // Shutdown drains the server: new requests are rejected with 503, every
 // admitted request is answered (pending micro-batches flush immediately
-// rather than waiting out MaxWait), and the batcher stops. It returns
-// ctx.Err if the context expires first; the server keeps draining in the
-// background in that case.
+// rather than waiting out MaxWait), every version retires, and its
+// artifact handles are released. It returns ctx.Err if the context expires
+// first; the server keeps draining in the background in that case.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
+	}
+	s.mu.Unlock()
+	for _, m := range s.route.Load().models() {
 		select {
-		case s.kick <- struct{}{}:
+		case m.kick <- struct{}{}:
 		default:
 		}
 	}
-	s.mu.Unlock()
 
 	done := make(chan struct{})
 	go func() {
@@ -334,12 +383,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		return ctx.Err()
 	}
-	// Every admitted request is answered, so no goroutine can still send
-	// on the queue; closing it stops the batcher after it flushes leftovers
-	// from deadline-abandoned requests.
-	s.stop.Do(func() { close(s.queue) })
-	s.batcher.Wait()
-	s.inflightBatches.Wait()
+	// applyMu orders this against an Apply that slipped past the draining
+	// check: its swap finishes first, then we retire whatever routing table
+	// won. retire is idempotent, so concurrent Shutdowns are safe.
+	s.applyMu.Lock()
+	final := s.route.Load()
+	s.applyMu.Unlock()
+	for _, m := range final.models() {
+		m.retire()
+	}
+	s.retireWG.Wait()
 	return nil
 }
 
@@ -425,6 +478,15 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
 }
 
+// RoutingKeyHeader lets a client pin its canary bucket explicitly; without
+// it the request body is the routing key (same sample, same side of the
+// split).
+const RoutingKeyHeader = "X-Routing-Key"
+
+// ModelVersionHeader names the version that answered, on every classify
+// response that reached routing.
+const ModelVersionHeader = "X-Model-Version"
+
 func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
@@ -486,12 +548,37 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.release()
 
+	// Route to a version and pin it for the request's lifetime. acquire
+	// fails only against a version that finished retiring after we read the
+	// snapshot — re-reading then observes the post-swap table, so the loop
+	// terminates in two iterations in practice.
+	key := []byte(r.Header.Get(RoutingKeyHeader))
+	if len(key) == 0 {
+		key = body
+	}
+	var m *model
+	var isCanary bool
+	for {
+		sn := s.route.Load()
+		m, isCanary = sn.pick(key, &s.met)
+		if m.acquire() {
+			break
+		}
+	}
+	defer m.done()
+	m.met.requests.Inc()
+	if isCanary {
+		s.met.canaryRequests.Inc()
+	}
+	w.Header().Set(ModelVersionHeader, m.version)
+	span.SetAttr("model_version", m.version)
+
 	// Discretize on the request goroutine (spanned per request), so the
-	// batcher only ever sees rows in the classifier's item universe.
+	// batcher only ever sees rows in its version's item universe.
 	ph := obs.NewPhasesIn(s.cfg.Registry)
 	phSpan := ph.Start("serve/discretize")
 	disc := span.StartChild("serve/discretize")
-	q, err := s.rowOf(req)
+	q, err := m.rowOf(req)
 	disc.End()
 	phSpan.End()
 	if err != nil {
@@ -508,9 +595,11 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	wait := span.StartChild("serve/batch_wait")
 	p := &pending{q: q, enqueued: obs.Now(), done: make(chan result, 1), wait: wait}
 	select {
-	case s.queue <- p:
+	case m.queue <- p:
 	case <-ctx.Done():
 		s.met.deadlines.Inc()
+		m.met.failures.Inc()
+		m.sloAvail.Record(false)
 		err := errors.New("deadline exceeded before batching")
 		wait.SetError(err)
 		wait.End()
@@ -523,6 +612,8 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		if res.err != nil {
 			// A failed batch: watchdog expiries surface as timeouts, panics
 			// and injected faults as internal errors. The process lives on.
+			m.met.failures.Inc()
+			m.sloAvail.Record(false)
 			span.SetError(res.err)
 			if errors.Is(res.err, errWatchdog) {
 				writeError(w, http.StatusGatewayTimeout, "%v", res.err)
@@ -531,54 +622,69 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 			}
 			return
 		}
+		elapsed := obs.Now().Sub(start)
 		s.met.ok.Inc()
-		s.met.latency.Record(int64(obs.Now().Sub(start)))
-		span.SetAttr("class", s.art.Classifier.ClassNames[res.class])
+		s.met.latency.Record(int64(elapsed))
+		m.met.ok.Inc()
+		m.met.latency.Record(int64(elapsed))
+		m.sloAvail.Record(true)
+		m.sloLatency.RecordDuration(elapsed)
+		span.SetAttr("class", m.art.Classifier.ClassNames[res.class])
 		writeJSON(w, http.StatusOK, Response{
-			Class:      s.art.Classifier.ClassNames[res.class],
-			ClassIndex: res.class,
-			Confidence: res.confidence,
+			Class:        m.art.Classifier.ClassNames[res.class],
+			ClassIndex:   res.class,
+			Confidence:   res.confidence,
+			ModelVersion: m.version,
 		})
 	case <-ctx.Done():
 		s.met.deadlines.Inc()
+		m.met.failures.Inc()
+		m.sloAvail.Record(false)
 		span.SetError(errors.New("deadline exceeded awaiting batch"))
 		writeError(w, http.StatusGatewayTimeout, "deadline exceeded awaiting batch")
 	}
 }
 
-// rowOf turns a validated request into a query row over the classifier's
-// item universe.
-func (s *Server) rowOf(req *Request) (*bitset.Set, error) {
-	if len(req.Values) > 0 {
-		return s.art.TransformRow(req.Values)
-	}
-	q := bitset.New(len(s.art.Classifier.GeneNames))
-	for _, name := range req.Items {
-		i, ok := s.itemIdx[name]
-		if !ok {
-			return nil, fmt.Errorf("unknown item %q", name)
-		}
-		q.Add(i)
-	}
-	return q, nil
-}
-
+// handleModel reports the stable version's shape plus the routing state:
+// version, fingerprint, swap generation, and the canary split when one is
+// live. A hot swap is observable here (version/fingerprint/generation
+// change) without sending a single classify request.
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
+	sn := s.route.Load()
+	st := sn.stable
 	body := map[string]any{
-		"classes":        s.art.Classifier.ClassNames,
-		"genes":          s.art.Disc.NumGenes(),
-		"selected_genes": s.art.Disc.NumSelectedGenes(),
-		"items":          s.art.Disc.NumItems(),
+		"classes":        st.art.Classifier.ClassNames,
+		"genes":          st.art.Disc.NumGenes(),
+		"selected_genes": st.art.Disc.NumSelectedGenes(),
+		"items":          st.art.Disc.NumItems(),
+		"version":        st.version,
+		"generation":     sn.gen,
 	}
-	if s.cfg.ArtifactFormat != "" {
-		body["artifact_format"] = s.cfg.ArtifactFormat
+	if st.fingerprint != "" {
+		body["fingerprint"] = st.fingerprint
 	}
-	if s.cfg.ArtifactLoadNanos > 0 {
-		body["artifact_load_ns"] = s.cfg.ArtifactLoadNanos
+	if st.format != "" {
+		body["artifact_format"] = st.format
+	}
+	if st.loadNanos > 0 {
+		body["artifact_load_ns"] = st.loadNanos
+	}
+	if sn.canary != nil && sn.permille > 0 {
+		canary := map[string]any{
+			"version": sn.canary.version,
+			"percent": float64(sn.permille) / 10,
+		}
+		if sn.canary.fingerprint != "" {
+			canary["fingerprint"] = sn.canary.fingerprint
+		}
+		if sn.canary.format != "" {
+			canary["artifact_format"] = sn.canary.format
+		}
+		body["canary"] = canary
 	}
 	writeJSON(w, http.StatusOK, body)
 }

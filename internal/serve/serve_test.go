@@ -58,9 +58,10 @@ func expectedBody(t testing.TB, art *eval.Artifact, row []float64) []byte {
 	}
 	var buf bytes.Buffer
 	if err := json.NewEncoder(&buf).Encode(Response{
-		Class:      art.Classifier.ClassNames[class],
-		ClassIndex: class,
-		Confidence: conf,
+		Class:        art.Classifier.ClassNames[class],
+		ClassIndex:   class,
+		Confidence:   conf,
+		ModelVersion: "v1", // the default version New installs
 	}); err != nil {
 		t.Fatal(err)
 	}
