@@ -23,11 +23,11 @@ FUZZTIME ?= 10s
 # CHAOS_SEED picks the deterministic fault schedule for the seeded sweep
 # (TestChaosSweep); CI runs a small seed matrix, and a failing seed
 # reproduces locally with the same value.
-CHAOS_TESTS = Chaos|Fault|Panic|Watchdog|Checkpoint|Deadline|Cancel|RetryAfter|Truncation|BitFlips|Corrupt|Resilience|Swap
-CHAOS_PKGS = ./internal/fault/ ./internal/dataset/ ./internal/eval/ ./internal/serve/ ./internal/registry/
+CHAOS_TESTS = Chaos|Fault|Panic|Watchdog|Checkpoint|Deadline|Cancel|RetryAfter|Truncation|BitFlips|Corrupt|Resilience|Swap|Breaker|Hedge|Eject|Probe|Close|Racing
+CHAOS_PKGS = ./internal/fault/ ./internal/dataset/ ./internal/eval/ ./internal/serve/ ./internal/registry/ ./internal/fleet/
 CHAOS_SEED ?= 1
 
-.PHONY: check vet lint build test race bench bench-json bench-smoke bench-gate fuzz-smoke chaos load-smoke load-report
+.PHONY: check vet lint build test race bench bench-json bench-smoke bench-gate fuzz-smoke chaos load-smoke load-report fleet-smoke
 
 # The tier-1 gate plus the race-sensitive packages: the obs counters are
 # hit concurrently by parallel batch classification, eval threads the
@@ -37,7 +37,7 @@ CHAOS_SEED ?= 1
 # batches. bench-smoke keeps the benchmark/benchjson pipeline compiling
 # and parsing (one iteration per benchmark); fuzz-smoke gives every fuzz
 # target a short budget on top of the committed corpora.
-check: vet lint build race test bench-smoke fuzz-smoke
+check: vet lint build race test bench-smoke fuzz-smoke fleet-smoke
 
 vet:
 	$(GO) vet ./...
@@ -58,8 +58,8 @@ race:
 	$(GO) test -race ./internal/obs/... ./internal/eval/... \
 		./internal/discretize/... ./internal/core/... \
 		./internal/carminer/... ./internal/experiments/... \
-		./internal/registry/... ./internal/serve/... \
-		./cmd/bstcd/... ./cmd/bstcload/...
+		./internal/registry/... ./internal/serve/... ./internal/fleet/... \
+		./cmd/bstcd/... ./cmd/bstcload/... ./cmd/bstcgw/...
 
 test:
 	$(GO) test ./...
@@ -110,6 +110,15 @@ load-smoke:
 load-report:
 	$(GO) run ./cmd/bstcload -synth -requests 2000 -concurrency 8 -seed 42 \
 		-report BENCH_serving.json
+
+# fleet-smoke is the replica-set check: bstcload boots two in-process
+# replicas behind the fleet gateway (routing, health probes, retries,
+# hedging — the same engine as cmd/bstcgw) and drives seeded load through
+# it. -max-failed 0 makes any dropped request fail the build.
+fleet-smoke:
+	$(GO) run ./cmd/bstcload -synth -fleet-replicas 2 -requests 500 \
+		-concurrency 4 -seed 1 -min-rps 50 -max-failed 0 \
+		-report /tmp/fleet_smoke.json && rm -f /tmp/fleet_smoke.json
 
 # fuzz-smoke gives each target FUZZTIME of coverage-guided fuzzing (default
 # 10s) seeded from the committed corpora in testdata/fuzz/. Any crasher is

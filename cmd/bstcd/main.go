@@ -31,7 +31,9 @@
 // X-Model-Version).
 //
 // Endpoints (see internal/serve): POST /v1/classify, GET /v1/model,
-// /healthz (with build info), /metrics (JSON, or Prometheus text with
+// /healthz (liveness, with build info), /readyz (routability: 503 while
+// draining or before the first route is applied — what a fleet prober
+// like cmd/bstcgw watches), /metrics (JSON, or Prometheus text with
 // ?format=prom), /runlogz, /tracez, /slo. Classify requests carry W3C
 // traceparent end to end: -trace-sample heads new traces, a propagated
 // sampled flag is always honored, and sampled spans land on /tracez and

@@ -4,13 +4,24 @@
 //	bstcload -url http://host:8080 [-concurrency 8] [-duration 5s]
 //	bstcload -model model.bstc [-requests 2000]     (self-hosted target)
 //	bstcload -synth [-requests 2000]                (self-contained smoke)
+//	bstcload -fleet http://h1:8080,http://h2:8080   (external fleet)
+//	bstcload -synth -fleet-replicas 3               (self-hosted fleet)
 //	         [-seed 1] [-batch 32] [-report load.json] [-min-rps 100]
-//	         [-max-p99 250ms] [-timeout 5s]
+//	         [-max-p99 250ms] [-max-failed 0] [-timeout 5s]
 //
 // Exactly one target: -url aims at a running daemon, -model boots the
 // serving tier in-process on a loopback port around that artifact file, and
 // -synth does the same around a model trained on a synthetic expression
 // matrix (no inputs needed — this is the CI smoke mode).
+//
+// Fleet mode drives the multi-replica path end to end: -fleet lists
+// external replica URLs, while -model/-synth with -fleet-replicas N boots N
+// identical in-process replicas. Either way an in-process fleet gateway
+// (the same routing/retry/hedge engine as cmd/bstcgw) fronts the replicas
+// and the load goes through it, so the report additionally carries a
+// "fleet" section (retries, hedges, hedge wins, ejections, restores) read
+// from the fleet's own counters. -max-failed turns any dropped request into
+// a non-zero exit — the chaos-run CI gate.
 //
 // The generator is deterministic in -seed: the row mix, the order workers
 // claim requests, and every X-Routing-Key are derived from it, so two runs
@@ -39,11 +50,13 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"bstc/internal/eval"
+	"bstc/internal/fleet"
 	"bstc/internal/obs"
 	"bstc/internal/serve"
 	"bstc/internal/synth"
@@ -72,6 +85,21 @@ type Report struct {
 	Versions      map[string]int  `json:"versions"`
 	Model         json.RawMessage `json:"model,omitempty"`
 	SLO           json.RawMessage `json:"slo,omitempty"`
+	Fleet         *FleetStats     `json:"fleet,omitempty"`
+}
+
+// FleetStats is the fleet-mode report section: the gateway's own counters,
+// so a chaos run shows how hard the fault-tolerance machinery worked, not
+// just that the answers arrived.
+type FleetStats struct {
+	Replicas             int   `json:"replicas"`
+	Retries              int64 `json:"retries"`
+	RetryBudgetExhausted int64 `json:"retry_budget_exhausted"`
+	Hedges               int64 `json:"hedges"`
+	HedgeWins            int64 `json:"hedge_wins"`
+	Ejections            int64 `json:"ejections"`
+	Restores             int64 `json:"restores"`
+	FailOpen             int64 `json:"fail_open"`
 }
 
 // Quantiles summarizes a latency distribution in milliseconds.
@@ -105,45 +133,93 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	reportPath := fs.String("report", "", "write the JSON report here (default: stdout)")
 	minRPS := fs.Float64("min-rps", 0, "fail the run below this throughput (0 disables)")
 	maxP99 := fs.Duration("max-p99", 0, "fail the run above this p99 latency (0 disables)")
+	maxFailed := fs.Int("max-failed", -1, "fail the run above this many failed requests (negative disables; 0 means any failure fails)")
+	fleetURLs := fs.String("fleet", "", "comma-separated replica URLs to front with an in-process fleet gateway")
+	fleetN := fs.Int("fleet-replicas", 0, "boot this many in-process replicas behind a fleet gateway (with -model or -synth)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	targets := 0
-	for _, set := range []bool{*url != "", *model != "", *synthMode} {
+	for _, set := range []bool{*url != "", *model != "", *synthMode, *fleetURLs != ""} {
 		if set {
 			targets++
 		}
 	}
 	if targets != 1 {
-		return fmt.Errorf("exactly one of -url, -model, or -synth is required")
+		return fmt.Errorf("exactly one of -url, -model, -synth, or -fleet is required")
+	}
+	if *fleetN > 0 && *model == "" && !*synthMode {
+		return fmt.Errorf("-fleet-replicas needs a self-hosted model (-model or -synth)")
+	}
+	if *fleetN > 0 && *fleetURLs != "" {
+		return fmt.Errorf("-fleet-replicas and -fleet are mutually exclusive")
 	}
 	if *concurrency < 1 {
 		return fmt.Errorf("-concurrency must be at least 1")
 	}
 
-	// Self-hosted targets: boot the serving tier on a loopback port.
+	// Self-hosted targets: boot the serving tier on a loopback port —
+	// several of them when a fleet was asked for.
 	base := *url
+	members := splitList(*fleetURLs)
 	var rows [][]float64
-	if base == "" {
+	if base == "" && len(members) == 0 {
 		art, trainRows, err := selfArtifact(*model, *synthMode, *seed)
 		if err != nil {
 			return err
 		}
 		rows = trainRows
-		s := serve.New(art, serve.Config{
-			BatchSize:   *batch,
-			Workers:     *workers,
-			MaxInFlight: maxInt(128, 4**concurrency),
-			Registry:    obs.NewRegistry(),
+		replicas := maxInt(1, *fleetN)
+		urls := make([]string, replicas)
+		for i := range urls {
+			s := serve.New(art, serve.Config{
+				BatchSize:   *batch,
+				Workers:     *workers,
+				MaxInFlight: maxInt(128, 4**concurrency),
+				Registry:    obs.NewRegistry(),
+			})
+			defer s.Close()
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return err
+			}
+			httpSrv := &http.Server{Handler: s.Handler()}
+			go httpSrv.Serve(ln)
+			defer httpSrv.Close()
+			urls[i] = "http://" + ln.Addr().String()
+		}
+		if *fleetN > 0 {
+			members = urls
+		} else {
+			base = urls[0]
+		}
+	}
+
+	// Fleet mode: an in-process gateway fronts the members and the load goes
+	// through it, exercising routing, retries, and hedging exactly as
+	// cmd/bstcgw would.
+	var fleetReg *obs.Registry
+	if len(members) > 0 {
+		fleetReg = obs.NewRegistry()
+		fc, err := fleet.New(fleet.Config{
+			Replicas: members,
+			Seed:     uint64(*seed),
+			Registry: fleetReg,
 		})
-		defer s.Close()
+		if err != nil {
+			return err
+		}
+		defer fc.Close()
+		probeCtx, stopProbes := context.WithCancel(ctx)
+		defer stopProbes()
+		fc.Start(probeCtx)
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			return err
 		}
-		httpSrv := &http.Server{Handler: s.Handler()}
-		go httpSrv.Serve(ln)
-		defer httpSrv.Close()
+		gwSrv := &http.Server{Handler: fleet.NewGateway(fc, fleetReg, nil).Handler()}
+		go gwSrv.Serve(ln)
+		defer gwSrv.Close()
 		base = "http://" + ln.Addr().String()
 	}
 
@@ -240,10 +316,27 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if doc, err := getJSON(client, base+"/slo"); err == nil {
 		rep.SLO = doc
 	}
+	if fleetReg != nil {
+		rep.Fleet = &FleetStats{
+			Replicas:             len(members),
+			Retries:              fleetReg.Counter("fleet.retries").Value(),
+			RetryBudgetExhausted: fleetReg.Counter("fleet.retry_budget_exhausted").Value(),
+			Hedges:               fleetReg.Counter("fleet.hedges").Value(),
+			HedgeWins:            fleetReg.Counter("fleet.hedge_wins").Value(),
+			Ejections:            fleetReg.Counter("fleet.ejections").Value(),
+			Restores:             fleetReg.Counter("fleet.restores").Value(),
+			FailOpen:             fleetReg.Counter("fleet.fail_open").Value(),
+		}
+	}
 
 	fmt.Fprintf(stdout, "bstcload: %d requests in %.2fs (%.0f rps), ok=%d fail=%d, p50=%.2fms p99=%.2fms max=%.2fms\n",
 		rep.Requests, rep.DurationSecs, rep.ThroughputRPS, rep.OK, rep.Failures,
 		rep.LatencyMS.P50, rep.LatencyMS.P99, rep.LatencyMS.Max)
+	if rep.Fleet != nil {
+		fmt.Fprintf(stdout, "bstcload: fleet of %d replicas, retries=%d hedges=%d (wins=%d) ejections=%d restores=%d\n",
+			rep.Fleet.Replicas, rep.Fleet.Retries, rep.Fleet.Hedges, rep.Fleet.HedgeWins,
+			rep.Fleet.Ejections, rep.Fleet.Restores)
+	}
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -264,7 +357,22 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if *maxP99 > 0 && rep.LatencyMS.P99 > float64(maxP99.Nanoseconds())/1e6 {
 		return fmt.Errorf("p99 %.2fms above -max-p99 %s", rep.LatencyMS.P99, maxP99)
 	}
+	if *maxFailed >= 0 && rep.Failures > *maxFailed {
+		return fmt.Errorf("%d failed requests above -max-failed %d (status %v)", rep.Failures, *maxFailed, rep.Status)
+	}
 	return nil
+}
+
+// splitList parses a comma-separated flag: whitespace tolerated, empties
+// dropped.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // fire sends one classify request and records its outcome. Failures to even

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -121,6 +123,76 @@ func TestGates(t *testing.T) {
 	}
 }
 
+// TestFleetSelfHosted drives the fleet path: replicas booted in-process
+// behind the gateway, every answer 200, and the report carries the fleet
+// section the chaos CI gate reads.
+func TestFleetSelfHosted(t *testing.T) {
+	rep, out, err := loadReport(t,
+		"-synth", "-fleet-replicas", "2", "-requests", "48", "-concurrency", "4", "-max-failed", "0")
+	if err != nil {
+		t.Fatalf("run: %v (output: %s)", err, out)
+	}
+	if rep.OK != 48 || rep.Failures != 0 {
+		t.Errorf("ok/failures = %d/%d, want 48/0 (status %v)", rep.OK, rep.Failures, rep.Status)
+	}
+	if rep.Fleet == nil {
+		t.Fatal("fleet section missing from report")
+	}
+	if rep.Fleet.Replicas != 2 {
+		t.Errorf("fleet.replicas = %d, want 2", rep.Fleet.Replicas)
+	}
+	// A healthy loopback fleet needs no recovery machinery.
+	if rep.Fleet.Ejections != 0 || rep.Fleet.FailOpen != 0 {
+		t.Errorf("healthy fleet recorded ejections=%d fail_open=%d", rep.Fleet.Ejections, rep.Fleet.FailOpen)
+	}
+	if !strings.Contains(out, "fleet of 2 replicas") {
+		t.Errorf("fleet summary line missing: %s", out)
+	}
+	// Non-fleet runs must not grow a fleet section.
+	rep, out, err = loadReport(t, "-synth", "-requests", "8", "-concurrency", "2")
+	if err != nil {
+		t.Fatalf("run: %v (output: %s)", err, out)
+	}
+	if rep.Fleet != nil {
+		t.Errorf("non-fleet run has a fleet section: %+v", rep.Fleet)
+	}
+}
+
+// TestMaxFailedGate: a replica that answers probes and metadata but fails
+// every classify exhausts the fleet's retries; -max-failed 0 must turn the
+// resulting failures into a non-zero exit while still writing the report.
+func TestMaxFailedGate(t *testing.T) {
+	broken := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/readyz":
+			w.WriteHeader(http.StatusOK)
+		case "/v1/model":
+			w.Header().Set("Content-Type", "application/json")
+			w.Write([]byte(`{"genes": 3}`)) //nolint:errcheck // test fixture
+		default:
+			http.Error(w, "broken", http.StatusInternalServerError)
+		}
+	}))
+	defer broken.Close()
+
+	rep, _, err := loadReport(t,
+		"-fleet", broken.URL, "-requests", "4", "-concurrency", "1", "-max-failed", "0")
+	if err == nil || !strings.Contains(err.Error(), "-max-failed") {
+		t.Fatalf("broken fleet with -max-failed 0 should fail the gate, got %v", err)
+	}
+	if rep.Failures != 4 {
+		t.Errorf("failures = %d, want 4 (status %v)", rep.Failures, rep.Status)
+	}
+	if rep.Fleet == nil || rep.Fleet.Retries == 0 {
+		t.Errorf("fleet section should show the retries spent on the broken replica: %+v", rep.Fleet)
+	}
+	// Negative (the default) disables the gate.
+	if _, _, err := loadReport(t,
+		"-fleet", broken.URL, "-requests", "4", "-concurrency", "1"); err != nil {
+		t.Errorf("default -max-failed should not gate: %v", err)
+	}
+}
+
 func TestUsageErrors(t *testing.T) {
 	var out bytes.Buffer
 	if err := run(context.Background(), nil, &out); err == nil {
@@ -128,6 +200,12 @@ func TestUsageErrors(t *testing.T) {
 	}
 	if err := run(context.Background(), []string{"-synth", "-url", "http://x"}, &out); err == nil {
 		t.Error("two targets should error")
+	}
+	if err := run(context.Background(), []string{"-fleet", "http://x", "-fleet-replicas", "2"}, &out); err == nil {
+		t.Error("-fleet with -fleet-replicas should error")
+	}
+	if err := run(context.Background(), []string{"-url", "http://x", "-fleet-replicas", "2"}, &out); err == nil {
+		t.Error("-fleet-replicas without a self-hosted model should error")
 	}
 	if err := run(context.Background(), []string{"-url", "http://127.0.0.1:1"}, &out); err == nil {
 		t.Error("unreachable target should error")

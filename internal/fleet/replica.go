@@ -1,0 +1,230 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the per-replica circuit breaker's state machine.
+type breakerState int32
+
+const (
+	breakerClosed   breakerState = iota // requests flow
+	breakerOpen                         // ejected; waiting out the cooldown
+	breakerHalfOpen                     // one trial request is probing the replica
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	default:
+		return "half-open"
+	}
+}
+
+// replica is one member's live state: the passive circuit breaker fed by
+// request outcomes, and the active health verdict fed by the prober. A
+// replica is routable when the breaker admits requests and the last probe
+// (if any has run) found it ready. All methods take the current time
+// explicitly, so tests drive the state machine on a fake clock.
+type replica struct {
+	name string
+
+	mu sync.Mutex
+
+	// Passive outlier ejection: consecutive request failures open the
+	// breaker, which then re-admits one trial per cooldown, with the
+	// cooldown doubling (capped) on every failed trial.
+	state       breakerState
+	consecFails int
+	openedAt    time.Time
+	cooldown    time.Duration
+
+	// Active health: the prober's last verdict. notReady distinguishes a
+	// replica answering 503 on /readyz (starting, draining, mid-swap —
+	// alive, re-probed at the normal cadence) from one that is unreachable
+	// (dead — re-probed with exponential backoff).
+	probed       bool
+	ready        bool
+	notReady     bool
+	probeFails   int
+	nextProbe    time.Time
+	probeBackoff time.Duration
+
+	cfg *Config
+}
+
+func newReplica(name string, cfg *Config) *replica {
+	return &replica{name: name, cooldown: cfg.BreakerCooldown, cfg: cfg}
+}
+
+// routable reports whether the routing layer may send this replica a
+// request right now: the breaker is closed (or due for its half-open
+// trial), and the prober has not ejected it. An unprobed replica is
+// presumed ready so a freshly configured fleet serves before the first
+// probe cycle completes.
+func (r *replica) routable(now time.Time) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.probed && !r.ready {
+		return false
+	}
+	return r.state == breakerClosed ||
+		(r.state == breakerOpen && now.Sub(r.openedAt) >= r.cooldown)
+}
+
+// admit claims the right to send one request. In the open state it converts
+// an elapsed cooldown into the half-open trial — exactly one caller wins;
+// everyone else routes around the replica until the trial resolves.
+func (r *replica) admit(now time.Time) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.probed && !r.ready {
+		return false
+	}
+	switch r.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now.Sub(r.openedAt) >= r.cooldown {
+			r.state = breakerHalfOpen
+			return true
+		}
+		return false
+	default: // half-open: trial already in flight
+		return false
+	}
+}
+
+// onSuccess records a request success: the breaker closes (a half-open
+// trial passed), failure counting and the cooldown reset.
+func (r *replica) onSuccess() (restored bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	restored = r.state != breakerClosed
+	r.state = breakerClosed
+	r.consecFails = 0
+	r.cooldown = r.cfg.BreakerCooldown
+	return restored
+}
+
+// onFailure records a request failure (5xx, timeout, connection error).
+// Reaching BreakerThreshold consecutive failures opens the breaker — that
+// is the passive ejection. A failed half-open trial re-opens it with the
+// cooldown doubled, up to BreakerMaxCooldown.
+func (r *replica) onFailure(now time.Time) (ejected bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch r.state {
+	case breakerHalfOpen:
+		r.cooldown *= 2
+		if r.cooldown > r.cfg.BreakerMaxCooldown {
+			r.cooldown = r.cfg.BreakerMaxCooldown
+		}
+		r.state = breakerOpen
+		r.openedAt = now
+		return false
+	case breakerOpen:
+		return false
+	default:
+		r.consecFails++
+		if r.consecFails >= r.cfg.BreakerThreshold {
+			r.state = breakerOpen
+			r.openedAt = now
+			return true
+		}
+		return false
+	}
+}
+
+// probeVerdict is one active health check's outcome.
+type probeVerdict int
+
+const (
+	probeReady    probeVerdict = iota // 200: routable
+	probeNotReady                     // 503: alive but not routable (draining/starting)
+	probeDead                         // unreachable or 5xx: presumed down
+)
+
+// onProbe folds one active check into the health state. A ready verdict
+// restores routability, closes the breaker (the replica demonstrably
+// answers), and resets the probe cadence. A not-ready verdict ejects but
+// keeps the normal cadence — the process is alive and will flip back when
+// its drain or warm-up ends. A dead verdict ejects after EjectThreshold
+// consecutive misses and backs the re-probe cadence off exponentially, so a
+// corpse is not hammered. Returns transitions for the ejection/restore
+// counters.
+func (r *replica) onProbe(v probeVerdict, now time.Time) (ejected, restored bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	wasRoutable := !r.probed || r.ready
+	switch v {
+	case probeReady:
+		r.probed, r.ready, r.notReady = true, true, false
+		r.probeFails = 0
+		r.probeBackoff = 0
+		r.nextProbe = now.Add(r.cfg.ProbeInterval)
+		r.state = breakerClosed
+		r.consecFails = 0
+		r.cooldown = r.cfg.BreakerCooldown
+		return false, !wasRoutable
+	case probeNotReady:
+		r.probed, r.ready, r.notReady = true, false, true
+		r.probeFails = 0
+		r.probeBackoff = 0
+		r.nextProbe = now.Add(r.cfg.ProbeInterval)
+		return wasRoutable, false
+	default:
+		r.probeFails++
+		if r.probeBackoff == 0 {
+			r.probeBackoff = r.cfg.ProbeInterval
+		} else {
+			r.probeBackoff *= 2
+			if r.probeBackoff > r.cfg.ProbeMaxBackoff {
+				r.probeBackoff = r.cfg.ProbeMaxBackoff
+			}
+		}
+		r.nextProbe = now.Add(r.probeBackoff)
+		if r.probeFails >= r.cfg.EjectThreshold {
+			r.probed = true
+			r.ready, r.notReady = false, false
+			return wasRoutable, false
+		}
+		return false, false
+	}
+}
+
+// probeDue reports whether the prober should check this replica now.
+func (r *replica) probeDue(now time.Time) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return !now.Before(r.nextProbe)
+}
+
+// Status is one replica's externally visible state, for /fleetz and the
+// load report.
+type Status struct {
+	Name     string `json:"name"`
+	Breaker  string `json:"breaker"`
+	Routable bool   `json:"routable"`
+	Probed   bool   `json:"probed"`
+	Ready    bool   `json:"ready"`
+	NotReady bool   `json:"not_ready,omitempty"`
+}
+
+func (r *replica) status(now time.Time) Status {
+	routable := r.routable(now)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Status{
+		Name:     r.name,
+		Breaker:  r.state.String(),
+		Routable: routable,
+		Probed:   r.probed,
+		Ready:    !r.probed || r.ready,
+		NotReady: r.notReady,
+	}
+}

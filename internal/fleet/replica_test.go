@@ -1,0 +1,207 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+func breakerTestConfig() *Config {
+	cfg := Config{
+		Replicas:           []string{"http://x"},
+		BreakerThreshold:   3,
+		BreakerCooldown:    500 * time.Millisecond,
+		BreakerMaxCooldown: 2 * time.Second,
+		ProbeInterval:      time.Second,
+		ProbeMaxBackoff:    8 * time.Second,
+		EjectThreshold:     2,
+	}.withDefaults()
+	return &cfg
+}
+
+// TestBreakerOpensAtThreshold: consecutive failures eject exactly at the
+// threshold, and the transition is reported once.
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	cfg := breakerTestConfig()
+	r := newReplica("http://x", cfg)
+	now := time.Unix(0, 0)
+
+	for i := 0; i < cfg.BreakerThreshold-1; i++ {
+		if ejected := r.onFailure(now); ejected {
+			t.Fatalf("failure %d ejected before threshold %d", i+1, cfg.BreakerThreshold)
+		}
+		if !r.routable(now) {
+			t.Fatalf("replica unroutable after %d sub-threshold failures", i+1)
+		}
+	}
+	if !r.onFailure(now) {
+		t.Fatal("threshold failure did not report ejection")
+	}
+	if r.routable(now) {
+		t.Fatal("open breaker still routable inside cooldown")
+	}
+	if r.onFailure(now) {
+		t.Fatal("failure while already open reported a second ejection")
+	}
+	// A success through an intermittently failing replica resets the count.
+	r2 := newReplica("http://y", cfg)
+	r2.onFailure(now)
+	r2.onFailure(now)
+	r2.onSuccess()
+	if r2.onFailure(now) {
+		t.Fatal("success did not reset the consecutive-failure count")
+	}
+}
+
+// TestBreakerHalfOpenTrial: after the cooldown exactly one caller gets the
+// trial request; a passed trial closes the breaker, a failed trial re-opens
+// it with the cooldown doubled up to the cap.
+func TestBreakerHalfOpenTrial(t *testing.T) {
+	cfg := breakerTestConfig()
+	r := newReplica("http://x", cfg)
+	now := time.Unix(0, 0)
+	for i := 0; i < cfg.BreakerThreshold; i++ {
+		r.onFailure(now)
+	}
+
+	if r.admit(now.Add(cfg.BreakerCooldown - time.Millisecond)) {
+		t.Fatal("admitted before the cooldown elapsed")
+	}
+	trialAt := now.Add(cfg.BreakerCooldown)
+	if !r.admit(trialAt) {
+		t.Fatal("cooldown elapsed but trial not admitted")
+	}
+	if r.admit(trialAt) {
+		t.Fatal("second caller admitted while the trial is in flight")
+	}
+
+	// Failed trial: re-open with doubled cooldown.
+	r.onFailure(trialAt)
+	if r.admit(trialAt.Add(2*cfg.BreakerCooldown - time.Millisecond)) {
+		t.Fatal("admitted before the doubled cooldown elapsed")
+	}
+	second := trialAt.Add(2 * cfg.BreakerCooldown)
+	if !r.admit(second) {
+		t.Fatal("doubled cooldown elapsed but trial not admitted")
+	}
+
+	// Another failed trial doubles again but caps at BreakerMaxCooldown.
+	r.onFailure(second)
+	r.mu.Lock()
+	cd := r.cooldown
+	r.mu.Unlock()
+	if cd != cfg.BreakerMaxCooldown {
+		t.Fatalf("cooldown after two failed trials = %v, want capped %v", cd, cfg.BreakerMaxCooldown)
+	}
+
+	// Passed trial closes the breaker and resets the cooldown.
+	third := second.Add(cfg.BreakerMaxCooldown)
+	if !r.admit(third) {
+		t.Fatal("capped cooldown elapsed but trial not admitted")
+	}
+	if restored := r.onSuccess(); !restored {
+		t.Fatal("passed trial did not report a restore")
+	}
+	if !r.routable(third) {
+		t.Fatal("closed breaker not routable")
+	}
+	r.mu.Lock()
+	cd = r.cooldown
+	r.mu.Unlock()
+	if cd != cfg.BreakerCooldown {
+		t.Fatalf("cooldown after restore = %v, want reset to %v", cd, cfg.BreakerCooldown)
+	}
+}
+
+// TestProbeNotReadyVsDead: a 503 (alive but draining/starting) ejects at
+// the normal re-probe cadence; an unreachable replica ejects after
+// EjectThreshold misses with exponential re-probe backoff.
+func TestProbeNotReadyVsDead(t *testing.T) {
+	cfg := breakerTestConfig()
+	now := time.Unix(0, 0)
+
+	// Not ready: ejected immediately, re-probed at the normal cadence.
+	nr := newReplica("http://draining", cfg)
+	ejected, restored := nr.onProbe(probeNotReady, now)
+	if !ejected || restored {
+		t.Fatalf("notReady verdict: ejected=%v restored=%v, want true,false", ejected, restored)
+	}
+	if nr.routable(now) {
+		t.Fatal("not-ready replica still routable")
+	}
+	if nr.probeDue(now.Add(cfg.ProbeInterval - time.Millisecond)) {
+		t.Fatal("not-ready replica re-probed early")
+	}
+	if !nr.probeDue(now.Add(cfg.ProbeInterval)) {
+		t.Fatal("not-ready replica not re-probed at the normal cadence")
+	}
+
+	// Dead: first miss is forgiven (unprobed replicas are presumed ready),
+	// the EjectThreshold-th ejects, and the re-probe cadence backs off.
+	dd := newReplica("http://dead", cfg)
+	if ejected, _ := dd.onProbe(probeDead, now); ejected {
+		t.Fatal("single missed probe ejected below EjectThreshold")
+	}
+	if !dd.routable(now) {
+		t.Fatal("replica unroutable after one missed probe")
+	}
+	t1 := now.Add(cfg.ProbeInterval)
+	if ejected, _ := dd.onProbe(probeDead, t1); !ejected {
+		t.Fatal("EjectThreshold missed probes did not eject")
+	}
+	if dd.routable(t1) {
+		t.Fatal("dead replica still routable")
+	}
+	// Backoff doubled: next probe due at +2·interval, not +interval.
+	if dd.probeDue(t1.Add(2*cfg.ProbeInterval - time.Millisecond)) {
+		t.Fatal("dead replica re-probed before the backed-off deadline")
+	}
+	if !dd.probeDue(t1.Add(2 * cfg.ProbeInterval)) {
+		t.Fatal("dead replica not re-probed at the backed-off deadline")
+	}
+	// Further misses keep doubling up to ProbeMaxBackoff.
+	t2 := t1.Add(2 * cfg.ProbeInterval)
+	dd.onProbe(probeDead, t2)
+	dd.onProbe(probeDead, t2)
+	dd.onProbe(probeDead, t2)
+	dd.mu.Lock()
+	backoff := dd.probeBackoff
+	dd.mu.Unlock()
+	if backoff != cfg.ProbeMaxBackoff {
+		t.Fatalf("probe backoff = %v, want capped %v", backoff, cfg.ProbeMaxBackoff)
+	}
+
+	// Recovery: a ready verdict restores routability, resets cadence and
+	// breaker state in one step.
+	ejected, restored = dd.onProbe(probeReady, t2)
+	if ejected || !restored {
+		t.Fatalf("ready verdict: ejected=%v restored=%v, want false,true", ejected, restored)
+	}
+	if !dd.routable(t2) {
+		t.Fatal("restored replica not routable")
+	}
+	if dd.probeDue(t2.Add(cfg.ProbeInterval - time.Millisecond)) {
+		t.Fatal("restored replica kept the dead-replica backoff")
+	}
+}
+
+// TestProbeReadyClosesBreaker: an active ready verdict clears a passive
+// ejection — the probe demonstrably reached the replica.
+func TestProbeReadyClosesBreaker(t *testing.T) {
+	cfg := breakerTestConfig()
+	r := newReplica("http://x", cfg)
+	now := time.Unix(0, 0)
+	for i := 0; i < cfg.BreakerThreshold; i++ {
+		r.onFailure(now)
+	}
+	if r.routable(now) {
+		t.Fatal("precondition: breaker should be open")
+	}
+	r.onProbe(probeReady, now)
+	if !r.routable(now) {
+		t.Fatal("ready probe did not close the breaker")
+	}
+	st := r.status(now)
+	if st.Breaker != "closed" || !st.Routable || !st.Ready {
+		t.Fatalf("status after ready probe = %+v", st)
+	}
+}

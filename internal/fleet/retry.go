@@ -1,0 +1,120 @@
+package fleet
+
+import (
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// RetryPolicy shapes the classify retry loop. Only idempotent calls retry
+// (classification is a pure function of the row; the gateway retries
+// nothing else), and every retry both respects the per-request attempt cap
+// and spends from the client-wide retry budget, so a failing fleet sees
+// load shrink instead of amplify.
+type RetryPolicy struct {
+	// MaxAttempts bounds total tries per request, the first included
+	// (default 3; 1 disables retries).
+	MaxAttempts int
+	// BaseBackoff seeds the exponential schedule: attempt n draws uniformly
+	// from [0, min(MaxBackoff, BaseBackoff·2ⁿ)] — capped exponential
+	// backoff with full jitter (default 10ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps one backoff sleep (default 1s). A server Retry-After
+	// hint overrides the drawn value but is still capped here.
+	MaxBackoff time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 10 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = time.Second
+	}
+	return p
+}
+
+// backoff computes the sleep before retry number retry (1-based). hint is
+// the server's Retry-After translation (0 when absent): when set it wins
+// over the jittered draw — the server knows when it will have capacity —
+// but stays within MaxBackoff so a hostile hint cannot park the client.
+func (p RetryPolicy) backoff(retry int, rng *rand.Rand, hint time.Duration) time.Duration {
+	if hint > 0 {
+		if hint > p.MaxBackoff {
+			return p.MaxBackoff
+		}
+		return hint
+	}
+	ceil := p.BaseBackoff << uint(retry)
+	if ceil > p.MaxBackoff || ceil <= 0 {
+		ceil = p.MaxBackoff
+	}
+	return time.Duration(rng.Int63n(int64(ceil) + 1))
+}
+
+// retryAfterHint parses a response's Retry-After header (delta-seconds form
+// only; HTTP-date is ignored) into a wait hint. 0 means no usable hint.
+func retryAfterHint(resp *http.Response) time.Duration {
+	if resp == nil {
+		return 0
+	}
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// retryBudget is the client-wide token bucket that keeps retry storms from
+// amplifying an outage: every first attempt deposits Ratio tokens (capped
+// at Max), every retry withdraws one. When the fleet is mostly healthy the
+// bucket stays full and every request can retry; when most requests are
+// failing, deposits can't keep up and retries throttle to Ratio of traffic.
+type retryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	max    float64
+	ratio  float64
+}
+
+func newRetryBudget(ratio, max float64) *retryBudget {
+	if ratio <= 0 {
+		ratio = 0.1
+	}
+	if max <= 0 {
+		max = 10
+	}
+	// Start full: a fresh client facing an immediate failure may retry.
+	return &retryBudget{tokens: max, max: max, ratio: ratio}
+}
+
+// deposit credits one first attempt.
+func (b *retryBudget) deposit() {
+	b.mu.Lock()
+	b.tokens += b.ratio
+	if b.tokens > b.max {
+		b.tokens = b.max
+	}
+	b.mu.Unlock()
+}
+
+// withdraw spends one retry token; false means the budget is exhausted and
+// the retry must not happen.
+func (b *retryBudget) withdraw() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

@@ -1,0 +1,188 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+// ringKeys generates the deterministic key corpus the ring suites share.
+func ringKeys(n int) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%05d", i))
+	}
+	return keys
+}
+
+// TestRingPinnedAssignment pins the placement function itself: the same
+// (seed, members) must produce this exact assignment in every process, on
+// every platform, forever — the property that lets independent clients and
+// gateways agree on routing without coordination. If this test fails, the
+// hash changed and a mixed-version fleet would split its routing.
+func TestRingPinnedAssignment(t *testing.T) {
+	r := NewRing(42, 0, []string{"http://a:1", "http://b:1", "http://c:1"})
+
+	pins := map[string]string{
+		"patient-0001":   "http://c:1",
+		"patient-0002":   "http://c:1",
+		"patient-0003":   "http://b:1",
+		"row:ALL-AML-27": "http://b:1",
+	}
+	for key, want := range pins {
+		if got := r.Lookup([]byte(key)); got != want {
+			t.Errorf("Lookup(%q) = %q, want pinned %q", key, got, want)
+		}
+	}
+
+	// Checksum over 10k assignments catches any drift the spot pins miss.
+	h := uint64(14695981039346656037)
+	for _, k := range ringKeys(10000) {
+		owner := r.Lookup(k)
+		for i := 0; i < len(owner); i++ {
+			h = (h ^ uint64(owner[i])) * 1099511628211
+		}
+	}
+	const wantSum = uint64(0x04bbdf2668afe6dd)
+	if h != wantSum {
+		t.Errorf("assignment checksum = %#x, want pinned %#x", h, wantSum)
+	}
+}
+
+// TestRingDeterministicConstruction: member order and duplicates in the
+// input must not change placement, and two independently built rings agree
+// on every key.
+func TestRingDeterministicConstruction(t *testing.T) {
+	a := NewRing(7, 64, []string{"n1", "n2", "n3", "n4"})
+	b := NewRing(7, 64, []string{"n4", "n2", "n1", "n3", "n2", ""})
+	for _, k := range ringKeys(2000) {
+		if ga, gb := a.Lookup(k), b.Lookup(k); ga != gb {
+			t.Fatalf("Lookup(%q): order-dependent placement %q vs %q", k, ga, gb)
+		}
+	}
+	seeded := NewRing(8, 64, []string{"n1", "n2", "n3", "n4"})
+	diff := 0
+	for _, k := range ringKeys(2000) {
+		if a.Lookup(k) != seeded.Lookup(k) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("changing the seed changed no assignments; seed is not folded into the hash")
+	}
+}
+
+// TestRingRemovalRemapBound pins the consistent-hashing contract: removing
+// one of n members moves ONLY the keys that member owned — every other key
+// keeps its replica — and the moved share is about keys/n.
+func TestRingRemovalRemapBound(t *testing.T) {
+	members := []string{"r0", "r1", "r2", "r3", "r4"}
+	const nKeys = 10000
+	full := NewRing(1, 0, members)
+	smaller := full.With([]string{"r0", "r1", "r3", "r4"}) // r2 leaves
+
+	moved := 0
+	for _, k := range ringKeys(nKeys) {
+		before, after := full.Lookup(k), smaller.Lookup(k)
+		if before != "r2" {
+			if after != before {
+				t.Fatalf("key %q moved %s→%s though its owner stayed", k, before, after)
+			}
+			continue
+		}
+		moved++
+		if after == "r2" {
+			t.Fatalf("key %q still maps to removed member", k)
+		}
+	}
+	// ceil(keys/n) + slack: with DefaultVNodes the per-member share lands
+	// within ~1/sqrt(vnodes) ≈ 9% of ideal, so 35% headroom is comfortable
+	// without letting a broken ring (which remaps ~all keys) slip through.
+	bound := (nKeys+len(members)-1)/len(members) + 700
+	if moved > bound {
+		t.Errorf("removal moved %d keys, want ≤ %d (ceil(%d/%d)+slack)", moved, bound, nKeys, len(members))
+	}
+	if moved == 0 {
+		t.Error("removal moved no keys; removed member owned nothing")
+	}
+}
+
+// TestRingAdditionClaimsOnly: a joining member claims its share; no key
+// moves between surviving members.
+func TestRingAdditionClaimsOnly(t *testing.T) {
+	base := NewRing(1, 0, []string{"r0", "r1", "r2"})
+	grown := base.With([]string{"r0", "r1", "r2", "r3"})
+	claimed := 0
+	for _, k := range ringKeys(10000) {
+		before, after := base.Lookup(k), grown.Lookup(k)
+		if after == before {
+			continue
+		}
+		if after != "r3" {
+			t.Fatalf("key %q moved %s→%s; only the joiner may claim keys", k, before, after)
+		}
+		claimed++
+	}
+	if claimed == 0 {
+		t.Error("joining member claimed no keys")
+	}
+}
+
+// TestRingBalance: with DefaultVNodes no member's share may dwarf another's.
+func TestRingBalance(t *testing.T) {
+	members := []string{"r0", "r1", "r2", "r3", "r4"}
+	r := NewRing(3, 0, members)
+	share := map[string]int{}
+	for _, k := range ringKeys(10000) {
+		share[r.Lookup(k)]++
+	}
+	for _, m := range members {
+		if share[m] == 0 {
+			t.Fatalf("member %s owns no keys", m)
+		}
+		if share[m] < 1000 || share[m] > 3000 {
+			t.Errorf("member %s owns %d of 10000 keys; want within [1000, 3000] of ideal 2000", m, share[m])
+		}
+	}
+}
+
+// TestRingSequence: the preference order starts at the owner, lists every
+// member exactly once, and is itself deterministic.
+func TestRingSequence(t *testing.T) {
+	r := NewRing(5, 0, []string{"a", "b", "c", "d"})
+	for _, k := range ringKeys(200) {
+		seq := r.Sequence(k, 0)
+		if len(seq) != 4 {
+			t.Fatalf("Sequence(%q) has %d members, want 4", k, len(seq))
+		}
+		if seq[0] != r.Lookup(k) {
+			t.Fatalf("Sequence(%q)[0] = %s, want owner %s", k, seq[0], r.Lookup(k))
+		}
+		seen := map[string]bool{}
+		for _, m := range seq {
+			if seen[m] {
+				t.Fatalf("Sequence(%q) repeats %s", k, m)
+			}
+			seen[m] = true
+		}
+		if got := r.Sequence(k, 2); len(got) != 2 || got[0] != seq[0] || got[1] != seq[1] {
+			t.Fatalf("Sequence(%q, 2) = %v, want prefix of %v", k, got, seq)
+		}
+	}
+}
+
+// TestRingEdgeCases: empty and single-member rings behave.
+func TestRingEdgeCases(t *testing.T) {
+	empty := NewRing(1, 0, nil)
+	if got := empty.Lookup([]byte("k")); got != "" {
+		t.Errorf("empty ring Lookup = %q, want \"\"", got)
+	}
+	if got := empty.Sequence([]byte("k"), 3); got != nil {
+		t.Errorf("empty ring Sequence = %v, want nil", got)
+	}
+	solo := NewRing(1, 0, []string{"only"})
+	for _, k := range ringKeys(50) {
+		if got := solo.Lookup(k); got != "only" {
+			t.Fatalf("single-member ring Lookup(%q) = %q", k, got)
+		}
+	}
+}

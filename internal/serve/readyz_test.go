@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// setDraining flips the server's drain flag directly — the full drain path
+// (in-flight accounting, batcher teardown) is covered by
+// TestSheddingAndDrain; these suites only need the externally visible
+// header/status rendering.
+func setDraining(s *Server, v bool) {
+	s.mu.Lock()
+	s.draining = v
+	s.mu.Unlock()
+}
+
+func getPath(t *testing.T, ts *httptest.Server, path string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestReadyzLifecycle: /readyz is the routability signal — 200 with the
+// route generation while serving, 503 while draining — distinct from
+// /healthz liveness.
+func TestReadyzLifecycle(t *testing.T) {
+	s := New(testArtifact(t), Config{})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp := getPath(t, ts, "/readyz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ready server /readyz = %d, want 200", resp.StatusCode)
+	}
+	var body struct {
+		Status     string `json:"status"`
+		Generation int64  `json:"generation"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Status != "ready" || body.Generation != s.Generation() {
+		t.Fatalf("readyz body = %+v, want ready at generation %d", body, s.Generation())
+	}
+
+	setDraining(s, true)
+	resp = getPath(t, ts, "/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining /readyz = %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Fatalf("draining /readyz Retry-After = %q, want \"1\" (the default hint)", got)
+	}
+	// Liveness answers 503 too while draining (existing contract), so the
+	// two endpoints differ only before a route exists — but a fleet prober
+	// keys off /readyz, which must always exist on a serving replica.
+	resp = getPath(t, ts, "/healthz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining /healthz = %d, want 503", resp.StatusCode)
+	}
+
+	setDraining(s, false)
+	resp = getPath(t, ts, "/readyz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("undrained /readyz = %d, want 200 again", resp.StatusCode)
+	}
+}
+
+// TestReadyzNoRoute: a server without a routing table (mid-construction
+// state) reports not-ready rather than panicking or lying.
+func TestReadyzNoRoute(t *testing.T) {
+	s := &Server{} // no route ever applied
+	rec := httptest.NewRecorder()
+	s.handleReadyz(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("routeless /readyz = %d, want 503", rec.Code)
+	}
+	var body struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Status != "no route applied" {
+		t.Fatalf("routeless status = %q", body.Status)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "" {
+		t.Fatalf("routeless Retry-After = %q; an unconfigured server has no hint to give", got)
+	}
+}
+
+// TestRenderRetryAfter pins the header rendering rules: whole seconds,
+// sub-second hints round UP (a "0" would invite an immediate retry storm),
+// and non-positive values mean no header at all.
+func TestRenderRetryAfter(t *testing.T) {
+	cases := []struct {
+		in   time.Duration
+		want string
+	}{
+		{0, ""},
+		{-1, ""},
+		{-time.Second, ""},
+		{100 * time.Millisecond, "1"},
+		{time.Second, "1"},
+		{1500 * time.Millisecond, "2"},
+		{3 * time.Second, "3"},
+	}
+	for _, c := range cases {
+		if got := renderRetryAfter(c.in); got != c.want {
+			t.Errorf("renderRetryAfter(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestRetryAfterHeaderRendering: the wire-visible regression — sub-second
+// configs must not render "0", and a negative config must omit the header
+// entirely (not send "Retry-After: 0").
+func TestRetryAfterHeaderRendering(t *testing.T) {
+	check := func(cfg Config, want string) {
+		t.Helper()
+		s := New(testArtifact(t), cfg)
+		defer s.Close()
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		setDraining(s, true)
+		for _, path := range []string{"/healthz", "/readyz"} {
+			resp := getPath(t, ts, path)
+			if resp.StatusCode != http.StatusServiceUnavailable {
+				t.Fatalf("%s while draining = %d, want 503", path, resp.StatusCode)
+			}
+			vals, present := resp.Header["Retry-After"]
+			if want == "" {
+				if present {
+					t.Fatalf("%s with disabled RetryAfter sent header %v; must be omitted", path, vals)
+				}
+				continue
+			}
+			if !present || vals[0] != want {
+				t.Fatalf("%s Retry-After = %v, want %q", path, vals, want)
+			}
+		}
+	}
+	check(Config{}, "1")                                   // default 1s
+	check(Config{RetryAfter: 100 * time.Millisecond}, "1") // sub-second rounds up, never "0"
+	check(Config{RetryAfter: 2500 * time.Millisecond}, "3")
+	check(Config{RetryAfter: -1}, "") // negative disables the header
+}

@@ -26,6 +26,9 @@
 //	GET  /v1/model     model metadata (classes, item vocabulary sizes,
 //	                   version, fingerprint, canary route)
 //	GET  /healthz      200 while serving, 503 while draining; build info
+//	GET  /readyz       routability: 200 only while classify requests are
+//	                   admitted (503 while draining or unrouted), so fleet
+//	                   probers can tell starting/stopping from dead
 //	GET  /metrics      obs registry snapshot (JSON; Prometheus text with
 //	                   ?format=prom or a text/plain Accept header)
 //	GET  /runlogz      ring of recent per-batch records
@@ -84,7 +87,9 @@ type Config struct {
 	// silently pin its callers. Negative disables; 0 means the default (4).
 	WatchdogFactor int
 	// RetryAfter is the Retry-After hint sent with 429 (shed) and 503
-	// (draining) responses (default 1s).
+	// (draining) responses (default 1s). Sub-second values render rounded
+	// up to whole seconds (the header speaks integer seconds; "0" would
+	// invite an immediate retry storm). Negative disables the header.
 	RetryAfter time.Duration
 	// Registry receives the serving metrics (request/batch counters,
 	// latency and batch-size histograms, discretize/classify phase
@@ -144,7 +149,7 @@ func (c Config) withDefaults() Config {
 	if c.WatchdogFactor == 0 {
 		c.WatchdogFactor = 4
 	}
-	if c.RetryAfter <= 0 {
+	if c.RetryAfter == 0 {
 		c.RetryAfter = time.Second
 	}
 	if c.RunLogRing <= 0 {
@@ -235,7 +240,7 @@ type Server struct {
 	sloLatency *obs.SLO
 
 	// retryAfter is cfg.RetryAfter rendered once as whole seconds for the
-	// Retry-After header.
+	// Retry-After header; "" means the header is omitted.
 	retryAfter string
 }
 
@@ -286,7 +291,7 @@ func NewFromModel(d *Model, cfg Config) *Server {
 			queueWait:       reg.Histogram("serve.queue_wait_ns"),
 		},
 		ring:       newBatchRing(cfg.RunLogRing),
-		retryAfter: strconv.Itoa(int(math.Ceil(cfg.RetryAfter.Seconds()))),
+		retryAfter: renderRetryAfter(cfg.RetryAfter),
 	}
 	s.sloAvail = obs.NewSLO(obs.SLOConfig{Name: "classify_availability", Target: cfg.SLOTarget})
 	s.sloLatency = obs.NewSLO(obs.SLOConfig{
@@ -408,6 +413,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/classify", s.handleClassify)
 	mux.HandleFunc("/v1/model", s.handleModel)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/runlogz", s.handleRunlogz)
 	mux.Handle("/tracez", s.cfg.Tracer.Recorder().Handler())
@@ -460,10 +466,25 @@ func (s *Server) emitFailure(site, msg string, stack []byte) {
 	})
 }
 
+// renderRetryAfter renders a Retry-After hint as the whole seconds the
+// header grammar requires, rounding sub-second configs up — never down to
+// "0", which clients read as "retry immediately" and which would turn a
+// shedding server's hint into an amplifier. Non-positive durations disable
+// the header entirely ("" = omit).
+func renderRetryAfter(d time.Duration) string {
+	if d <= 0 {
+		return ""
+	}
+	return strconv.Itoa(int(math.Ceil(d.Seconds())))
+}
+
 // rejectBusy writes a shed/drain rejection with the configured Retry-After
-// hint, so well-behaved clients back off instead of hammering.
+// hint, so well-behaved clients back off instead of hammering. A disabled
+// hint omits the header rather than sending "0".
 func (s *Server) rejectBusy(w http.ResponseWriter, status int, format string, args ...any) {
-	w.Header().Set("Retry-After", s.retryAfter)
+	if s.retryAfter != "" {
+		w.Header().Set("Retry-After", s.retryAfter)
+	}
 	writeError(w, status, format, args...)
 }
 
@@ -691,13 +712,38 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
-		w.Header().Set("Retry-After", s.retryAfter)
+		if s.retryAfter != "" {
+			w.Header().Set("Retry-After", s.retryAfter)
+		}
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
 			"status": "draining", "build": version.Get(),
 		})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "build": version.Get()})
+}
+
+// handleReadyz is the routability signal, distinct from /healthz liveness:
+// 503 while the server is draining or before a routing table exists, 200
+// only while classify requests would be admitted. A fleet prober uses the
+// distinction to tell "starting/stopping" (alive, will recover — keep the
+// normal probe cadence) from "dead" (unreachable — back off).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if sn := s.route.Load(); sn == nil || s.Draining() {
+		if s.retryAfter != "" {
+			w.Header().Set("Retry-After", s.retryAfter)
+		}
+		status := "draining"
+		if sn == nil {
+			status = "no route applied"
+		}
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": status})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ready",
+		"generation": s.Generation(),
+	})
 }
 
 // handleMetrics serves the registry as JSON by default and in the
